@@ -1,0 +1,50 @@
+# Daredevil reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all build test test-short bench figures svg json examples vet fmt cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (plus extensions) at default scale.
+figures:
+	$(GO) run ./cmd/ddbench all
+
+svg:
+	$(GO) run ./cmd/ddbench -svg out/figures all
+
+json:
+	$(GO) run ./cmd/ddbench -json out/results all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multitenant
+	$(GO) run ./examples/multinamespace
+	$(GO) run ./examples/ycsb
+	$(GO) run ./examples/outliers
+	$(GO) run ./examples/virtio
+	$(GO) run ./examples/webapp
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -rf out

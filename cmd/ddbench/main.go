@@ -1,0 +1,187 @@
+// Command ddbench regenerates the paper's tables and figures on the
+// simulated testbed. Each experiment prints the rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	ddbench [-quick] [-warmup DUR] [-measure DUR] <experiment>...
+//	ddbench all
+//
+// Experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"daredevil/internal/harness"
+	"daredevil/internal/sim"
+)
+
+var experiments = []string{
+	"table1", "fig2", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14",
+	"ext-sched", "ext-wrr", "ext-poll", "ext-virtio", "ext-webapp",
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "use the quick scale (shorter windows)")
+	warmup := flag.Duration("warmup", 0, "override warmup window (e.g. 200ms)")
+	measure := flag.Duration("measure", 0, "override measurement window (e.g. 1s)")
+	svgDir := flag.String("svg", "", "also write <experiment>.svg charts into this directory")
+	jsonDir := flag.String("json", "", "also write machine-readable <experiment>.json results into this directory")
+	flag.Usage = usage
+	flag.Parse()
+
+	sc := harness.DefaultScale
+	if *quick {
+		sc = harness.QuickScale
+	}
+	if *warmup > 0 {
+		sc.Warmup = sim.Duration(warmup.Nanoseconds())
+	}
+	if *measure > 0 {
+		sc.Measure = sim.Duration(measure.Nanoseconds())
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = experiments
+	}
+	for _, dir := range []string{*svgDir, *jsonDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			os.Exit(1)
+		}
+	}
+	for _, name := range args {
+		if err := runExport(os.Stdout, name, sc, *svgDir, *jsonDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// svgWriter is implemented by results that can render a chart.
+type svgWriter interface {
+	WriteSVG(io.Writer) error
+}
+
+// runWithSVG runs the experiment and, when dir is set and the result can
+// draw itself, writes <name>.svg there too (kept for tests).
+func runWithSVG(w io.Writer, name string, sc harness.Scale, dir string) error {
+	return runExport(w, name, sc, dir, "")
+}
+
+// runExport runs the experiment and optionally writes SVG and JSON files.
+func runExport(w io.Writer, name string, sc harness.Scale, svgDir, jsonDir string) error {
+	res, err := runResult(w, name, sc)
+	if err != nil {
+		return err
+	}
+	if svgDir != "" {
+		if sw, ok := res.(svgWriter); ok {
+			path := filepath.Join(svgDir, name+".svg")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := sw.WriteSVG(f); err != nil {
+				f.Close()
+				return fmt.Errorf("rendering %s: %w", path, err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "[wrote %s]\n", path)
+		}
+	}
+	if jsonDir != "" {
+		path := filepath.Join(jsonDir, name+".json")
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding %s: %w", path, err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[wrote %s]\n", path)
+	}
+	return nil
+}
+
+// run executes one experiment and prints its rows (kept for tests).
+func run(w io.Writer, name string, sc harness.Scale) error {
+	_, err := runResult(w, name, sc)
+	return err
+}
+
+// textWriter is implemented by every experiment result.
+type textWriter interface {
+	WriteText(io.Writer)
+}
+
+func runResult(w io.Writer, name string, sc harness.Scale) (any, error) {
+	start := time.Now()
+	var res textWriter
+	switch name {
+	case "table1":
+		res = harness.RunTable1()
+	case "fig2":
+		res = harness.RunFig2(sc)
+	case "fig6":
+		res = harness.RunFig6(sc)
+	case "fig7":
+		res = harness.RunFig7(sc)
+	case "fig8":
+		res = harness.RunFig8(sc)
+	case "fig9":
+		res = harness.RunFig9(sc)
+	case "fig10":
+		res = harness.RunFig10(sc)
+	case "fig11":
+		res = harness.RunFig11(sc)
+	case "fig12":
+		res = harness.RunFig12(sc)
+	case "fig13":
+		res = harness.RunFig13(sc)
+	case "fig14":
+		res = harness.RunFig14(sc)
+	case "ext-sched":
+		res = harness.RunExtSchedulers(sc)
+	case "ext-wrr":
+		res = harness.RunExtWRR(sc)
+	case "ext-poll":
+		res = harness.RunExtPolling(sc)
+	case "ext-virtio":
+		res = harness.RunExtVirtio(sc)
+	case "ext-webapp":
+		res = harness.RunExtWebapp(sc)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (want one of %v)", name, experiments)
+	}
+	res.WriteText(w)
+	fmt.Fprintf(w, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	return res, nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ddbench regenerates the Daredevil paper's tables and figures.
+
+usage: ddbench [-quick] [-warmup DUR] [-measure DUR] <experiment>...
+experiments: %v (or "all")
+`, experiments)
+	flag.PrintDefaults()
+}

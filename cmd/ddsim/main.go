@@ -1,0 +1,152 @@
+// Command ddsim runs a single custom multi-tenant scenario on a chosen
+// storage stack and prints the aggregate results — a quick way to poke at
+// the simulator without the full experiment harness.
+//
+// Example:
+//
+//	ddsim -stack daredevil -l 4 -t 16 -cores 4 -measure 500ms
+//	ddsim -stack vanilla -l 4 -t 16 -namespaces 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"daredevil"
+)
+
+func main() {
+	stack := flag.String("stack", "daredevil", "storage stack: vanilla | blk-switch | static-part | dare-base | dare-sched | daredevil")
+	cores := flag.Int("cores", 4, "CPU cores")
+	nL := flag.Int("l", 4, "L-tenants (4KB rand qd=1, real-time ionice)")
+	nT := flag.Int("t", 8, "T-tenants (128KB qd=32, best-effort ionice)")
+	namespaces := flag.Int("namespaces", 1, "NVMe namespaces (tenants spread round-robin)")
+	workstation := flag.Bool("wsm", false, "use the WS-M testbed (8 cores, 128 NSQs / 24 NCQs)")
+	warmup := flag.Duration("warmup", 100*time.Millisecond, "warmup window (virtual)")
+	measure := flag.Duration("measure", 400*time.Millisecond, "measurement window (virtual)")
+	breakdown := flag.Bool("breakdown", false, "report L-tenant path components (lock wait, completion delay, cross-core)")
+	traceN := flag.Int("trace", 0, "print the path timeline of the first N sampled requests")
+	config := flag.String("config", "", "run a JSON scenario file instead of the flag-built mix")
+	seed := flag.Uint64("seed", 0, "shift every tenant's random stream (0 = default streams)")
+	errorRate := flag.Float64("error-rate", 0, "inject per-command media errors with this probability (controller retries up to 3x)")
+	flag.Parse()
+
+	if *config != "" {
+		if err := runConfig(*config, *breakdown, *traceN); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var m daredevil.Machine
+	if *workstation {
+		m = daredevil.WorkstationMachine()
+	} else {
+		m = daredevil.ServerMachine(*cores)
+	}
+	if *errorRate > 0 {
+		m.NVMe.MediaErrorRate = *errorRate
+	}
+	kind, err := parseStack(*stack)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddsim:", err)
+		os.Exit(2)
+	}
+
+	sim := daredevil.NewSimulation(m, kind)
+	sim.SetSeedShift(*seed)
+	if *breakdown {
+		sim.EnableBreakdown()
+	}
+	if *traceN > 0 {
+		sim.EnableTrace(*traceN, 1)
+	}
+	if *namespaces > 1 {
+		sim.CreateNamespaces(*namespaces)
+		for i := 0; i < *nL; i++ {
+			sim.AddLTenantsNS(1, i%*namespaces)
+		}
+		for i := 0; i < *nT; i++ {
+			sim.AddTTenantsNS(1, i%*namespaces)
+		}
+	} else {
+		sim.AddLTenants(*nL)
+		sim.AddTTenants(*nT)
+	}
+
+	res := sim.Run(daredevil.Duration(warmup.Nanoseconds()), daredevil.Duration(measure.Nanoseconds()))
+	fmt.Printf("stack=%s cores=%d L=%d T=%d namespaces=%d (measured %v virtual)\n",
+		sim.StackName(), m.Cores, *nL, *nT, *namespaces, *measure)
+	fmt.Printf("  L-tenants: avg=%v p99=%v p99.9=%v max=%v (%.2f kIOPS, %d ops)\n",
+		res.LTenantLatency.Mean, res.LTenantLatency.P99, res.LTenantLatency.P999,
+		res.LTenantLatency.Max, res.LTenantKIOPS, res.LTenantLatency.Count)
+	fmt.Printf("  T-tenants: avg=%v p99=%v (%.0f MB/s, %d ops)\n",
+		res.TTenantLatency.Mean, res.TTenantLatency.P99,
+		res.TThroughputMBps, res.TTenantLatency.Count)
+	fmt.Printf("  CPU utilization: %.1f%%\n", 100*res.CPUUtilization)
+	if *breakdown {
+		fmt.Printf("  L path components: lock-wait avg=%v p99=%v | completion-delay avg=%v p99=%v | cross-core %.0f%%\n",
+			res.LSubmissionWait.Mean, res.LSubmissionWait.P99,
+			res.LCompletionDelay.Mean, res.LCompletionDelay.P99,
+			100*res.LCrossCoreFraction)
+	}
+	if *traceN > 0 {
+		fmt.Println()
+		sim.WriteTrace(os.Stdout)
+	}
+}
+
+// runConfig executes a JSON scenario file.
+func runConfig(path string, breakdown bool, traceN int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sc, err := daredevil.ParseScenario(data)
+	if err != nil {
+		return err
+	}
+	sim, warm, measure, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	if breakdown {
+		sim.EnableBreakdown()
+	}
+	if traceN > 0 {
+		sim.EnableTrace(traceN, 1)
+	}
+	res := sim.Run(warm, measure)
+	fmt.Printf("scenario %s: stack=%s (measured %v virtual)\n", path, sim.StackName(), measure)
+	fmt.Printf("  L-tenants: avg=%v p99=%v p99.9=%v (%.2f kIOPS, %d ops)\n",
+		res.LTenantLatency.Mean, res.LTenantLatency.P99, res.LTenantLatency.P999,
+		res.LTenantKIOPS, res.LTenantLatency.Count)
+	fmt.Printf("  T-tenants: avg=%v p99=%v (%.0f MB/s, %d ops)\n",
+		res.TTenantLatency.Mean, res.TTenantLatency.P99,
+		res.TThroughputMBps, res.TTenantLatency.Count)
+	fmt.Printf("  CPU utilization: %.1f%%\n", 100*res.CPUUtilization)
+	if breakdown {
+		fmt.Printf("  L path components: lock-wait avg=%v | completion-delay avg=%v | cross-core %.0f%%\n",
+			res.LSubmissionWait.Mean, res.LCompletionDelay.Mean, 100*res.LCrossCoreFraction)
+	}
+	if traceN > 0 {
+		fmt.Println()
+		sim.WriteTrace(os.Stdout)
+	}
+	return nil
+}
+
+func parseStack(s string) (daredevil.StackKind, error) {
+	for _, k := range []daredevil.StackKind{
+		daredevil.StackVanilla, daredevil.StackBlkSwitch, daredevil.StackStaticPart,
+		daredevil.StackDareBase, daredevil.StackDareSched, daredevil.StackDaredevil,
+	} {
+		if string(k) == s {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("unknown stack %q", s)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"daredevil"
+)
+
+func TestParseStackKnown(t *testing.T) {
+	for _, name := range []string{
+		"vanilla", "blk-switch", "static-part", "dare-base", "dare-sched", "daredevil",
+	} {
+		kind, err := parseStack(name)
+		if err != nil {
+			t.Fatalf("parseStack(%q): %v", name, err)
+		}
+		if string(kind) != name {
+			t.Fatalf("parseStack(%q) = %q", name, kind)
+		}
+	}
+}
+
+func TestParseStackUnknown(t *testing.T) {
+	if _, err := parseStack("bogus"); err == nil {
+		t.Fatal("unknown stack must error")
+	}
+}
+
+func TestParsedKindsBuild(t *testing.T) {
+	kind, err := parseStack("daredevil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := daredevil.NewSimulation(daredevil.ServerMachine(2), kind)
+	sim.AddLTenants(1)
+	res := sim.Run(daredevil.Millisecond, 10*daredevil.Millisecond)
+	if res.LTenantLatency.Count == 0 {
+		t.Fatal("parsed kind did not produce a working simulation")
+	}
+}
+
+func TestRunConfig(t *testing.T) {
+	if err := runConfig("../../examples/scenarios/mixed.json", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConfig("../../examples/scenarios/multins.json", true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConfig("/nonexistent.json", false, 0); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

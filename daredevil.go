@@ -1,0 +1,468 @@
+// Package daredevil is the public API of the Daredevil reproduction: a
+// deterministic simulation of the Linux NVMe storage stack and of Daredevil
+// (EuroSys '25), the storage stack that decouples static core→NQ bindings
+// for flexible multi-tenancy control.
+//
+// The library simulates an entire machine — CPU cores, the NVMe controller
+// with its submission/completion queues, a flash backend — and runs one of
+// several storage stacks on it:
+//
+//   - StackVanilla: Linux blk-mq with static per-core queue bindings.
+//   - StackBlkSwitch: blk-switch-style cross-core scheduling.
+//   - StackStaticPart: FlashShare/D2FQ-style static per-class NQs.
+//   - StackDaredevil (and its dare-base / dare-sched ablations): the
+//     paper's contribution.
+//
+// A minimal session:
+//
+//	sim := daredevil.NewSimulation(daredevil.ServerMachine(4), daredevil.StackDaredevil)
+//	sim.AddLTenants(4)
+//	sim.AddTTenants(16)
+//	res := sim.Run(100*daredevil.Millisecond, 500*daredevil.Millisecond)
+//	fmt.Println(res.LTenantLatency.P999, res.TThroughputMBps)
+//
+// The full evaluation harness behind cmd/ddbench is reachable through the
+// Experiment helpers.
+package daredevil
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"daredevil/internal/block"
+	"daredevil/internal/harness"
+	"daredevil/internal/sim"
+	"daredevil/internal/stats"
+	"daredevil/internal/trace"
+	"daredevil/internal/workload"
+)
+
+// TenantClass is a tenant's ionice scheduling class.
+type TenantClass = block.Class
+
+// Tenant classes.
+const (
+	// ClassLatencySensitive marks L-tenants (real-time ionice).
+	ClassLatencySensitive = block.ClassRT
+	// ClassThroughputOriented marks T-tenants (best-effort ionice).
+	ClassThroughputOriented = block.ClassBE
+)
+
+// Duration is virtual time in nanoseconds.
+type Duration = sim.Duration
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// StackKind selects a storage-stack implementation.
+type StackKind = harness.StackKind
+
+// Available stacks.
+const (
+	StackVanilla    = harness.Vanilla
+	StackBlkSwitch  = harness.BlkSwitch
+	StackStaticPart = harness.StaticPart
+	StackDareBase   = harness.DareBase
+	StackDareSched  = harness.DareSched
+	StackDaredevil  = harness.DareFull
+)
+
+// Machine describes the simulated testbed.
+type Machine = harness.Machine
+
+// ServerMachine returns the paper's SV-M testbed shape (PM1735-class SSD:
+// 64 NSQs, 64 NCQs, depth 1024) with the given core count.
+func ServerMachine(cores int) Machine { return harness.SVM(cores) }
+
+// WorkstationMachine returns the paper's WS-M testbed shape (980Pro-class
+// SSD: 128 NSQs over 24 NCQs, 8 cores).
+func WorkstationMachine() Machine { return harness.WSM() }
+
+// LatencySnapshot summarizes a latency distribution.
+type LatencySnapshot = stats.Snapshot
+
+// Result aggregates one measurement window.
+type Result struct {
+	// LTenantLatency is the merged L-tenant latency distribution.
+	LTenantLatency LatencySnapshot
+	// TTenantLatency is the merged T-tenant latency distribution.
+	TTenantLatency LatencySnapshot
+	// LTenantKIOPS is the aggregate L-tenant rate in thousands of IOPS.
+	LTenantKIOPS float64
+	// TThroughputMBps is the aggregate T-tenant throughput.
+	TThroughputMBps float64
+	// CPUUtilization is the mean core utilization in [0,1].
+	CPUUtilization float64
+
+	// Breakdown components (populated when EnableBreakdown was called):
+	// LSubmissionWait is the L-tenants' NSQ lock wait distribution,
+	// LCompletionDelay the CQE-post-to-delivery distribution, and
+	// LCrossCoreFraction the share of L completions delivered via another
+	// core's interrupt.
+	LSubmissionWait    LatencySnapshot
+	LCompletionDelay   LatencySnapshot
+	LCrossCoreFraction float64
+}
+
+// JobConfig customizes a tenant workload (see DefaultLTenantConfig /
+// DefaultTTenantConfig for the paper's shapes).
+type JobConfig = workload.FIOConfig
+
+// DefaultLTenantConfig is the paper's L-tenant: 4KB random reads, queue
+// depth 1, real-time ionice.
+func DefaultLTenantConfig(name string, core int) JobConfig {
+	return workload.DefaultLTenant(name, core)
+}
+
+// DefaultTTenantConfig is the paper's T-tenant: 128KB streaming writes,
+// queue depth 32, best-effort ionice.
+func DefaultTTenantConfig(name string, core int) JobConfig {
+	return workload.DefaultTTenant(name, core)
+}
+
+// Simulation is a configured machine + stack + tenant set.
+type Simulation struct {
+	env       *harness.Env
+	mix       *harness.Mix
+	apps      []app
+	breakdown bool
+	tracer    *trace.Collector
+	ran       bool
+}
+
+// NewSimulation builds a simulated machine running the given stack.
+func NewSimulation(m Machine, kind StackKind) *Simulation {
+	env := harness.NewEnv(m, kind)
+	return &Simulation{env: env, mix: harness.NewMix(env)}
+}
+
+// StackName reports the active stack implementation's name.
+func (s *Simulation) StackName() string { return s.env.Stack.Name() }
+
+// CreateNamespaces divides the SSD into n namespaces (call before adding
+// tenants that target them).
+func (s *Simulation) CreateNamespaces(n int) { s.env.CreateNamespaces(n) }
+
+// AddLTenants adds n paper-shaped L-tenants in namespace 0.
+func (s *Simulation) AddLTenants(n int) { s.mix.AddL(n, 0) }
+
+// AddTTenants adds n paper-shaped T-tenants in namespace 0.
+func (s *Simulation) AddTTenants(n int) { s.mix.AddT(n, 0) }
+
+// AddLTenantsNS / AddTTenantsNS place tenants in a specific namespace.
+func (s *Simulation) AddLTenantsNS(n, ns int) { s.mix.AddL(n, ns) }
+
+// AddTTenantsNS places n T-tenants in namespace ns.
+func (s *Simulation) AddTTenantsNS(n, ns int) { s.mix.AddT(n, ns) }
+
+// AddJob adds a fully custom tenant job.
+func (s *Simulation) AddJob(cfg JobConfig) {
+	job := workload.NewJob(1000+len(s.mix.LJobs)+len(s.mix.TJobs), cfg)
+	if cfg.Class == ClassLatencySensitive {
+		s.mix.LJobs = append(s.mix.LJobs, job)
+	} else {
+		s.mix.TJobs = append(s.mix.TJobs, job)
+	}
+}
+
+// YCSBKind selects a YCSB workload mix (A, B, E, F).
+type YCSBKind = workload.YCSBKind
+
+// YCSB workload kinds.
+const (
+	YCSBA = workload.YCSBA
+	YCSBB = workload.YCSBB
+	YCSBE = workload.YCSBE
+	YCSBF = workload.YCSBF
+)
+
+// OpType labels application operations.
+type OpType = workload.OpType
+
+// Application operation types.
+const (
+	OpRead   = workload.OpGet
+	OpUpdate = workload.OpUpdate
+	OpInsert = workload.OpInsert
+	OpScan   = workload.OpScan
+	OpRMW    = workload.OpRMW
+	OpFsync  = workload.OpFsync
+	OpDelete = workload.OpDelete
+)
+
+// KVApp is a RocksDB-like store driven by YCSB clients inside a Simulation.
+type KVApp struct {
+	kv      *workload.KV
+	drivers []*workload.YCSB
+}
+
+// AddYCSB attaches a KV store (foreground on core, background flush thread
+// on the next core) driven by the given number of YCSB clients. The app
+// starts when Run is called.
+func (s *Simulation) AddYCSB(kind YCSBKind, core, clients int) *KVApp {
+	if clients <= 0 {
+		panic("daredevil: AddYCSB needs at least one client")
+	}
+	cfg := workload.DefaultKVConfig("rocksdb", core)
+	kv := workload.NewKV(5000+len(s.apps)*10, cfg)
+	kv.BGTenant.Core = (core + 1) % s.env.Pool.N()
+	app := &KVApp{kv: kv}
+	for i := 0; i < clients; i++ {
+		app.drivers = append(app.drivers, workload.NewYCSB(kind, kv, 71+uint64(i)))
+	}
+	s.apps = append(s.apps, app)
+	return app
+}
+
+// OpLatency reports the latency distribution of one operation type since
+// warmup.
+func (a *KVApp) OpLatency(op OpType) LatencySnapshot {
+	if h, ok := a.kv.OpLat[op]; ok {
+		return h.Snapshot()
+	}
+	return LatencySnapshot{}
+}
+
+// Ops reports completed client operations.
+func (a *KVApp) Ops() uint64 {
+	var n uint64
+	for _, d := range a.drivers {
+		n += d.Ops
+	}
+	return n
+}
+
+func (a *KVApp) start(env *harness.Env) {
+	a.kv.Start(env.Eng, env.Pool, env.Stack)
+	for _, d := range a.drivers {
+		d.Start(env.Eng)
+	}
+}
+
+func (a *KVApp) reset() { a.kv.ResetStats() }
+
+// MailApp is the Filebench-Mailserver workload inside a Simulation.
+type MailApp struct {
+	mail *workload.Mail
+}
+
+// AddMailserver attaches the mailserver workload on the given core.
+func (s *Simulation) AddMailserver(core int) *MailApp {
+	app := &MailApp{mail: workload.NewMail(6000+len(s.apps)*10, workload.DefaultMailConfig("mailserver", core))}
+	s.apps = append(s.apps, app)
+	return app
+}
+
+// OpLatency reports the latency distribution of one operation type since
+// warmup (OpFsync, OpDelete, or workload.OpCache).
+func (a *MailApp) OpLatency(op OpType) LatencySnapshot {
+	if h, ok := a.mail.OpLat[op]; ok {
+		return h.Snapshot()
+	}
+	return LatencySnapshot{}
+}
+
+func (a *MailApp) start(env *harness.Env) {
+	a.mail.Start(env.Eng, env.Pool, env.Stack)
+}
+
+func (a *MailApp) reset() { a.mail.ResetStats() }
+
+// app is anything startable inside a Simulation.
+type app interface {
+	start(*harness.Env)
+	reset()
+}
+
+// SetSeedShift perturbs the random streams of every tenant added
+// afterwards, for re-running an otherwise-identical experiment with fresh
+// draws. Zero keeps the default streams.
+func (s *Simulation) SetSeedShift(shift uint64) { s.mix.SeedShift = shift }
+
+// EnableTrace samples up to capacity completed requests' path timelines
+// (every sampleEvery-th completion). Call before Run; render the table
+// afterwards with WriteTrace.
+func (s *Simulation) EnableTrace(capacity, sampleEvery int) {
+	s.tracer = trace.NewCollector(capacity)
+	s.tracer.SampleEvery = sampleEvery
+}
+
+// WriteTrace renders sampled request timelines (phase deltas: CPU+routing,
+// in-NSQ, device, delivery). No-op unless EnableTrace was called.
+func (s *Simulation) WriteTrace(w io.Writer) {
+	if s.tracer != nil {
+		s.tracer.WriteTable(w)
+	}
+}
+
+// EnableBreakdown records per-request path components for L-tenants
+// (submission-side lock wait, completion delivery delay, cross-core
+// fraction), exposed through the Result. Call before Run.
+func (s *Simulation) EnableBreakdown() { s.breakdown = true }
+
+// Run starts every tenant, warms up, measures, and aggregates. It may be
+// called once per Simulation.
+func (s *Simulation) Run(warmup, measure Duration) Result {
+	if s.ran {
+		panic("daredevil: Simulation.Run called twice; build a new Simulation")
+	}
+	s.ran = true
+	if s.breakdown {
+		for _, j := range s.mix.LJobs {
+			j.EnableComponents()
+		}
+	}
+	if s.tracer != nil {
+		for _, j := range s.mix.AllJobs() {
+			j.Tracer = s.tracer
+		}
+	}
+	s.mix.StartAll()
+	for _, a := range s.apps {
+		a.start(s.env)
+	}
+	s.env.Eng.RunUntil(sim.Time(warmup))
+	s.mix.ResetStats()
+	for _, a := range s.apps {
+		a.reset()
+	}
+	s.env.Eng.RunUntil(sim.Time(warmup + measure))
+	r := s.mix.Collect(measure)
+	res := Result{
+		LTenantLatency:  r.L,
+		TTenantLatency:  r.T,
+		LTenantKIOPS:    r.LKIOPS,
+		TThroughputMBps: r.TMBps,
+		CPUUtilization:  r.CPUUtil,
+	}
+	if s.breakdown {
+		var sub, comp stats.Histogram
+		var cross, total uint64
+		for _, j := range s.mix.LJobs {
+			sub.Merge(j.SubWait)
+			comp.Merge(j.CompDelay)
+			cross += j.CrossCore
+			total += j.Done.Ops
+		}
+		res.LSubmissionWait = sub.Snapshot()
+		res.LCompletionDelay = comp.Snapshot()
+		if total > 0 {
+			res.LCrossCoreFraction = float64(cross) / float64(total)
+		}
+	}
+	return res
+}
+
+// Scale controls experiment durations for RunExperiment.
+type Scale = harness.Scale
+
+// Predefined scales.
+var (
+	DefaultScale = harness.DefaultScale
+	QuickScale   = harness.QuickScale
+)
+
+// ExperimentNames lists the reproducible paper artifacts plus the
+// extension experiments (Kyber baseline, WRR arbitration, polled
+// completion, §8.1 virtio).
+func ExperimentNames() []string {
+	return []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14",
+		"ext-sched", "ext-wrr", "ext-poll", "ext-virtio", "ext-webapp"}
+}
+
+// RunExperimentJSON regenerates one paper table/figure and returns its
+// result as JSON — the programmatic counterpart of RunExperiment for
+// consumers that post-process results.
+func RunExperimentJSON(name string, sc Scale) ([]byte, error) {
+	res, err := runExperimentResult(name, sc)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(res, "", "  ")
+}
+
+func runExperimentResult(name string, sc Scale) (any, error) {
+	switch name {
+	case "table1":
+		return harness.RunTable1(), nil
+	case "fig2":
+		return harness.RunFig2(sc), nil
+	case "fig6":
+		return harness.RunFig6(sc), nil
+	case "fig7":
+		return harness.RunFig7(sc), nil
+	case "fig8":
+		return harness.RunFig8(sc), nil
+	case "fig9":
+		return harness.RunFig9(sc), nil
+	case "fig10":
+		return harness.RunFig10(sc), nil
+	case "fig11":
+		return harness.RunFig11(sc), nil
+	case "fig12":
+		return harness.RunFig12(sc), nil
+	case "fig13":
+		return harness.RunFig13(sc), nil
+	case "fig14":
+		return harness.RunFig14(sc), nil
+	case "ext-sched":
+		return harness.RunExtSchedulers(sc), nil
+	case "ext-wrr":
+		return harness.RunExtWRR(sc), nil
+	case "ext-poll":
+		return harness.RunExtPolling(sc), nil
+	case "ext-virtio":
+		return harness.RunExtVirtio(sc), nil
+	case "ext-webapp":
+		return harness.RunExtWebapp(sc), nil
+	}
+	return nil, fmt.Errorf("daredevil: unknown experiment %q", name)
+}
+
+// RunExperiment regenerates one paper table/figure, writing its rows to w.
+func RunExperiment(w io.Writer, name string, sc Scale) error {
+	switch name {
+	case "table1":
+		harness.RunTable1().WriteText(w)
+	case "fig2":
+		harness.RunFig2(sc).WriteText(w)
+	case "fig6":
+		harness.RunFig6(sc).WriteText(w)
+	case "fig7":
+		harness.RunFig7(sc).WriteText(w)
+	case "fig8":
+		harness.RunFig8(sc).WriteText(w)
+	case "fig9":
+		harness.RunFig9(sc).WriteText(w)
+	case "fig10":
+		harness.RunFig10(sc).WriteText(w)
+	case "fig11":
+		harness.RunFig11(sc).WriteText(w)
+	case "fig12":
+		harness.RunFig12(sc).WriteText(w)
+	case "fig13":
+		harness.RunFig13(sc).WriteText(w)
+	case "fig14":
+		harness.RunFig14(sc).WriteText(w)
+	case "ext-sched":
+		harness.RunExtSchedulers(sc).WriteText(w)
+	case "ext-wrr":
+		harness.RunExtWRR(sc).WriteText(w)
+	case "ext-poll":
+		harness.RunExtPolling(sc).WriteText(w)
+	case "ext-virtio":
+		harness.RunExtVirtio(sc).WriteText(w)
+	case "ext-webapp":
+		harness.RunExtWebapp(sc).WriteText(w)
+	default:
+		return fmt.Errorf("daredevil: unknown experiment %q", name)
+	}
+	return nil
+}

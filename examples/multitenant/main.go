@@ -1,0 +1,45 @@
+// Multitenant: sweep T-tenant pressure across every storage stack — a
+// miniature of the paper's Figure 6. Watch vanilla and blk-switch inflate
+// L-tenant latency as T-pressure rises while Daredevil stays flat.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+
+	"daredevil"
+)
+
+func main() {
+	stacks := []daredevil.StackKind{
+		daredevil.StackVanilla,
+		daredevil.StackBlkSwitch,
+		daredevil.StackStaticPart,
+		daredevil.StackDaredevil,
+	}
+	counts := []int{2, 8, 32}
+
+	fmt.Println("L-tenant average latency under rising T-pressure (4 cores, SV-M SSD)")
+	fmt.Println()
+	fmt.Printf("%-12s", "stack")
+	for _, n := range counts {
+		fmt.Printf("  %4d T-tenants", n)
+	}
+	fmt.Println()
+	for _, kind := range stacks {
+		fmt.Printf("%-12s", kind)
+		for _, n := range counts {
+			sim := daredevil.NewSimulation(daredevil.ServerMachine(4), kind)
+			sim.AddLTenants(4)
+			sim.AddTTenants(n)
+			res := sim.Run(80*daredevil.Millisecond, 300*daredevil.Millisecond)
+			fmt.Printf("  %14v", res.LTenantLatency.Mean)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("blk-switch helps while cross-core scheduling has room (few T-tenants)")
+	fmt.Println("and collapses once every NQ must carry T-requests; Daredevil's")
+	fmt.Println("NQ-level separation keeps L-latency flat at any pressure.")
+}

@@ -1,0 +1,60 @@
+// Webapp: the paper's introductory scenario. A cloud server hosts an
+// interactive web application (open-loop 4KB reads — users don't wait for
+// other users) next to a deep-learning trainer that periodically
+// checkpoints model state (bursts of bulk writes). On vanilla blk-mq every
+// checkpoint burst spikes the web app's tail latency; Daredevil keeps the
+// page loads flat while the checkpoints still complete.
+//
+//	go run ./examples/webapp
+package main
+
+import (
+	"fmt"
+
+	"daredevil/internal/harness"
+	"daredevil/internal/sim"
+	"daredevil/internal/workload"
+)
+
+func run(kind harness.StackKind) (web *workload.Job, ck *workload.Checkpointer) {
+	env := harness.NewEnv(harness.SVM(4), kind)
+
+	// Interactive web app: 5k page loads per second across the server.
+	webCfg := workload.DefaultLTenant("webapp", 0)
+	webCfg.Arrival = 200 * sim.Microsecond
+	web = workload.NewJob(1, webCfg)
+	web.Start(env.Eng, env.Pool, env.Stack)
+
+	// DL trainer co-located on the web app's core (the normal case: the
+	// orchestrator packs tenants): 256 MiB checkpoint every 500 ms, written
+	// as aggressively as the runtime can (QD 256 — deep async writeback).
+	ckCfg := workload.DefaultCheckpointConfig("trainer", 0)
+	ckCfg.Size = 256 << 20
+	ckCfg.QD = 256
+	ck = workload.NewCheckpointer(2, ckCfg)
+	ck.Start(env.Eng, env.Pool, env.Stack)
+
+	warm, measure := 200*sim.Millisecond, 2*sim.Second
+	env.Eng.RunUntil(sim.Time(warm))
+	web.ResetStats()
+	ck.ResetStats()
+	env.Eng.RunUntil(sim.Time(warm + measure))
+	return web, ck
+}
+
+func main() {
+	fmt.Println("Interactive web app (5k req/s, open loop) + DL trainer")
+	fmt.Println("(256 MiB checkpoint every 500 ms) sharing one SSD:")
+	fmt.Println()
+	for _, kind := range []harness.StackKind{harness.Vanilla, harness.DareFull} {
+		web, ck := run(kind)
+		w := web.Lat.Snapshot()
+		c := ck.Durations.Snapshot()
+		fmt.Printf("%-10s  page load avg %-10v p99 %-10v p99.9 %-10v | checkpoint avg %v (%d done)\n",
+			kind, w.Mean, w.P99, w.P999, c.Mean, ck.Completed)
+	}
+	fmt.Println()
+	fmt.Println("The checkpoints' head-of-line write bursts are what inflate the page")
+	fmt.Println("loads under vanilla; Daredevil routes them to low-priority NQs so the")
+	fmt.Println("web app's reads never queue behind them.")
+}

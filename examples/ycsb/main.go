@@ -1,0 +1,35 @@
+// YCSB: a RocksDB-like store serving YCSB-A (50% reads / 50% updates) while
+// eight streaming T-tenants hammer the same SSD — the paper's §7.4
+// real-world scenario. Only operations that actually reach the storage
+// stack (updates via the WAL, cache-missing reads) benefit from Daredevil.
+//
+//	go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+
+	"daredevil"
+)
+
+func main() {
+	fmt.Println("YCSB-A on a RocksDB-like store + 8 background streaming T-tenants")
+	fmt.Println()
+	for _, kind := range []daredevil.StackKind{
+		daredevil.StackVanilla, daredevil.StackBlkSwitch, daredevil.StackDaredevil,
+	} {
+		sim := daredevil.NewSimulation(daredevil.ServerMachine(4), kind)
+		sim.AddTTenants(8)
+		app := sim.AddYCSB(daredevil.YCSBA, 0, 4)
+		sim.Run(100*daredevil.Millisecond, 500*daredevil.Millisecond)
+
+		up := app.OpLatency(daredevil.OpUpdate)
+		rd := app.OpLatency(daredevil.OpRead)
+		fmt.Printf("%-10s  %6d ops | update p99.9 %-10v | read p99.9 %-10v\n",
+			sim.StackName(), app.Ops(), up.P999, rd.P999)
+	}
+	fmt.Println()
+	fmt.Println("Updates hit the write-ahead log synchronously, so their tail tracks")
+	fmt.Println("the storage stack; cached reads barely move. Daredevil routes the")
+	fmt.Println("sync WAL writes (outlier L-requests) to high-priority NQs.")
+}

@@ -1,0 +1,25 @@
+package daredevil
+
+import (
+	"testing"
+)
+
+// FuzzParseScenario ensures scenario parsing never panics and that every
+// accepted scenario builds a runnable simulation.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(`{"jobs":[{"name":"x","class":"L","count":1}]}`))
+	f.Add([]byte(`{"machine":"wsm","stack":"vanilla","jobs":[{"name":"t","class":"T","count":2}]}`))
+	f.Add([]byte(`{"namespaces":3,"jobs":[{"name":"a","class":"L","count":1,"namespace":2}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"jobs":[{"name":"x","class":"L","count":1,"arrivalUs":100,"bs":8192}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted scenarios must build.
+		if _, _, _, err := sc.Build(); err != nil {
+			t.Fatalf("accepted scenario failed to build: %v\n%s", err, data)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module daredevil
+
+go 1.22

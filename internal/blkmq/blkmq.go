@@ -1,0 +1,78 @@
+// Package blkmq implements the vanilla Linux kernel storage stack: the
+// Multi-Queue Block IO Queueing Mechanism (§2.2). Per-core software queues
+// map statically to hardware queues, each bound to one NVMe queue pair; the
+// kernel caps the number of used NQs by the number of CPU cores, and every
+// namespace's blk-mq structure maps onto the same shared NQ set. Requests
+// from a core always use that core's NQ — the static binding whose
+// inflexibility the paper dissects.
+package blkmq
+
+import (
+	"daredevil/internal/block"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+// Stack is the vanilla blk-mq storage stack with the noop I/O scheduler.
+type Stack struct {
+	stackbase.Base
+
+	// numHQ is the number of hardware queues: min(cores, device NSQs),
+	// the kernel's cap (§2.2).
+	numHQ int
+}
+
+// New builds the vanilla stack on env.
+func New(env stackbase.Env) *Stack {
+	s := &Stack{Base: stackbase.DefaultBase(env)}
+	s.numHQ = env.Pool.N()
+	if n := env.Dev.NumNSQ(); s.numHQ > n {
+		s.numHQ = n
+	}
+	if n := env.Dev.NumNCQ(); s.numHQ > n {
+		s.numHQ = n
+	}
+	return s
+}
+
+// Name identifies the stack.
+func (s *Stack) Name() string { return "vanilla" }
+
+// NumHQ reports the hardware-queue count in use.
+func (s *Stack) NumHQ() int { return s.numHQ }
+
+// Register is a no-op: blk-mq keeps no per-tenant state.
+func (s *Stack) Register(t *block.Tenant) {}
+
+// Submit routes the request through the submitting core's static SQ→HQ→NQ
+// binding.
+func (s *Stack) Submit(rq *block.Request) sim.Duration {
+	rq.Prio = block.PrioOf(rq.Tenant.Class)
+	var overhead sim.Duration
+	for _, child := range s.SplitAll(rq) {
+		child.Prio = rq.Prio
+		nsq := s.hqOf(rq.Tenant.Core)
+		_, ov := s.EnqueueOrRetry(child, nsq, true)
+		overhead += ov
+	}
+	return overhead
+}
+
+func (s *Stack) hqOf(core int) int { return core % s.numHQ }
+
+// SetIonice records the new class; vanilla routing ignores it.
+func (s *Stack) SetIonice(t *block.Tenant, c block.Class) { t.Class = c }
+
+// MigrateTenant moves the tenant; its future requests use the new core's
+// binding.
+func (s *Stack) MigrateTenant(t *block.Tenant, core int) { t.Core = core }
+
+// Factors reports the paper's Table 1 row for blk-mq.
+func (s *Stack) Factors() block.Factors {
+	return block.Factors{
+		HardwareIndependence: true,
+		NQExploitation:       false,
+		CrossCoreAutonomy:    false,
+		MultiNamespace:       false,
+	}
+}

@@ -1,0 +1,180 @@
+package blkmq
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+func newStack(t *testing.T, cores, nsqs, ncqs int) (*sim.Engine, *Stack) {
+	t.Helper()
+	eng := sim.New()
+	pool := cpus.NewPool(eng, cores, cpus.Config{})
+	cfg := nvme.DefaultConfig()
+	cfg.NumNSQ = nsqs
+	cfg.NumNCQ = ncqs
+	dev := nvme.New(eng, pool, cfg)
+	return eng, New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev})
+}
+
+func submit(eng *sim.Engine, s *Stack, ten *block.Tenant, size int64) *block.Request {
+	rq := &block.Request{ID: 1, Tenant: ten, Size: size, Op: block.OpRead,
+		IssueTime: eng.Now(), NSQ: -1}
+	rq.OnComplete = func(r *block.Request) {}
+	s.Submit(rq)
+	return rq
+}
+
+func TestName(t *testing.T) {
+	_, s := newStack(t, 2, 8, 8)
+	if s.Name() != "vanilla" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestHQCapByCores(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64)
+	if s.NumHQ() != 4 {
+		t.Fatalf("NumHQ = %d, want 4 (capped by cores)", s.NumHQ())
+	}
+}
+
+func TestHQCapByDeviceQueues(t *testing.T) {
+	_, s := newStack(t, 8, 4, 4)
+	if s.NumHQ() != 4 {
+		t.Fatalf("NumHQ = %d, want 4 (capped by device)", s.NumHQ())
+	}
+	_, s = newStack(t, 8, 16, 6)
+	if s.NumHQ() != 6 {
+		t.Fatalf("NumHQ = %d, want 6 (capped by NCQs)", s.NumHQ())
+	}
+}
+
+func TestStaticCoreToNQBinding(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64)
+	for core := 0; core < 4; core++ {
+		ten := &block.Tenant{ID: core + 1, Core: core, Class: block.ClassRT}
+		rq := submit(eng, s, ten, 4096)
+		if rq.NSQ != core {
+			t.Fatalf("core %d routed to NSQ %d, want %d (static binding)", core, rq.NSQ, core)
+		}
+	}
+}
+
+func TestCoreSharingWhenFewerHQs(t *testing.T) {
+	eng, s := newStack(t, 2, 64, 64)
+	// With 2 cores, cores 0 and 1 map to NSQs 0 and 1... and a migrated
+	// tenant on core 1 shares NSQ 1.
+	a := &block.Tenant{ID: 1, Core: 0}
+	b := &block.Tenant{ID: 2, Core: 1}
+	ra := submit(eng, s, a, 4096)
+	rb := submit(eng, s, b, 4096)
+	if ra.NSQ == rb.NSQ {
+		t.Fatal("different cores should use different NQs")
+	}
+}
+
+func TestClassIgnoredInRouting(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64)
+	l := &block.Tenant{ID: 1, Core: 2, Class: block.ClassRT}
+	tt := &block.Tenant{ID: 2, Core: 2, Class: block.ClassBE}
+	rl := submit(eng, s, l, 4096)
+	rt := submit(eng, s, tt, 131072)
+	if rl.NSQ != rt.NSQ {
+		t.Fatalf("vanilla must co-locate L (%d) and T (%d) from the same core — the multi-tenancy issue", rl.NSQ, rt.NSQ)
+	}
+	if rl.Prio != block.PrioHigh || rt.Prio != block.PrioLow {
+		t.Fatal("priorities must still be derived from classes")
+	}
+}
+
+func TestSplittingLargeRequest(t *testing.T) {
+	eng, s := newStack(t, 2, 8, 8)
+	ten := &block.Tenant{ID: 1, Core: 0}
+	done := false
+	rq := &block.Request{ID: 1, Tenant: ten, Size: 600 * 1024, Op: block.OpWrite,
+		IssueTime: eng.Now(), NSQ: -1}
+	rq.OnComplete = func(r *block.Request) { done = true }
+	s.Submit(rq)
+	// 600KB over the 256KB split limit: 3 children in the core's NSQ.
+	if got := s.Env.Dev.NSQ(0).Len(); got != 3 {
+		t.Fatalf("NSQ holds %d entries, want 3 split children", got)
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+	if !done {
+		t.Fatal("split parent never completed")
+	}
+}
+
+func TestMigrateTenantChangesBinding(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64)
+	ten := &block.Tenant{ID: 1, Core: 0}
+	r0 := submit(eng, s, ten, 4096)
+	s.MigrateTenant(ten, 3)
+	r1 := submit(eng, s, ten, 4096)
+	if r0.NSQ != 0 || r1.NSQ != 3 {
+		t.Fatalf("NSQs = %d,%d; want 0,3 after migration", r0.NSQ, r1.NSQ)
+	}
+}
+
+func TestSetIoniceRecordsClass(t *testing.T) {
+	_, s := newStack(t, 2, 8, 8)
+	ten := &block.Tenant{ID: 1, Core: 0, Class: block.ClassBE}
+	s.SetIonice(ten, block.ClassRT)
+	if ten.Class != block.ClassRT {
+		t.Fatal("SetIonice did not record class")
+	}
+}
+
+func TestFactorsRow(t *testing.T) {
+	_, s := newStack(t, 2, 8, 8)
+	f := s.Factors()
+	if !f.HardwareIndependence || f.NQExploitation || f.CrossCoreAutonomy || f.MultiNamespace {
+		t.Fatalf("blk-mq factors wrong: %+v", f)
+	}
+}
+
+func TestNamespacesShareBindings(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64)
+	s.Env.Dev.CreateNamespaces(4)
+	// Tenants in different namespaces on the same core share the same NQ —
+	// the Figure 3c pitfall.
+	a := &block.Tenant{ID: 1, Core: 1, Namespace: 0}
+	b := &block.Tenant{ID: 2, Core: 1, Namespace: 3}
+	ra := &block.Request{ID: 1, Tenant: a, Namespace: 0, Size: 4096, IssueTime: eng.Now(), NSQ: -1}
+	ra.OnComplete = func(r *block.Request) {}
+	rb := &block.Request{ID: 2, Tenant: b, Namespace: 3, Size: 4096, IssueTime: eng.Now(), NSQ: -1}
+	rb.OnComplete = func(r *block.Request) {}
+	s.Submit(ra)
+	s.Submit(rb)
+	if ra.NSQ != rb.NSQ {
+		t.Fatalf("namespaces must share core-NQ bindings: got %d vs %d", ra.NSQ, rb.NSQ)
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+}
+
+func TestRegisterIsNoOp(t *testing.T) {
+	_, s := newStack(t, 2, 8, 8)
+	ten := &block.Tenant{ID: 1, Core: 0}
+	s.Register(ten)
+	if ten.StackState != nil {
+		t.Fatal("vanilla keeps no per-tenant state")
+	}
+}
+
+func TestEndToEndCompletion(t *testing.T) {
+	eng, s := newStack(t, 2, 8, 8)
+	ten := &block.Tenant{ID: 1, Core: 0}
+	rq := submit(eng, s, ten, 4096)
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+	if rq.CompleteTime == 0 {
+		t.Fatal("request did not complete")
+	}
+	if rq.Latency() <= 0 {
+		t.Fatalf("latency = %v", rq.Latency())
+	}
+}

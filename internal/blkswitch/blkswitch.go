@@ -1,0 +1,287 @@
+// Package blkswitch implements the blk-switch storage stack [39] as the
+// paper characterizes it (§3.2, Figure 3b): multi-tenancy control built on
+// cross-core scheduling atop the static blk-mq structure. T-requests are
+// steered to the NQs of designated cores (separating them from L-requests
+// within each blk-mq structure), L-requests of tenants whose local NQ is
+// T-designated are steered to a clean NQ, and application steering
+// periodically rebalances tenants across cores for CPU usage.
+//
+// The design works while the scheduling space suffices: with few T-tenants,
+// most NQs stay clean and L-latency drops. Once T-tenants outnumber what
+// the designated NQs can absorb (their backlog exceeding the steering
+// threshold), T-requests overflow into every NQ — including clean ones —
+// re-intertwining L- and T-requests exactly as the paper observes under
+// high T-pressure (§7.1, Figures 6 and 8).
+package blkswitch
+
+import (
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+// Config holds blk-switch's scheduling knobs (the paper's "suggested values
+// ... highest optimization level" in spirit).
+type Config struct {
+	// SteerBytes is the per-NQ outstanding-byte threshold beyond which a
+	// designated T-NQ is considered full and T-requests overflow to the
+	// globally least-loaded NQ.
+	SteerBytes int64
+	// SteerDecisionCost is the CPU cost of one steering decision.
+	SteerDecisionCost sim.Duration
+	// AppSteerInterval is the period of application (tenant) steering.
+	AppSteerInterval sim.Duration
+	// AppSteerCost is the CPU cost charged to source and destination cores
+	// per attempted migration.
+	AppSteerCost sim.Duration
+	// LWeight and TWeight approximate per-tenant CPU demand for the
+	// balanced-usage objective (L-tenants are CPU-hungry, T-tenants mostly
+	// wait on I/O — the "complementary CPU utilization" of §3.2).
+	LWeight int
+	TWeight int
+}
+
+// DefaultConfig returns the evaluation parameters.
+func DefaultConfig() Config {
+	return Config{
+		SteerBytes:        8 << 20,
+		SteerDecisionCost: 600 * sim.Nanosecond,
+		AppSteerInterval:  5 * sim.Millisecond,
+		AppSteerCost:      25 * sim.Microsecond,
+		LWeight:           3,
+		TWeight:           1,
+	}
+}
+
+// Stack is the blk-switch storage stack.
+type Stack struct {
+	stackbase.Base
+	cfg   Config
+	numHQ int
+
+	nqLoad []int64 // outstanding bytes per used NQ
+	// tDesignated[i] marks NQ i as serving T-requests.
+	tDesignated []bool
+	nDesignated int
+
+	tenants    []*block.Tenant
+	steerArmed bool
+
+	// Steers counts steered requests; Overflows counts T-requests that
+	// found every designated NQ full and spilled into the general pool;
+	// Migrations counts app-steering moves.
+	Steers            uint64
+	Overflows         uint64
+	Migrations        uint64
+	MigrationAttempts uint64
+}
+
+// New builds the blk-switch stack on env.
+func New(env stackbase.Env, cfg Config) *Stack {
+	s := &Stack{Base: stackbase.DefaultBase(env), cfg: cfg}
+	s.numHQ = env.Pool.N()
+	if n := env.Dev.NumNSQ(); s.numHQ > n {
+		s.numHQ = n
+	}
+	if n := env.Dev.NumNCQ(); s.numHQ > n {
+		s.numHQ = n
+	}
+	s.nqLoad = make([]int64, s.numHQ)
+	s.tDesignated = make([]bool, s.numHQ)
+	return s
+}
+
+// Name identifies the stack.
+func (s *Stack) Name() string { return "blk-switch" }
+
+// NumHQ reports the hardware-queue count in use.
+func (s *Stack) NumHQ() int { return s.numHQ }
+
+// Designated reports how many NQs currently serve T-requests.
+func (s *Stack) Designated() int { return s.nDesignated }
+
+// Register tracks the tenant for steering and arms the periodic scheduler.
+func (s *Stack) Register(t *block.Tenant) {
+	s.tenants = append(s.tenants, t)
+	s.redesignate()
+	if !s.steerArmed {
+		s.steerArmed = true
+		s.Eng.After(s.cfg.AppSteerInterval, s.appSteerTick)
+	}
+}
+
+// redesignate re-derives the T-designated NQ set: one NQ per active
+// T-tenant, always leaving at least one clean NQ for L-requests.
+func (s *Stack) redesignate() {
+	nT := 0
+	for _, t := range s.tenants {
+		if t.Class == block.ClassBE {
+			nT++
+		}
+	}
+	d := nT
+	if d > s.numHQ-1 {
+		d = s.numHQ - 1
+	}
+	if nT > 0 && d < 1 {
+		d = 1
+	}
+	s.nDesignated = d
+	for i := range s.tDesignated {
+		// Highest-numbered NQs serve T, keeping NQ 0 (and its IRQ core)
+		// clean for L-requests.
+		s.tDesignated[i] = i >= s.numHQ-d
+	}
+}
+
+// Submit steers by class: L-requests to a clean NQ (local if possible),
+// T-requests to a designated NQ with room, overflowing when all are full.
+func (s *Stack) Submit(rq *block.Request) sim.Duration {
+	rq.Prio = block.PrioOf(rq.Tenant.Class)
+	var overhead sim.Duration
+	for _, child := range s.SplitAll(rq) {
+		child.Prio = rq.Prio
+		var target int
+		if rq.Prio == block.PrioHigh {
+			target = s.steerL(rq.Tenant.Core)
+		} else {
+			target = s.steerT()
+		}
+		overhead += s.cfg.SteerDecisionCost
+		overhead += s.enqueue(child, target)
+	}
+	return overhead
+}
+
+func (s *Stack) hqOf(core int) int { return core % s.numHQ }
+
+// steerL keeps the L-request on its local NQ when clean, otherwise
+// round-robins to the least-loaded clean NQ (cross-core completion).
+func (s *Stack) steerL(core int) int {
+	local := s.hqOf(core)
+	if !s.tDesignated[local] {
+		return local
+	}
+	best := -1
+	for i := 0; i < s.numHQ; i++ {
+		if s.tDesignated[i] {
+			continue
+		}
+		if best < 0 || s.nqLoad[i] < s.nqLoad[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return local // no clean NQ (single-queue machine)
+	}
+	s.Steers++
+	return best
+}
+
+// steerT picks the least-loaded designated NQ with room; when all exceed
+// the steering threshold it overflows to the globally least-loaded NQ —
+// the point where separation breaks down.
+func (s *Stack) steerT() int {
+	best := -1
+	for i := 0; i < s.numHQ; i++ {
+		if !s.tDesignated[i] {
+			continue
+		}
+		if best < 0 || s.nqLoad[i] < s.nqLoad[best] {
+			best = i
+		}
+	}
+	if best >= 0 && s.nqLoad[best] < s.cfg.SteerBytes {
+		s.Steers++
+		return best
+	}
+	// Overflow: every designated NQ is saturated; spill anywhere.
+	s.Overflows++
+	spill := 0
+	for i := 1; i < s.numHQ; i++ {
+		if s.nqLoad[i] < s.nqLoad[spill] {
+			spill = i
+		}
+	}
+	return spill
+}
+
+func (s *Stack) enqueue(rq *block.Request, nsq int) sim.Duration {
+	s.nqLoad[nsq] += rq.Size
+	prev := rq.OnComplete
+	rq.OnComplete = func(r *block.Request) {
+		s.nqLoad[nsq] -= r.Size
+		if prev != nil {
+			prev(r)
+		}
+	}
+	_, overhead := s.EnqueueOrRetry(rq, nsq, true)
+	return overhead
+}
+
+// appSteerTick balances weighted tenant CPU demand across cores — the
+// balanced-usage objective that conflicts with NQ-level separation (§3.2).
+// Each attempt costs CPU on both cores involved.
+func (s *Stack) appSteerTick() {
+	s.MigrationAttempts++
+	weights := make([]int, s.Pool.N())
+	for _, t := range s.tenants {
+		w := s.cfg.TWeight
+		if t.Class == block.ClassRT {
+			w = s.cfg.LWeight
+		}
+		weights[t.Core] += w
+	}
+	max, min := 0, 0
+	for c := range weights {
+		if weights[c] > weights[max] {
+			max = c
+		}
+		if weights[c] < weights[min] {
+			min = c
+		}
+	}
+	if weights[max]-weights[min] >= 2 {
+		// Prefer moving a T-tenant (cheap to move, I/O bound).
+		var pick *block.Tenant
+		for _, t := range s.tenants {
+			if t.Core != max {
+				continue
+			}
+			if t.Class == block.ClassBE {
+				pick = t
+				break
+			}
+			if pick == nil {
+				pick = t
+			}
+		}
+		if pick != nil {
+			pick.Core = min
+			s.Migrations++
+			s.Pool.Core(max).Submit(cpus.Work{Cost: s.cfg.AppSteerCost, Owner: cpus.OwnerNone})
+			s.Pool.Core(min).Submit(cpus.Work{Cost: s.cfg.AppSteerCost, Owner: cpus.OwnerNone})
+		}
+	}
+	s.Eng.After(s.cfg.AppSteerInterval, s.appSteerTick)
+}
+
+// SetIonice records the class and refreshes NQ designations.
+func (s *Stack) SetIonice(t *block.Tenant, c block.Class) {
+	t.Class = c
+	s.redesignate()
+}
+
+// MigrateTenant moves the tenant (external migration, e.g. Fig. 13).
+func (s *Stack) MigrateTenant(t *block.Tenant, core int) { t.Core = core }
+
+// Factors reports the paper's Table 1 row for blk-switch.
+func (s *Stack) Factors() block.Factors {
+	return block.Factors{
+		HardwareIndependence: true,
+		NQExploitation:       true,
+		CrossCoreAutonomy:    false,
+		MultiNamespace:       false,
+	}
+}

@@ -1,0 +1,246 @@
+package blkswitch
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+func newStack(t *testing.T, cores int) (*sim.Engine, *Stack) {
+	t.Helper()
+	eng := sim.New()
+	pool := cpus.NewPool(eng, cores, cpus.Config{})
+	cfg := nvme.DefaultConfig()
+	cfg.NumNSQ = 64
+	cfg.NumNCQ = 64
+	dev := nvme.New(eng, pool, cfg)
+	return eng, New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev}, DefaultConfig())
+}
+
+func mkTenant(id, core int, class block.Class) *block.Tenant {
+	return &block.Tenant{ID: id, Core: core, Class: class}
+}
+
+func submit(s *Stack, ten *block.Tenant, size int64) *block.Request {
+	rq := &block.Request{ID: 1, Tenant: ten, Size: size, NSQ: -1, IssueTime: s.Eng.Now()}
+	rq.OnComplete = func(r *block.Request) {}
+	s.Submit(rq)
+	return rq
+}
+
+func TestNameAndFactors(t *testing.T) {
+	_, s := newStack(t, 4)
+	if s.Name() != "blk-switch" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	f := s.Factors()
+	if !f.HardwareIndependence || !f.NQExploitation || f.CrossCoreAutonomy || f.MultiNamespace {
+		t.Fatalf("factors wrong: %+v", f)
+	}
+}
+
+func TestDesignationScalesWithTTenants(t *testing.T) {
+	_, s := newStack(t, 4)
+	if s.Designated() != 0 {
+		t.Fatal("no designation before T-tenants register")
+	}
+	s.Register(mkTenant(1, 0, block.ClassBE))
+	if s.Designated() != 1 {
+		t.Fatalf("Designated = %d, want 1", s.Designated())
+	}
+	s.Register(mkTenant(2, 1, block.ClassBE))
+	s.Register(mkTenant(3, 2, block.ClassBE))
+	s.Register(mkTenant(4, 3, block.ClassBE))
+	if s.Designated() != 3 {
+		t.Fatalf("Designated = %d, want cores-1 = 3 (one clean NQ always remains)", s.Designated())
+	}
+}
+
+func TestLRequestsAvoidDesignatedNQs(t *testing.T) {
+	eng, s := newStack(t, 4)
+	for i := 0; i < 3; i++ {
+		s.Register(mkTenant(i+1, i, block.ClassBE))
+	}
+	// NQs 1..3 are designated; an L-tenant on core 3 must be steered off
+	// its local (designated) NQ.
+	l := mkTenant(10, 3, block.ClassRT)
+	s.Register(l)
+	rq := submit(s, l, 4096)
+	if rq.NSQ != 0 {
+		t.Fatalf("L-request on NQ %d, want the clean NQ 0", rq.NSQ)
+	}
+	if s.Steers == 0 {
+		t.Fatal("cross-core steering not counted")
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+}
+
+func TestLRequestStaysLocalWhenClean(t *testing.T) {
+	eng, s := newStack(t, 4)
+	s.Register(mkTenant(1, 0, block.ClassBE)) // designates NQ 3
+	l := mkTenant(10, 1, block.ClassRT)
+	s.Register(l)
+	rq := submit(s, l, 4096)
+	if rq.NSQ != 1 {
+		t.Fatalf("L-request on NQ %d, want local NQ 1 (clean)", rq.NSQ)
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+}
+
+func TestTRequestsGoToDesignatedNQs(t *testing.T) {
+	eng, s := newStack(t, 4)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	rq := submit(s, tt, 131072)
+	if rq.NSQ != 3 {
+		t.Fatalf("T-request on NQ %d, want designated NQ 3", rq.NSQ)
+	}
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+}
+
+func TestTOverflowWhenDesignatedFull(t *testing.T) {
+	eng, s := newStack(t, 4)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	// Flood past the steering threshold (8MB): 80 x 128KB = 10MB.
+	for i := 0; i < 80; i++ {
+		submit(s, tt, 131072)
+	}
+	if s.Overflows == 0 {
+		t.Fatal("expected overflow once the designated NQ exceeded SteerBytes")
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+}
+
+func TestSeparationHoldsAtLowPressureOnly(t *testing.T) {
+	// The paper's core observation about blk-switch: separation works with
+	// few T-tenants and breaks at high T-pressure. With one T-tenant, no
+	// L-request shares its NQ; flooding 32 T-tenants pushes T-requests
+	// onto every NQ.
+	eng, s := newStack(t, 4)
+	var tts []*block.Tenant
+	for i := 0; i < 32; i++ {
+		tt := mkTenant(i+1, i%4, block.ClassBE)
+		tts = append(tts, tt)
+		s.Register(tt)
+	}
+	usedNQs := map[int]bool{}
+	for round := 0; round < 40; round++ {
+		for _, tt := range tts {
+			rq := submit(s, tt, 131072)
+			usedNQs[rq.NSQ] = true
+		}
+	}
+	if len(usedNQs) < 4 {
+		t.Fatalf("high T-pressure used only %d NQs; overflow should spill everywhere", len(usedNQs))
+	}
+	eng.RunUntil(sim.Time(2 * sim.Second))
+}
+
+func TestAppSteeringBalancesWeights(t *testing.T) {
+	eng, s := newStack(t, 4)
+	// Pile 6 T-tenants on core 0; app steering should spread them out.
+	for i := 0; i < 6; i++ {
+		s.Register(mkTenant(i+1, 0, block.ClassBE))
+	}
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if s.Migrations == 0 {
+		t.Fatal("app steering never migrated despite imbalance")
+	}
+	counts := map[int]int{}
+	for _, ten := range s.tenants {
+		counts[ten.Core]++
+	}
+	if counts[0] == 6 {
+		t.Fatal("tenants still piled on core 0")
+	}
+}
+
+func TestAppSteeringCostsCharged(t *testing.T) {
+	eng, s := newStack(t, 2)
+	for i := 0; i < 4; i++ {
+		s.Register(mkTenant(i+1, 0, block.ClassBE))
+	}
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	if s.MigrationAttempts == 0 {
+		t.Fatal("steering loop never ran")
+	}
+	if s.Pool.TotalBusy() == 0 {
+		t.Fatal("steering must consume CPU")
+	}
+}
+
+func TestLoadAccountingDrains(t *testing.T) {
+	eng, s := newStack(t, 2)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	submit(s, tt, 131072)
+	eng.RunUntil(sim.Time(sim.Second))
+	for i, load := range s.nqLoad {
+		if load != 0 {
+			t.Fatalf("nqLoad[%d] = %d after completion, want 0", i, load)
+		}
+	}
+}
+
+func TestSetIoniceRedesignates(t *testing.T) {
+	_, s := newStack(t, 4)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	if s.Designated() != 1 {
+		t.Fatal("setup: want 1 designated")
+	}
+	s.SetIonice(tt, block.ClassRT)
+	if s.Designated() != 0 {
+		t.Fatalf("Designated = %d after promoting the only T-tenant, want 0", s.Designated())
+	}
+}
+
+func TestMigrateTenantExternal(t *testing.T) {
+	_, s := newStack(t, 4)
+	ten := mkTenant(1, 0, block.ClassRT)
+	s.MigrateTenant(ten, 2)
+	if ten.Core != 2 {
+		t.Fatal("MigrateTenant did not move the tenant")
+	}
+}
+
+func TestSteerLFallbackWithoutCleanNQ(t *testing.T) {
+	// A 1-core machine has a single NQ; designating it for T leaves no
+	// clean NQ, and steerL must fall back to the local one.
+	eng := sim.New()
+	pool := cpus.NewPool(eng, 1, cpus.Config{})
+	cfg := nvme.DefaultConfig()
+	cfg.NumNSQ = 4
+	cfg.NumNCQ = 4
+	dev := nvme.New(eng, pool, cfg)
+	s := New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev}, DefaultConfig())
+	// Force-designate every NQ (numHQ == 1 here, so designation covers it
+	// only when nT > 0 would normally leave one clean; emulate the edge by
+	// marking directly).
+	for i := range s.tDesignated {
+		s.tDesignated[i] = true
+	}
+	l := mkTenant(1, 0, block.ClassRT)
+	rq := submit(s, l, 4096)
+	if rq.NSQ != 0 {
+		t.Fatalf("L-request on NSQ %d, want local fallback 0", rq.NSQ)
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+}
+
+func TestRegisterTwiceKeepsSteering(t *testing.T) {
+	_, s := newStack(t, 4)
+	for i := 0; i < 3; i++ {
+		s.Register(mkTenant(i+1, i, block.ClassBE))
+	}
+	before := s.Designated()
+	s.Register(mkTenant(10, 0, block.ClassRT)) // L-tenant must not change T designation
+	if s.Designated() != before {
+		t.Fatalf("designation changed from %d to %d on L registration", before, s.Designated())
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+func benchStack(b *testing.B) (*sim.Engine, *Stack) {
+	b.Helper()
+	eng := sim.New()
+	pool := cpus.NewPool(eng, 4, cpus.Config{})
+	devCfg := nvme.DefaultConfig()
+	dev := nvme.New(eng, pool, devCfg)
+	return eng, New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev}, DefaultConfig())
+}
+
+// BenchmarkNQSchedule measures Algorithm 2's query path (MRU-amortized).
+func BenchmarkNQSchedule(b *testing.B) {
+	_, s := benchStack(b)
+	for i := 0; i < b.N; i++ {
+		s.reg.schedule(block.Prio(i%2), 1)
+	}
+}
+
+// BenchmarkNQScheduleWithResort forces a heap update on every query —
+// the cost the MRU policy amortizes.
+func BenchmarkNQScheduleWithResort(b *testing.B) {
+	_, s := benchStack(b)
+	for i := 0; i < b.N; i++ {
+		s.reg.schedule(block.Prio(i%2), s.cfg.MRU)
+	}
+}
+
+// BenchmarkSubmitRouting measures troute's per-request routing (Algorithm
+// 1) end-to-end into the NSQ, excluding device simulation time.
+func BenchmarkSubmitRouting(b *testing.B) {
+	eng, s := benchStack(b)
+	ten := mkTenant(1, 0, block.ClassRT)
+	s.Register(ten)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rq := &block.Request{ID: uint64(i), Tenant: ten, Size: 4096, NSQ: -1,
+			IssueTime: eng.Now()}
+		rq.OnComplete = func(r *block.Request) {}
+		s.Submit(rq)
+		if i%256 == 255 {
+			eng.Run() // drain so queues do not overflow
+		}
+	}
+}

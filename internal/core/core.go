@@ -1,0 +1,386 @@
+// Package core implements Daredevil, the paper's contribution: a storage
+// stack that decouples the static core→NQ bindings of blk-mq and routes
+// requests from any core to any NVMe submission queue.
+//
+// Three components cooperate (§4, §5):
+//
+//   - blex, the decoupled block layer: every NSQ is wrapped by a lightweight
+//     nproxy exposing its state to the block layer; every software queue
+//     (core) has an I/O path to every nproxy. nproxies are device-wide, so
+//     multi-tenancy control sees one uniform view across namespaces.
+//   - troute, the tenant-NQ request router: assesses tenant SLAs from
+//     ionice values, profiles outlier (sync/metadata) requests of
+//     T-tenants, and routes each request to an NSQ matching its SLA
+//     (Algorithm 1).
+//   - nqreg, the NQ-level regulator: owns NQ heterogeneity (priority
+//     NQGroups over NCQs and their attached NSQs), runs merit-based NQ
+//     scheduling with exponential smoothing and an MRU update policy
+//     (Algorithm 2), and dispatches SLA-aware I/O service routines
+//     (immediate vs. batched doorbells, per-request vs. batched
+//     completion).
+//
+// The Level knob reproduces the §7.3 ablation: LevelBase enables only the
+// decoupled layer with round-robin routing, LevelSched adds NQ scheduling,
+// LevelFull adds SLA-aware dispatching.
+package core
+
+import (
+	"fmt"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+// Level selects which Daredevil subsystems are active (§7.3).
+type Level int
+
+// Subsystem levels.
+const (
+	// LevelBase is dare-base: decoupled block layer + round-robin routing.
+	LevelBase Level = iota
+	// LevelSched is dare-sched: LevelBase + merit-based NQ scheduling.
+	LevelSched
+	// LevelFull is dare-full: LevelSched + SLA-aware I/O dispatching.
+	LevelFull
+)
+
+// String names the level the way §7.3 does.
+func (l Level) String() string {
+	switch l {
+	case LevelBase:
+		return "dare-base"
+	case LevelSched:
+		return "dare-sched"
+	default:
+		return "dare-full"
+	}
+}
+
+// Config holds Daredevil's parameters (§7 "Parameter setup").
+type Config struct {
+	Level Level
+	// Alpha is the exponential-smoothing decay ratio in (0.5, 1); the
+	// evaluation uses 0.8.
+	Alpha float64
+	// MRU is the heap-update budget; 0 defaults to the NQ depth (1024 on
+	// the tested SSDs).
+	MRU int
+	// DoorbellBatch is how many low-priority submissions accumulate before
+	// the doorbell rings (LevelFull).
+	DoorbellBatch int
+	// DoorbellDelay bounds how long a low-priority submission may wait for
+	// its batch (LevelFull).
+	DoorbellDelay sim.Duration
+	// QueryCost is the CPU cost of one nqreg query.
+	QueryCost sim.Duration
+	// ResortCostPerNQ is the CPU cost per node when a merit heap updates.
+	ResortCostPerNQ sim.Duration
+	// UpdateCost is the fixed CPU cost of an ionice-triggered default-NSQ
+	// re-scheduling (§7.5).
+	UpdateCost sim.Duration
+	// OutlierTagMin is the minimum outlier count before a T-tenant can
+	// receive the outlier tag.
+	OutlierTagMin uint64
+	// LowCoalesceMax / LowCoalesceDelay shape the batched completion path
+	// of low-priority NCQs (LevelFull).
+	LowCoalesceMax   int
+	LowCoalesceDelay sim.Duration
+}
+
+// DefaultConfig returns the paper's parameter setup at full level.
+func DefaultConfig() Config {
+	return Config{
+		Level:            LevelFull,
+		Alpha:            0.8,
+		MRU:              0, // NQ depth
+		DoorbellBatch:    8,
+		DoorbellDelay:    50 * sim.Microsecond,
+		QueryCost:        800 * sim.Nanosecond,
+		ResortCostPerNQ:  60 * sim.Nanosecond,
+		UpdateCost:       1 * sim.Microsecond,
+		OutlierTagMin:    16,
+		LowCoalesceMax:   32,
+		LowCoalesceDelay: 100 * sim.Microsecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Alpha <= 0.5 || c.Alpha >= 1 {
+		return fmt.Errorf("core: Alpha = %v, must be in (0.5, 1) (§5.3)", c.Alpha)
+	}
+	if c.MRU < 0 {
+		return fmt.Errorf("core: MRU must be non-negative")
+	}
+	if c.Level < LevelBase || c.Level > LevelFull {
+		return fmt.Errorf("core: unknown level %d", c.Level)
+	}
+	return nil
+}
+
+// tenantState is troute's per-task_struct routing state (§5.2, §6).
+type tenantState struct {
+	def     *nproxy
+	outlier *nproxy
+	// outlierCnt/normalCnt profile the tenant's I/O pattern.
+	outlierCnt uint64
+	normalCnt  uint64
+	tagged     bool
+}
+
+// Stack is the Daredevil storage stack.
+type Stack struct {
+	stackbase.Base
+	cfg Config
+	reg *nqreg
+
+	// ScheduleQueries counts nqreg queries from troute.
+	ScheduleQueries uint64
+	// OutlierRoutes counts outlier L-requests routed to the high group.
+	OutlierRoutes uint64
+	// IoniceUpdates counts runtime base-priority re-schedulings.
+	IoniceUpdates uint64
+}
+
+// New builds the Daredevil stack on env. It configures NQ heterogeneity on
+// the device (NQGroup division and, at LevelFull, per-group completion
+// policies).
+func New(env stackbase.Env, cfg Config) *Stack {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.MRU == 0 {
+		cfg.MRU = env.Dev.Config().QueueDepth
+	}
+	s := &Stack{Base: stackbase.DefaultBase(env), cfg: cfg}
+	s.reg = newNqreg(env.Dev, cfg)
+	if env.Dev.Config().Arbitration == nvme.ArbWeightedRoundRobin {
+		// When the controller supports WRR arbitration (an extension the
+		// paper's default setting avoids, §2.1), align the hardware classes
+		// with the NQGroups so high-priority NSQs are also fetched first.
+		for _, p := range s.reg.groups[block.PrioHigh].flat {
+			p.nsq.SetClass(nvme.ClassHigh)
+		}
+		for _, p := range s.reg.groups[block.PrioLow].flat {
+			p.nsq.SetClass(nvme.ClassLow)
+		}
+	}
+	if cfg.Level == LevelFull {
+		for _, n := range s.reg.groups[block.PrioHigh].ncqs {
+			n.ncq.SetPolicy(nvme.CompletionPolicy{PerRequest: true})
+		}
+		for _, n := range s.reg.groups[block.PrioLow].ncqs {
+			n.ncq.SetPolicy(nvme.CompletionPolicy{
+				CoalesceMax:   cfg.LowCoalesceMax,
+				CoalesceDelay: cfg.LowCoalesceDelay,
+			})
+		}
+	}
+	return s
+}
+
+// Name identifies the stack by its subsystem level.
+func (s *Stack) Name() string { return s.cfg.Level.String() }
+
+// Config returns the stack configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Reg exposes nqreg for tests and diagnostics.
+func (s *Stack) Reg() *nqreg { return s.reg }
+
+// Register assigns the tenant its default NSQ by querying nqreg with the
+// tenant's base priority (tenant-based context, m = MRU).
+func (s *Stack) Register(t *block.Tenant) {
+	st := &tenantState{}
+	st.def, _ = s.schedule(block.PrioOf(t.Class), s.cfg.MRU)
+	st.def.claimCore(t.Core)
+	t.StackState = st
+}
+
+func (s *Stack) schedule(prio block.Prio, m int) (*nproxy, sim.Duration) {
+	s.ScheduleQueries++
+	return s.reg.schedule(prio, m)
+}
+
+// Submit implements Algorithm 1: context-specific request routing.
+func (s *Stack) Submit(rq *block.Request) sim.Duration {
+	t := rq.Tenant
+	st, ok := t.StackState.(*tenantState)
+	if !ok {
+		// Late registration keeps the stack robust to workloads that skip
+		// Register.
+		s.Register(t)
+		st = t.StackState.(*tenantState)
+	}
+	var cost sim.Duration
+	var target *nproxy
+	if s.cfg.Level == LevelBase {
+		// dare-base (§7.3): the decoupled layer alone, with plain
+		// per-request round-robin routing inside the priority group.
+		rq.Prio = block.PrioOf(t.Class)
+		if rq.Prio == block.PrioLow && rq.Flags.Outlier() {
+			rq.Prio = block.PrioHigh
+		}
+		target, cost = s.reg.schedule(rq.Prio, 1)
+		for _, child := range s.SplitAll(rq) {
+			child.Prio = rq.Prio
+			cost += s.route(child, target)
+		}
+		return cost
+	}
+	switch {
+	case block.PrioOf(t.Class) == block.PrioHigh:
+		// L-tenant: tenant-based context, direct to default NSQ.
+		rq.Prio = block.PrioHigh
+		target = st.def
+	case rq.Flags.Outlier():
+		// Outlier L-request from a T-tenant: request-specific context.
+		rq.Prio = block.PrioHigh
+		s.OutlierRoutes++
+		st.outlierCnt++
+		s.reprofile(t, st, &cost)
+		if st.tagged {
+			target = st.outlier
+		} else {
+			var c sim.Duration
+			target, c = s.schedule(block.PrioHigh, 1)
+			cost += c
+		}
+	default:
+		// Normal T-request: tenant-based context.
+		rq.Prio = block.PrioLow
+		st.normalCnt++
+		st.maybeUntag(t.Core)
+		target = st.def
+	}
+	for _, child := range s.SplitAll(rq) {
+		child.Prio = rq.Prio
+		cost += s.route(child, target)
+	}
+	return cost
+}
+
+// reprofile applies troute's runtime outlier profiling: a T-tenant issuing
+// at least the same order of magnitude of outlier requests as normal ones
+// gains the outlier tag and a dedicated outlier NSQ.
+func (s *Stack) reprofile(t *block.Tenant, st *tenantState, cost *sim.Duration) {
+	if st.tagged || st.outlierCnt < s.cfg.OutlierTagMin {
+		return
+	}
+	if st.outlierCnt*10 >= st.normalCnt {
+		st.tagged = true
+		var c sim.Duration
+		st.outlier, c = s.schedule(block.PrioHigh, s.cfg.MRU)
+		*cost += c
+		st.outlier.claimCore(t.Core)
+	}
+}
+
+// maybeUntag drops the outlier tag with hysteresis once outliers become
+// rare again (profiling is dynamic, §5.2).
+func (st *tenantState) maybeUntag(core int) {
+	if st.tagged && st.outlierCnt*20 < st.normalCnt {
+		st.tagged = false
+		if st.outlier != nil {
+			st.outlier.unclaimCore(core)
+			st.outlier = nil
+		}
+	}
+}
+
+// route places the request on the target NSQ with the SLA-appropriate
+// doorbell policy (nqreg's submission dispatching, §5.3).
+func (s *Stack) route(rq *block.Request, target *nproxy) sim.Duration {
+	if s.cfg.Level == LevelFull && rq.Prio == block.PrioLow {
+		accepted, overhead := s.EnqueueOrRetry(rq, target.id, false)
+		if !accepted {
+			// The retry path rings on success; batching bookkeeping must
+			// not count a deferred entry.
+			return overhead
+		}
+		target.pendingDoorbell++
+		if target.pendingDoorbell >= s.cfg.DoorbellBatch {
+			s.ringNow(target)
+		} else if target.doorbellTimer == nil || !target.doorbellTimer.Active() {
+			target.doorbellTimer = s.Eng.AfterTimer(s.cfg.DoorbellDelay, func() {
+				s.ringNow(target)
+			})
+		}
+		return overhead
+	}
+	// High-priority (and non-full levels): notify the controller at once.
+	_, overhead := s.EnqueueOrRetry(rq, target.id, true)
+	return overhead
+}
+
+func (s *Stack) ringNow(target *nproxy) {
+	target.pendingDoorbell = 0
+	if target.doorbellTimer != nil {
+		target.doorbellTimer.Stop()
+		target.doorbellTimer = nil
+	}
+	s.Dev.Ring(target.id)
+}
+
+// SetIonice updates the tenant's base priority and re-schedules its default
+// NSQ asynchronously to the critical I/O path (§5.2 runtime updates, §7.5
+// overhead analysis). Every call triggers a re-scheduling, matching the
+// kernel routine the paper hooks.
+func (s *Stack) SetIonice(t *block.Tenant, c block.Class) {
+	t.Class = c
+	s.IoniceUpdates++
+	s.Pool.Core(t.Core).Submit(cpus.Work{
+		Cost:  s.cfg.UpdateCost,
+		Owner: t.ID,
+		Fn: func() sim.Duration {
+			st, ok := t.StackState.(*tenantState)
+			if !ok {
+				return 0
+			}
+			old := st.def
+			nsq, cost := s.schedule(block.PrioOf(t.Class), s.cfg.MRU)
+			if old != nil {
+				// Unclaim with the tenant's *current* core: a migration may
+				// have moved the claim since this update was queued.
+				old.unclaimCore(t.Core)
+				if old.pendingDoorbell > 0 {
+					// Flush batched submissions left on the old NSQ so the
+					// reassignment never strands them.
+					s.ringNow(old)
+				}
+			}
+			st.def = nsq
+			nsq.claimCore(t.Core)
+			return cost
+		},
+	})
+}
+
+// MigrateTenant moves the tenant across cores, keeping troute's per-NSQ
+// core bitmaps accurate.
+func (s *Stack) MigrateTenant(t *block.Tenant, core int) {
+	if st, ok := t.StackState.(*tenantState); ok {
+		if st.def != nil {
+			st.def.unclaimCore(t.Core)
+			st.def.claimCore(core)
+		}
+		if st.outlier != nil {
+			st.outlier.unclaimCore(t.Core)
+			st.outlier.claimCore(core)
+		}
+	}
+	t.Core = core
+}
+
+// Factors reports the paper's Table 1 row for Daredevil.
+func (s *Stack) Factors() block.Factors {
+	return block.Factors{
+		HardwareIndependence: true,
+		NQExploitation:       true,
+		CrossCoreAutonomy:    true,
+		MultiNamespace:       true,
+	}
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+func newStack(t *testing.T, cores, nsqs, ncqs int, level Level) (*sim.Engine, *Stack) {
+	t.Helper()
+	eng := sim.New()
+	pool := cpus.NewPool(eng, cores, cpus.Config{})
+	devCfg := nvme.DefaultConfig()
+	devCfg.NumNSQ = nsqs
+	devCfg.NumNCQ = ncqs
+	dev := nvme.New(eng, pool, devCfg)
+	cfg := DefaultConfig()
+	cfg.Level = level
+	return eng, New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev}, cfg)
+}
+
+func mkTenant(id, core int, class block.Class) *block.Tenant {
+	return &block.Tenant{ID: id, Core: core, Class: class}
+}
+
+func submit(s *Stack, ten *block.Tenant, size int64, flags block.Flags) *block.Request {
+	rq := &block.Request{ID: 1, Tenant: ten, Size: size, Flags: flags,
+		NSQ: -1, IssueTime: s.Eng.Now()}
+	rq.OnComplete = func(r *block.Request) {}
+	s.Submit(rq)
+	return rq
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Alpha = 0.5
+	if bad.Validate() == nil {
+		t.Fatal("alpha = 0.5 must be invalid (open interval)")
+	}
+	bad.Alpha = 1.0
+	if bad.Validate() == nil {
+		t.Fatal("alpha = 1.0 must be invalid")
+	}
+	bad = DefaultConfig()
+	bad.MRU = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative MRU must be invalid")
+	}
+	bad = DefaultConfig()
+	bad.Level = Level(9)
+	if bad.Validate() == nil {
+		t.Fatal("unknown level must be invalid")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if LevelBase.String() != "dare-base" || LevelSched.String() != "dare-sched" || LevelFull.String() != "dare-full" {
+		t.Fatal("level strings wrong")
+	}
+}
+
+func TestNQGroupEqualDivision(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	hn, hs := s.reg.GroupSize(block.PrioHigh)
+	ln, ls := s.reg.GroupSize(block.PrioLow)
+	if hn != 32 || ln != 32 {
+		t.Fatalf("NCQ division = %d/%d, want 32/32", hn, ln)
+	}
+	if hs != 32 || ls != 32 {
+		t.Fatalf("NSQ division = %d/%d, want 32/32", hs, ls)
+	}
+}
+
+func TestNQGroupDivisionWSM(t *testing.T) {
+	// WS-M shape: 128 NSQs over 24 NCQs — each NCQ carries >= 5 NSQ leaves.
+	_, s := newStack(t, 8, 128, 24, LevelFull)
+	hn, hs := s.reg.GroupSize(block.PrioHigh)
+	ln, ls := s.reg.GroupSize(block.PrioLow)
+	if hn != 12 || ln != 12 {
+		t.Fatalf("NCQ division = %d/%d, want 12/12", hn, ln)
+	}
+	if hs+ls != 128 {
+		t.Fatalf("NSQ total = %d, want 128", hs+ls)
+	}
+	for _, g := range s.reg.groups {
+		for _, n := range g.ncqs {
+			if len(n.nsqs) < 5 {
+				t.Fatalf("NCQ %d has %d NSQ leaves, want >= 5", n.ncq.ID, len(n.nsqs))
+			}
+		}
+	}
+}
+
+func TestNeedsTwoNCQs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1-NCQ device must panic")
+		}
+	}()
+	newStack(t, 2, 4, 1, LevelFull)
+}
+
+func TestRegisterAssignsGroupByClass(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	l := mkTenant(1, 0, block.ClassRT)
+	tt := mkTenant(2, 0, block.ClassBE)
+	s.Register(l)
+	s.Register(tt)
+	lst := l.StackState.(*tenantState)
+	tst := tt.StackState.(*tenantState)
+	if lst.def.nsq.NCQ().ID >= 32 {
+		t.Fatalf("L default NSQ pairs with NCQ %d, want high group [0,32)", lst.def.nsq.NCQ().ID)
+	}
+	if tst.def.nsq.NCQ().ID < 32 {
+		t.Fatalf("T default NSQ pairs with NCQ %d, want low group [32,64)", tst.def.nsq.NCQ().ID)
+	}
+}
+
+func TestTenantDistributionAcrossNQs(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		ten := mkTenant(i+1, i%4, block.ClassRT)
+		s.Register(ten)
+		seen[ten.StackState.(*tenantState).def.id] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("8 tenants spread over only %d NSQs; registration should distribute", len(seen))
+	}
+}
+
+func TestAlgorithm1LTenantUsesDefault(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	l := mkTenant(1, 0, block.ClassRT)
+	s.Register(l)
+	def := l.StackState.(*tenantState).def.id
+	for i := 0; i < 5; i++ {
+		rq := submit(s, l, 4096, 0)
+		if rq.NSQ != def {
+			t.Fatalf("L-request on NSQ %d, want default %d", rq.NSQ, def)
+		}
+		if rq.Prio != block.PrioHigh {
+			t.Fatal("L-request priority wrong")
+		}
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+}
+
+func TestAlgorithm1NormalTUsesDefault(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	def := tt.StackState.(*tenantState).def.id
+	rq := submit(s, tt, 131072, 0)
+	if rq.NSQ != def || rq.Prio != block.PrioLow {
+		t.Fatalf("normal T-request: NSQ=%d prio=%v, want default %d / low", rq.NSQ, rq.Prio, def)
+	}
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+}
+
+func TestAlgorithm1OutlierRoutedHigh(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	rq := submit(s, tt, 4096, block.FlagSync)
+	if rq.Prio != block.PrioHigh {
+		t.Fatal("outlier request must be high priority")
+	}
+	if s.Env.Dev.NSQ(rq.NSQ).NCQ().ID >= 32 {
+		t.Fatalf("outlier routed to low-group NSQ %d", rq.NSQ)
+	}
+	if s.OutlierRoutes != 1 {
+		t.Fatalf("OutlierRoutes = %d, want 1", s.OutlierRoutes)
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+}
+
+func TestOutlierTagging(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	st := tt.StackState.(*tenantState)
+	// Issue outliers up to the tagging threshold.
+	for i := 0; i < int(s.cfg.OutlierTagMin); i++ {
+		submit(s, tt, 4096, block.FlagMeta)
+	}
+	if !st.tagged {
+		t.Fatalf("tenant not tagged after %d outliers", s.cfg.OutlierTagMin)
+	}
+	if st.outlier == nil {
+		t.Fatal("tagged tenant must hold an outlier NSQ")
+	}
+	// Tagged outliers go straight to the outlier NSQ.
+	rq := submit(s, tt, 4096, block.FlagSync)
+	if rq.NSQ != st.outlier.id {
+		t.Fatalf("tagged outlier on NSQ %d, want outlier NSQ %d", rq.NSQ, st.outlier.id)
+	}
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+}
+
+func TestOutlierNoTagWhenRare(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	st := tt.StackState.(*tenantState)
+	// Two orders of magnitude more normal requests than outliers.
+	for i := 0; i < 400; i++ {
+		submit(s, tt, 131072, 0)
+	}
+	for i := 0; i < 20; i++ {
+		submit(s, tt, 4096, block.FlagSync)
+	}
+	if st.tagged {
+		t.Fatalf("tenant tagged with outlier ratio %d/%d; want untagged (not same order of magnitude)",
+			st.outlierCnt, st.normalCnt)
+	}
+	eng.RunUntil(sim.Time(2 * sim.Second))
+}
+
+func TestOutlierUntagHysteresis(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	st := tt.StackState.(*tenantState)
+	for i := 0; i < 20; i++ {
+		submit(s, tt, 4096, block.FlagSync)
+	}
+	if !st.tagged {
+		t.Fatal("setup: tenant should be tagged")
+	}
+	// Bury the outliers in normal traffic; the tag must drop.
+	for i := 0; i < 500; i++ {
+		submit(s, tt, 131072, 0)
+	}
+	if st.tagged {
+		t.Fatal("tag should drop once outliers become rare")
+	}
+	if st.outlier != nil {
+		t.Fatal("outlier NSQ must be released on untag")
+	}
+	eng.RunUntil(sim.Time(5 * sim.Second))
+}
+
+func TestDoorbellBatchingLowPrio(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	def := tt.StackState.(*tenantState).def
+	// Below the batch threshold nothing is announced.
+	for i := 0; i < int(s.cfg.DoorbellBatch)-1; i++ {
+		submit(s, tt, 131072, 0)
+	}
+	if got := def.nsq.VisibleLen(); got != 0 {
+		t.Fatalf("doorbell rang early: %d visible", got)
+	}
+	// The batch-completing submission rings.
+	submit(s, tt, 131072, 0)
+	eng.RunUntil(eng.Now().Add(sim.Microsecond))
+	if def.nsq.VisibleLen() == 0 && def.nsq.Len() == int(s.cfg.DoorbellBatch) {
+		t.Fatal("doorbell did not ring at batch threshold")
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+}
+
+func TestDoorbellTimerFlushes(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	done := false
+	rq := &block.Request{ID: 1, Tenant: tt, Size: 131072, NSQ: -1, IssueTime: eng.Now()}
+	rq.OnComplete = func(r *block.Request) { done = true }
+	s.Submit(rq)
+	eng.RunUntil(sim.Time(sim.Second))
+	if !done {
+		t.Fatal("lone low-prio request must flush via the doorbell timer")
+	}
+}
+
+func TestHighPrioRingsImmediately(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	l := mkTenant(1, 0, block.ClassRT)
+	s.Register(l)
+	rq := submit(s, l, 4096, 0)
+	eng.RunUntil(eng.Now().Add(sim.Microsecond))
+	nsq := s.Env.Dev.NSQ(rq.NSQ)
+	if nsq.VisibleLen() == 0 && nsq.Fetched == 0 {
+		t.Fatal("high-prio submission must ring the doorbell at once")
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+}
+
+func TestCompletionPoliciesByLevel(t *testing.T) {
+	_, full := newStack(t, 4, 64, 64, LevelFull)
+	if !full.Env.Dev.NCQOf(0).Policy().PerRequest {
+		t.Fatal("high-group NCQ must use the per-request path at LevelFull")
+	}
+	if full.Env.Dev.NCQOf(40).Policy().CoalesceMax == 0 {
+		t.Fatal("low-group NCQ must coalesce at LevelFull")
+	}
+	_, sched := newStack(t, 4, 64, 64, LevelSched)
+	if sched.Env.Dev.NCQOf(0).Policy().PerRequest {
+		t.Fatal("LevelSched must not change completion policies")
+	}
+}
+
+func TestDareBaseRoundRobin(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelBase)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		ten := mkTenant(i+1, 0, block.ClassRT)
+		s.Register(ten)
+		seen[ten.StackState.(*tenantState).def.id] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("dare-base RR assigned %d distinct NSQs to 8 tenants, want 8", len(seen))
+	}
+}
+
+func TestSetIoniceReschedulesAsync(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	tt := mkTenant(1, 0, block.ClassBE)
+	s.Register(tt)
+	oldDef := tt.StackState.(*tenantState).def
+	s.SetIonice(tt, block.ClassRT)
+	if tt.Class != block.ClassRT {
+		t.Fatal("class not updated")
+	}
+	// The re-scheduling is asynchronous: runs as core work.
+	eng.RunUntil(sim.Time(sim.Millisecond))
+	newDef := tt.StackState.(*tenantState).def
+	if newDef == oldDef {
+		t.Fatal("default NSQ not re-scheduled")
+	}
+	if newDef.nsq.NCQ().ID >= 32 {
+		t.Fatal("promoted tenant's default NSQ must be in the high group")
+	}
+	if s.IoniceUpdates != 1 {
+		t.Fatalf("IoniceUpdates = %d, want 1", s.IoniceUpdates)
+	}
+}
+
+func TestMigrateTenantUpdatesBitmaps(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	ten := mkTenant(1, 0, block.ClassRT)
+	s.Register(ten)
+	def := ten.StackState.(*tenantState).def
+	if def.claims[0] != 1 {
+		t.Fatal("registration must claim the tenant's core")
+	}
+	s.MigrateTenant(ten, 2)
+	if def.claims[0] != 0 || def.claims[2] != 1 {
+		t.Fatalf("claims after migration = %v, want core 2 only", def.claims)
+	}
+	if ten.Core != 2 {
+		t.Fatal("tenant core not updated")
+	}
+}
+
+func TestClaimRefcounting(t *testing.T) {
+	_, s := newStack(t, 4, 4, 2, LevelFull)
+	// With only 2 high NSQs, several tenants share one; claims must
+	// refcount.
+	var tenants []*block.Tenant
+	for i := 0; i < 6; i++ {
+		ten := mkTenant(i+1, 1, block.ClassRT)
+		s.Register(ten)
+		tenants = append(tenants, ten)
+	}
+	p := tenants[0].StackState.(*tenantState).def
+	before := p.claims[1]
+	if before < 2 {
+		t.Skipf("tenants did not share an NSQ (claims=%v)", p.claims)
+	}
+	s.MigrateTenant(tenants[0], 2)
+	if p.claims[1] != before-1 {
+		t.Fatalf("claims[1] = %d, want %d (refcount decrement)", p.claims[1], before-1)
+	}
+}
+
+func TestLateRegistrationOnSubmit(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	ten := mkTenant(1, 0, block.ClassRT)
+	rq := submit(s, ten, 4096, 0) // no Register call
+	if ten.StackState == nil {
+		t.Fatal("Submit must register unknown tenants")
+	}
+	if rq.NSQ < 0 {
+		t.Fatal("request not routed")
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+}
+
+func TestFactorsRow(t *testing.T) {
+	_, s := newStack(t, 2, 8, 8, LevelFull)
+	f := s.Factors()
+	if !f.HardwareIndependence || !f.NQExploitation || !f.CrossCoreAutonomy || !f.MultiNamespace {
+		t.Fatalf("daredevil factors wrong: %+v", f)
+	}
+}
+
+func TestMeritSmoothingBlend(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	g := s.reg.groups[block.PrioHigh]
+	n := g.ncqs[0]
+	n.merit = 10
+	// With no activity meritK is 0, so the blend is (1-alpha)*old.
+	blended := s.cfg.Alpha*n.meritK() + (1-s.cfg.Alpha)*n.merit
+	want := 0.2 * 10
+	if blended < want-1e-9 || blended > want+1e-9 {
+		t.Fatalf("blend = %v, want %v", blended, want)
+	}
+}
+
+func TestNCQMeritGrowsWithInFlight(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	g := s.reg.groups[block.PrioHigh]
+	a, b := g.ncqs[0], g.ncqs[1]
+	a.ncq.InFlight = 100
+	a.ncq.IRQs = 10
+	a.ncq.Completed = 50
+	if a.meritK() <= b.meritK() {
+		t.Fatalf("loaded NCQ merit %v must exceed idle NCQ merit %v", a.meritK(), b.meritK())
+	}
+}
+
+func TestNSQMeritUsesContentionAndClaims(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	p := s.reg.ProxyFor(0)
+	if p.meritK() != 0 {
+		t.Fatal("idle NSQ merit must be 0")
+	}
+	// Generate contention: two enqueues at the same instant.
+	ten := mkTenant(1, 0, block.ClassRT)
+	for i := 0; i < 2; i++ {
+		rq := &block.Request{ID: uint64(i), Tenant: ten, Size: 4096, NSQ: -1}
+		rq.OnComplete = func(r *block.Request) {}
+		s.Env.Dev.Enqueue(eng.Now(), 0, rq, true)
+	}
+	p.claimCore(0)
+	m1 := p.meritK()
+	if m1 <= 0 {
+		t.Fatalf("contended NSQ merit = %v, want positive", m1)
+	}
+	p.claimCore(1)
+	if p.meritK() <= m1 {
+		t.Fatal("merit must grow with claiming cores")
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+}
+
+func TestMRUBoundsResorts(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	before := s.reg.Resorts
+	// Request-specific queries (m=1) must not resort until MRU exhausts.
+	for i := 0; i < 10; i++ {
+		s.reg.schedule(block.PrioHigh, 1)
+	}
+	if s.reg.Resorts != before {
+		t.Fatalf("m=1 queries resorted after 10 draws (MRU=%d)", s.cfg.MRU)
+	}
+	// A tenant-based query (m=MRU) exhausts the budget and resorts.
+	s.reg.schedule(block.PrioHigh, s.cfg.MRU)
+	if s.reg.Resorts == before {
+		t.Fatal("m=MRU query must trigger a heap update")
+	}
+}
+
+func TestScheduleCostIncludesResort(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	_, costCheap := s.reg.schedule(block.PrioHigh, 1)
+	_, costFull := s.reg.schedule(block.PrioHigh, s.cfg.MRU)
+	if costFull <= costCheap {
+		t.Fatalf("full update cost %v must exceed cheap query cost %v", costFull, costCheap)
+	}
+}
+
+func TestOneToOneBindingDegenerates(t *testing.T) {
+	// 64 NSQs over 64 NCQs: each NCQ heap has one NSQ; the second FetchTop
+	// degenerates to direct selection (§5.3) and must not resort.
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	g := s.reg.groups[block.PrioHigh]
+	for _, n := range g.ncqs {
+		if len(n.nsqs) != 1 {
+			t.Fatalf("NCQ %d has %d leaves, want 1", n.ncq.ID, len(n.nsqs))
+		}
+	}
+}
+
+func TestEndToEndMixedTraffic(t *testing.T) {
+	eng, s := newStack(t, 4, 64, 64, LevelFull)
+	l := mkTenant(1, 0, block.ClassRT)
+	tt := mkTenant(2, 1, block.ClassBE)
+	s.Register(l)
+	s.Register(tt)
+	completed := 0
+	for i := 0; i < 10; i++ {
+		for _, ten := range []*block.Tenant{l, tt} {
+			size := int64(4096)
+			if ten.Class == block.ClassBE {
+				size = 131072
+			}
+			rq := &block.Request{ID: uint64(i), Tenant: ten, Size: size,
+				NSQ: -1, IssueTime: eng.Now()}
+			rq.OnComplete = func(r *block.Request) { completed++ }
+			s.Submit(rq)
+		}
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+	if completed != 20 {
+		t.Fatalf("completed %d/20 requests", completed)
+	}
+}
+
+func TestWRRClassesAlignedWithGroups(t *testing.T) {
+	eng := sim.New()
+	pool := cpus.NewPool(eng, 4, cpus.Config{})
+	devCfg := nvme.DefaultConfig()
+	devCfg.Arbitration = nvme.ArbWeightedRoundRobin
+	dev := nvme.New(eng, pool, devCfg)
+	s := New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev}, DefaultConfig())
+	for _, p := range s.reg.groups[block.PrioHigh].flat {
+		if p.nsq.Class() != nvme.ClassHigh {
+			t.Fatalf("high-group NSQ %d has WRR class %v", p.id, p.nsq.Class())
+		}
+	}
+	for _, p := range s.reg.groups[block.PrioLow].flat {
+		if p.nsq.Class() != nvme.ClassLow {
+			t.Fatalf("low-group NSQ %d has WRR class %v", p.id, p.nsq.Class())
+		}
+	}
+}
+
+func TestRRDeviceKeepsDefaultClasses(t *testing.T) {
+	_, s := newStack(t, 4, 16, 8, LevelFull)
+	for _, g := range s.reg.groups {
+		for _, p := range g.flat {
+			if p.nsq.Class() != nvme.ClassMedium {
+				t.Fatalf("NSQ %d class changed under RR arbitration", p.id)
+			}
+		}
+	}
+}

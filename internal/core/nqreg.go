@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"daredevil/internal/block"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+)
+
+// nproxy is blex's lightweight wrapper around an NSQ (§5.1): it exposes the
+// NSQ's state to the block layer without breaking the block-layer/driver
+// module boundary, carries nqreg's attributes (merit), and records troute's
+// per-NSQ core bitmap.
+type nproxy struct {
+	id  int
+	nsq *nvme.NSQ
+
+	merit    float64
+	lastPick uint64
+	// claims maps core → number of tenants using this NSQ as default or
+	// outlier NSQ; its key-set is the §5.2 bitmap.
+	claims map[int]int
+
+	// doorbell batching state (nqreg submission dispatching, LevelFull).
+	pendingDoorbell int
+	doorbellTimer   *sim.Timer
+}
+
+func (p *nproxy) claimCore(core int) {
+	p.claims[core]++
+}
+
+func (p *nproxy) unclaimCore(core int) {
+	if p.claims[core] > 1 {
+		p.claims[core]--
+		return
+	}
+	delete(p.claims, core)
+}
+
+// claimedCores is nq.nr_claimed_cores in Algorithm 2.
+func (p *nproxy) claimedCores() int { return len(p.claims) }
+
+// meritK computes the NSQ's instantaneous merit (Algorithm 2 line 6): the
+// per-request lock-contention latency times the number of claiming cores —
+// an estimate of worst-case contention if every claimant contends.
+func (p *nproxy) meritK() float64 {
+	sub := float64(p.nsq.Submitted)
+	if sub == 0 {
+		return 0
+	}
+	inLockUs := p.nsq.InLockTime().Microseconds()
+	return inLockUs / sub * float64(len(p.claims))
+}
+
+// ncqNode is nqreg's view of an NCQ with its attached NSQ leaves (the
+// two-level hierarchy of §5.3).
+type ncqNode struct {
+	ncq   *nvme.NCQ
+	merit float64
+	// nsqs is the min-heap of attached nproxies (leaves).
+	nsqs []*nproxy
+	mru  int
+	// lastPick orders equal-merit nodes least-recently-selected first, so
+	// consecutive tenant-based queries distribute tenants across NQs
+	// ("each update schedules a new top NQ for future requests", §5.3).
+	lastPick uint64
+}
+
+// meritK computes the NCQ's instantaneous merit (Algorithm 2 line 4):
+// incoming intensity (in-flight / depth) plus average per-interrupt
+// completions, scaled by the interrupts served.
+func (n *ncqNode) meritK() float64 {
+	depth := float64(n.ncq.Depth())
+	inflight := float64(n.ncq.InFlight) / depth
+	avg := 0.0
+	if n.ncq.IRQs > 0 {
+		avg = float64(n.ncq.Completed) / float64(n.ncq.IRQs)
+	}
+	return (inflight + avg) * float64(n.ncq.IRQs)
+}
+
+// nqGroup is one priority NQGroup: the root of the hierarchy, holding the
+// min-heap of NCQs.
+type nqGroup struct {
+	prio block.Prio
+	ncqs []*ncqNode
+	mru  int
+
+	// flat lists every attached nproxy for dare-base round-robin routing.
+	flat []*nproxy
+	rr   int
+}
+
+// nqreg regulates NQ behavior: heterogeneity (priority NQGroups), merit
+// scheduling, and — through the Stack — SLA-aware dispatching.
+type nqreg struct {
+	cfg    Config
+	groups [2]*nqGroup
+	picks  uint64
+
+	// Resorts counts heap updates (merit recomputations), the cost center
+	// the MRU policy bounds.
+	Resorts uint64
+}
+
+// newNqreg divides the device's NCQs into two equal-priority NQGroups (the
+// conservative split of §5.3) and attaches NSQ leaves per the device's
+// NSQ→NCQ pairing.
+func newNqreg(dev *nvme.Device, cfg Config) *nqreg {
+	if dev.NumNCQ() < 2 {
+		panic("core: Daredevil needs at least 2 NCQs to form NQGroups")
+	}
+	r := &nqreg{cfg: cfg}
+	half := dev.NumNCQ() / 2
+	nodes := make([]*ncqNode, dev.NumNCQ())
+	for i := 0; i < dev.NumNCQ(); i++ {
+		nodes[i] = &ncqNode{ncq: dev.NCQOf(i), mru: cfg.MRU}
+	}
+	proxies := make([]*nproxy, dev.NumNSQ())
+	for i := 0; i < dev.NumNSQ(); i++ {
+		p := &nproxy{id: i, nsq: dev.NSQ(i), claims: make(map[int]int)}
+		proxies[i] = p
+		owner := nodes[dev.NSQ(i).NCQ().ID]
+		owner.nsqs = append(owner.nsqs, p)
+	}
+	high := &nqGroup{prio: block.PrioHigh, mru: cfg.MRU}
+	low := &nqGroup{prio: block.PrioLow, mru: cfg.MRU}
+	for i, n := range nodes {
+		g := low
+		if i < half {
+			g = high
+		}
+		g.ncqs = append(g.ncqs, n)
+		g.flat = append(g.flat, n.nsqs...)
+	}
+	if len(high.flat) == 0 || len(low.flat) == 0 {
+		panic("core: NQGroup division left a group without NSQs")
+	}
+	r.groups[block.PrioHigh] = high
+	r.groups[block.PrioLow] = low
+	return r
+}
+
+// group returns the NQGroup for prio.
+func (r *nqreg) group(prio block.Prio) *nqGroup { return r.groups[prio] }
+
+// schedule selects an NSQ for the given priority (Algorithm 2 NQSchedule)
+// and returns the CPU cost of the query. At LevelBase the selection is a
+// plain round-robin across the group (dare-base, §7.3).
+func (r *nqreg) schedule(prio block.Prio, m int) (*nproxy, sim.Duration) {
+	g := r.groups[prio]
+	cost := r.cfg.QueryCost
+	if r.cfg.Level == LevelBase {
+		p := g.flat[g.rr%len(g.flat)]
+		g.rr++
+		return p, cost
+	}
+	node := r.fetchTopNCQ(g, m, &cost)
+	return r.fetchTopNSQ(node, m, &cost), cost
+}
+
+// fetchTopNCQ implements FetchTop on the group's NCQ heap.
+func (r *nqreg) fetchTopNCQ(g *nqGroup, m int, cost *sim.Duration) *ncqNode {
+	top := g.ncqs[0]
+	r.picks++
+	top.lastPick = r.picks
+	g.mru -= m
+	if g.mru <= 0 {
+		for _, n := range g.ncqs {
+			n.merit = r.cfg.Alpha*n.meritK() + (1-r.cfg.Alpha)*n.merit
+		}
+		sort.SliceStable(g.ncqs, func(i, j int) bool {
+			if g.ncqs[i].merit != g.ncqs[j].merit {
+				return g.ncqs[i].merit < g.ncqs[j].merit
+			}
+			return g.ncqs[i].lastPick < g.ncqs[j].lastPick
+		})
+		g.mru = r.cfg.MRU
+		r.Resorts++
+		*cost += sim.Duration(len(g.ncqs)) * r.cfg.ResortCostPerNQ
+	}
+	return top
+}
+
+// fetchTopNSQ implements FetchTop on an NCQ's NSQ heap. With a 1:1 NSQ-NCQ
+// binding the heap degenerates to a single NSQ, selected directly (§5.3).
+func (r *nqreg) fetchTopNSQ(n *ncqNode, m int, cost *sim.Duration) *nproxy {
+	if len(n.nsqs) == 1 {
+		return n.nsqs[0]
+	}
+	top := n.nsqs[0]
+	r.picks++
+	top.lastPick = r.picks
+	n.mru -= m
+	if n.mru <= 0 {
+		for _, p := range n.nsqs {
+			p.merit = r.cfg.Alpha*p.meritK() + (1-r.cfg.Alpha)*p.merit
+		}
+		sort.SliceStable(n.nsqs, func(i, j int) bool {
+			if n.nsqs[i].merit != n.nsqs[j].merit {
+				return n.nsqs[i].merit < n.nsqs[j].merit
+			}
+			return n.nsqs[i].lastPick < n.nsqs[j].lastPick
+		})
+		n.mru = r.cfg.MRU
+		r.Resorts++
+		*cost += sim.Duration(len(n.nsqs)) * r.cfg.ResortCostPerNQ
+	}
+	return top
+}
+
+// GroupSize reports (NCQs, NSQs) of the group with the given priority.
+func (r *nqreg) GroupSize(prio block.Prio) (ncqs, nsqs int) {
+	g := r.groups[prio]
+	return len(g.ncqs), len(g.flat)
+}
+
+// ProxyFor returns the nproxy wrapping NSQ id, for tests and diagnostics.
+func (r *nqreg) ProxyFor(id int) *nproxy {
+	for _, g := range r.groups {
+		for _, p := range g.flat {
+			if p.id == id {
+				return p
+			}
+		}
+	}
+	panic(fmt.Sprintf("core: no nproxy for NSQ %d", id))
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"daredevil/internal/block"
+	"daredevil/internal/sim"
+)
+
+// TestTrouteInvariantsProperty drives the stack with a random sequence of
+// register / submit / migrate / ionice operations and checks structural
+// invariants afterwards:
+//
+//  1. claim refcounts are never negative and sum to the number of
+//     (tenant, NSQ) references alive;
+//  2. a tagged tenant always holds an outlier NSQ, an untagged one never
+//     does;
+//  3. every tenant's default NSQ group matches its current base priority
+//     eventually (after async re-scheduling drains).
+func TestTrouteInvariantsProperty(t *testing.T) {
+	prop := func(seed uint64, opsRaw []uint8) bool {
+		eng, s := newStack(t, 4, 32, 16, LevelFull)
+		rng := sim.NewRand(seed)
+		var tenants []*block.Tenant
+		for i := 0; i < 6; i++ {
+			ten := mkTenant(i+1, rng.Intn(4), block.Class(rng.Intn(2)))
+			s.Register(ten)
+			tenants = append(tenants, ten)
+		}
+		for _, op := range opsRaw {
+			ten := tenants[int(op)%len(tenants)]
+			switch (op / 7) % 4 {
+			case 0:
+				flags := block.Flags(0)
+				if op%3 == 0 {
+					flags = block.FlagSync
+				}
+				size := int64(4096)
+				if ten.Class == block.ClassBE {
+					size = 131072
+				}
+				rq := &block.Request{ID: uint64(op), Tenant: ten, Size: size,
+					Flags: flags, NSQ: -1, IssueTime: eng.Now()}
+				rq.OnComplete = func(r *block.Request) {}
+				s.Submit(rq)
+			case 1:
+				s.MigrateTenant(ten, rng.Intn(4))
+			case 2:
+				s.SetIonice(ten, block.Class(rng.Intn(2)))
+			case 3:
+				eng.RunUntil(eng.Now().Add(sim.Millisecond))
+			}
+		}
+		// Drain everything, including async re-scheduling work.
+		eng.RunUntil(eng.Now().Add(10 * sim.Second))
+
+		// Invariant 1: non-negative claims; total equals live references.
+		refs := 0
+		for _, ten := range tenants {
+			st := ten.StackState.(*tenantState)
+			if st.def != nil {
+				refs++
+			}
+			if st.outlier != nil {
+				refs++
+			}
+			// Invariant 2: tag <=> outlier NSQ.
+			if st.tagged != (st.outlier != nil) {
+				return false
+			}
+			// Invariant 3: default NSQ group matches base priority.
+			wantHigh := block.PrioOf(ten.Class) == block.PrioHigh
+			gotHigh := st.def.nsq.NCQ().ID < 8 // 16 NCQs → high group [0,8)
+			if wantHigh != gotHigh {
+				return false
+			}
+		}
+		total := 0
+		for _, g := range s.reg.groups {
+			for _, p := range g.flat {
+				for core, n := range p.claims {
+					if n <= 0 || core < 0 || core >= 4 {
+						return false
+					}
+					total += n
+				}
+			}
+		}
+		return total == refs
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNqregHeapMembershipStable verifies scheduling never adds or removes
+// heap nodes — only reorders them.
+func TestNqregHeapMembershipStable(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	before := map[int]bool{}
+	for _, g := range s.reg.groups {
+		for _, p := range g.flat {
+			before[p.id] = true
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		prio := block.Prio(i % 2)
+		m := 1
+		if i%97 == 0 {
+			m = s.cfg.MRU
+		}
+		s.reg.schedule(prio, m)
+	}
+	after := map[int]bool{}
+	count := 0
+	for _, g := range s.reg.groups {
+		for _, p := range g.flat {
+			after[p.id] = true
+			count++
+		}
+	}
+	if count != 64 || len(after) != len(before) {
+		t.Fatalf("heap membership changed: %d nodes, %d unique", count, len(after))
+	}
+	for id := range before {
+		if !after[id] {
+			t.Fatalf("NSQ %d vanished from the heaps", id)
+		}
+	}
+}
+
+// TestNqregScheduleAlwaysInGroup verifies every scheduled NSQ belongs to
+// the requested priority group, across many mixed queries.
+func TestNqregScheduleAlwaysInGroup(t *testing.T) {
+	_, s := newStack(t, 4, 128, 24, LevelFull) // WS-M shape
+	for i := 0; i < 10000; i++ {
+		prio := block.Prio(i % 2)
+		p, _ := s.reg.schedule(prio, 1+i%3)
+		inHigh := p.nsq.NCQ().ID < 12
+		if (prio == block.PrioHigh) != inHigh {
+			t.Fatalf("query %d: priority %v got NSQ %d (NCQ %d)", i, prio, p.id, p.nsq.NCQ().ID)
+		}
+	}
+}
+
+// TestMeritNeverNaN guards the merit formulas against division corner
+// cases (zero IRQs, zero submissions).
+func TestMeritNeverNaN(t *testing.T) {
+	_, s := newStack(t, 4, 64, 64, LevelFull)
+	for _, g := range s.reg.groups {
+		for _, n := range g.ncqs {
+			if v := n.meritK(); v != v { // NaN check
+				t.Fatalf("NCQ %d merit is NaN", n.ncq.ID)
+			}
+		}
+		for _, p := range g.flat {
+			if v := p.meritK(); v != v {
+				t.Fatalf("NSQ %d merit is NaN", p.id)
+			}
+		}
+	}
+}

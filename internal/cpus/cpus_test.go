@@ -1,0 +1,281 @@
+package cpus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"daredevil/internal/sim"
+)
+
+func newCore(t *testing.T) (*sim.Engine, *Core) {
+	t.Helper()
+	eng := sim.New()
+	p := NewPool(eng, 1, Config{})
+	return eng, p.Core(0)
+}
+
+func TestCoreRunsWorkFIFO(t *testing.T) {
+	eng, c := newCore(t)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Submit(Work{Cost: 10, Owner: 1, Fn: func() sim.Duration {
+			order = append(order, i)
+			return 0
+		}})
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestCoreSerializesWork(t *testing.T) {
+	eng, c := newCore(t)
+	var ends []sim.Time
+	for i := 0; i < 3; i++ {
+		c.Submit(Work{Cost: 100, Owner: 1, Fn: func() sim.Duration {
+			ends = append(ends, eng.Now())
+			return 0
+		}})
+	}
+	eng.Run()
+	want := []sim.Time{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestCoreIRQPriority(t *testing.T) {
+	eng, c := newCore(t)
+	var order []string
+	// Queue two task items; inject an IRQ after the first starts. The IRQ
+	// must run before the second task item.
+	c.Submit(Work{Cost: 100, Owner: 1, Fn: func() sim.Duration {
+		order = append(order, "task1")
+		return 0
+	}})
+	c.Submit(Work{Cost: 100, Owner: 1, Fn: func() sim.Duration {
+		order = append(order, "task2")
+		return 0
+	}})
+	eng.After(50, func() {
+		c.SubmitIRQ(Work{Cost: 10, Fn: func() sim.Duration {
+			order = append(order, "irq")
+			return 0
+		}})
+	})
+	eng.Run()
+	if len(order) != 3 || order[0] != "task1" || order[1] != "irq" || order[2] != "task2" {
+		t.Fatalf("order = %v, want [task1 irq task2]", order)
+	}
+}
+
+func TestCoreExtraBusyTimeDelaysNext(t *testing.T) {
+	eng, c := newCore(t)
+	var secondStart sim.Time
+	c.Submit(Work{Cost: 100, Owner: 1, Fn: func() sim.Duration { return 50 }})
+	c.Submit(Work{Cost: 10, Owner: 1, Fn: func() sim.Duration {
+		secondStart = eng.Now() - 10
+		return 0
+	}})
+	eng.Run()
+	if secondStart != 150 {
+		t.Fatalf("second item started at %v, want 150 (100 cost + 50 extra)", secondStart)
+	}
+	if c.BusyTime != 160 {
+		t.Fatalf("BusyTime = %v, want 160", c.BusyTime)
+	}
+}
+
+func TestCoreContextSwitchCharged(t *testing.T) {
+	eng := sim.New()
+	p := NewPool(eng, 1, Config{CtxSwitch: 7})
+	c := p.Core(0)
+	var lastEnd sim.Time
+	c.Submit(Work{Cost: 10, Owner: 1, Fn: func() sim.Duration { return 0 }})
+	c.Submit(Work{Cost: 10, Owner: 1, Fn: func() sim.Duration { return 0 }})
+	c.Submit(Work{Cost: 10, Owner: 2, Fn: func() sim.Duration {
+		lastEnd = eng.Now()
+		return 0
+	}})
+	eng.Run()
+	// First item: switch from none->1 (+7) +10 = 17. Second: same owner = 27.
+	// Third: owner change (+7) +10 = 44.
+	if lastEnd != 44 {
+		t.Fatalf("last end = %v, want 44", lastEnd)
+	}
+	if c.Switches != 2 {
+		t.Fatalf("Switches = %d, want 2", c.Switches)
+	}
+}
+
+func TestCoreIRQNoContextSwitch(t *testing.T) {
+	eng := sim.New()
+	p := NewPool(eng, 1, Config{CtxSwitch: 7})
+	c := p.Core(0)
+	done := sim.Time(0)
+	c.SubmitIRQ(Work{Cost: 10, Fn: func() sim.Duration {
+		done = eng.Now()
+		return 0
+	}})
+	eng.Run()
+	if done != 10 {
+		t.Fatalf("IRQ completed at %v, want 10 (no context-switch charge)", done)
+	}
+}
+
+func TestCoreIRQBusyAccounting(t *testing.T) {
+	eng, c := newCore(t)
+	c.SubmitIRQ(Work{Cost: 30, Fn: func() sim.Duration { return 0 }})
+	c.Submit(Work{Cost: 70, Owner: 1, Fn: func() sim.Duration { return 0 }})
+	eng.Run()
+	if c.BusyTime != 100 {
+		t.Fatalf("BusyTime = %v, want 100", c.BusyTime)
+	}
+	if c.IRQBusyTime != 30 {
+		t.Fatalf("IRQBusyTime = %v, want 30", c.IRQBusyTime)
+	}
+}
+
+func TestCoreIdleAfterDrain(t *testing.T) {
+	eng, c := newCore(t)
+	c.Submit(Work{Cost: 10, Owner: 1, Fn: func() sim.Duration { return 0 }})
+	eng.Run()
+	if c.Busy() {
+		t.Fatal("core should be idle after draining")
+	}
+	if c.QueueLen() != 0 {
+		t.Fatalf("QueueLen = %d, want 0", c.QueueLen())
+	}
+	// A new item must restart processing.
+	ran := false
+	c.Submit(Work{Cost: 5, Owner: 1, Fn: func() sim.Duration { ran = true; return 0 }})
+	eng.Run()
+	if !ran {
+		t.Fatal("core did not restart after idle")
+	}
+}
+
+func TestCoreNilFn(t *testing.T) {
+	eng, c := newCore(t)
+	c.Submit(Work{Cost: 10, Owner: 1})
+	eng.Run()
+	if c.BusyTime != 10 {
+		t.Fatalf("BusyTime = %v, want 10", c.BusyTime)
+	}
+}
+
+func TestCoreNegativeExtraClamped(t *testing.T) {
+	eng, c := newCore(t)
+	c.Submit(Work{Cost: 10, Owner: 1, Fn: func() sim.Duration { return -5 }})
+	eng.Run()
+	if c.BusyTime != 10 {
+		t.Fatalf("BusyTime = %v, want 10", c.BusyTime)
+	}
+}
+
+func TestPoolBasics(t *testing.T) {
+	eng := sim.New()
+	p := NewPool(eng, 4, Config{})
+	if p.N() != 4 || len(p.Cores()) != 4 {
+		t.Fatal("pool size wrong")
+	}
+	p.Core(0).Submit(Work{Cost: 100, Owner: 1, Fn: func() sim.Duration { return 0 }})
+	p.Core(1).Submit(Work{Cost: 300, Owner: 1, Fn: func() sim.Duration { return 0 }})
+	eng.Run()
+	if p.TotalBusy() != 400 {
+		t.Fatalf("TotalBusy = %v, want 400", p.TotalBusy())
+	}
+	u := p.Utilization(1000)
+	if u < 0.099 || u > 0.101 {
+		t.Fatalf("Utilization = %v, want 0.1", u)
+	}
+}
+
+func TestPoolPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero cores":    func() { NewPool(sim.New(), 0, Config{}) },
+		"out of range":  func() { NewPool(sim.New(), 2, Config{}).Core(5) },
+		"negative core": func() { NewPool(sim.New(), 2, Config{}).Core(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPoolUtilizationClamped(t *testing.T) {
+	eng := sim.New()
+	p := NewPool(eng, 1, Config{})
+	p.Core(0).Submit(Work{Cost: 2000, Owner: 1})
+	eng.Run()
+	if u := p.Utilization(1000); u != 1 {
+		t.Fatalf("Utilization = %v, want clamp to 1", u)
+	}
+	if p.Utilization(0) != 0 {
+		t.Fatal("zero elapsed must give 0")
+	}
+}
+
+// Property: total busy time equals the sum of costs (single owner, no
+// switches, no extra), regardless of submission pattern.
+func TestCoreBusyConservationProperty(t *testing.T) {
+	prop := func(costs []uint16) bool {
+		eng := sim.New()
+		p := NewPool(eng, 1, Config{})
+		c := p.Core(0)
+		var want sim.Duration
+		for _, raw := range costs {
+			d := sim.Duration(raw)
+			want += d
+			c.Submit(Work{Cost: d, Owner: 1})
+		}
+		eng.Run()
+		return c.BusyTime == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the fifo never loses or reorders items.
+func TestFifoProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		var q fifo
+		var model []int
+		next := 0
+		for _, op := range ops {
+			if op%3 != 0 {
+				q.push(Work{Owner: next})
+				model = append(model, next)
+				next++
+			} else {
+				w, ok := q.pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || w.Owner != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.len() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package flash models the SSD media backend: NAND channels and chips with
+// page-granular read/program service times. Pages of a request stripe across
+// channels, so large requests exploit internal parallelism while saturating
+// the chips — the physical source of the in-SSD interference the paper's
+// §8.1 discusses (T-requests flooding internal queues keep even separated
+// L-requests at ms-scale latency).
+//
+// The model is an effective-latency one: ProgramLatency folds multi-plane
+// programming and SLC caching into a single per-page service time tuned so
+// aggregate bandwidth lands near an enterprise NVMe SSD. It deliberately
+// omits GC and wear-leveling (see DESIGN.md).
+package flash
+
+import (
+	"fmt"
+
+	"daredevil/internal/sim"
+)
+
+// Op is a media operation kind.
+type Op uint8
+
+// Media operations.
+const (
+	Read Op = iota
+	Program
+)
+
+// Config describes the flash geometry and timing.
+type Config struct {
+	// Channels is the number of independent NAND channels.
+	Channels int
+	// ChipsPerChannel is the number of dies per channel.
+	ChipsPerChannel int
+	// PageSize is the media page size in bytes.
+	PageSize int64
+	// ReadLatency is the per-page media read time (tR).
+	ReadLatency sim.Duration
+	// ProgramLatency is the effective per-page program time (tPROG folded
+	// with plane parallelism).
+	ProgramLatency sim.Duration
+	// XferLatency is the channel-bus transfer time per page.
+	XferLatency sim.Duration
+	// InterleaveBytes is the striping granularity: this many contiguous
+	// bytes stay on one die before the mapping moves to the next channel.
+	// Large requests therefore occupy size/InterleaveBytes dies — sustained
+	// bandwidth needs a deep pipeline of concurrent requests, as on real
+	// NAND. Zero defaults to one page (maximal striping).
+	InterleaveBytes int64
+}
+
+// DefaultConfig returns a geometry resembling an enterprise PCIe 4.0 SSD
+// (the evaluation's Samsung PM1735 class): 16 channels x 8 dies, ~7 GB/s
+// reads and ~1.25 GB/s sustained writes at full parallelism (pre-conditioned
+// TLC, as the paper pre-conditions the whole disk before each experiment).
+func DefaultConfig() Config {
+	return Config{
+		Channels:        16,
+		ChipsPerChannel: 8,
+		PageSize:        4096,
+		ReadLatency:     70 * sim.Microsecond,
+		ProgramLatency:  420 * sim.Microsecond,
+		XferLatency:     3 * sim.Microsecond,
+		InterleaveBytes: 16 * 1024,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("flash: Channels = %d, must be positive", c.Channels)
+	case c.ChipsPerChannel <= 0:
+		return fmt.Errorf("flash: ChipsPerChannel = %d, must be positive", c.ChipsPerChannel)
+	case c.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize = %d, must be positive", c.PageSize)
+	case c.ReadLatency <= 0 || c.ProgramLatency <= 0:
+		return fmt.Errorf("flash: media latencies must be positive")
+	case c.XferLatency < 0:
+		return fmt.Errorf("flash: XferLatency must be non-negative")
+	case c.InterleaveBytes < 0:
+		return fmt.Errorf("flash: InterleaveBytes must be non-negative")
+	case c.InterleaveBytes > 0 && c.InterleaveBytes%c.PageSize != 0:
+		return fmt.Errorf("flash: InterleaveBytes (%d) must be a multiple of PageSize (%d)",
+			c.InterleaveBytes, c.PageSize)
+	}
+	return nil
+}
+
+// Stats accumulates media activity.
+type Stats struct {
+	PagesRead    uint64
+	PagesWritten uint64
+}
+
+// Device is the media backend. All scheduling is expressed through FIFO
+// resources (per-chip media units, per-channel buses); the caller learns
+// completion instants and schedules its own callbacks.
+//
+// Writes are allocated log-structured: the FTL appends program pages
+// round-robin across all dies regardless of LBA, as real flash translation
+// layers do — so write bandwidth depends on the number of outstanding
+// pages, not on which queue or region they came from. Reads map by LBA
+// through the static interleave (the simulation does not track physical
+// placement per LBA; the evaluation's read and write working sets are
+// disjoint, so this costs no fidelity there).
+type Device struct {
+	cfg      Config
+	chips    []sim.FIFORes // [channel*ChipsPerChannel + chip]
+	channels []sim.FIFORes
+	stats    Stats
+	allocRR  int64 // FTL write-allocation cursor
+}
+
+// New builds a device; it panics on invalid configuration (construction-time
+// misconfiguration is a programming error).
+func New(cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{
+		cfg:      cfg,
+		chips:    make([]sim.FIFORes, cfg.Channels*cfg.ChipsPerChannel),
+		channels: make([]sim.FIFORes, cfg.Channels),
+	}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns accumulated media counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// NumChips reports the total number of dies.
+func (d *Device) NumChips() int { return len(d.chips) }
+
+// Pages reports how many media pages the byte range [offset, offset+size)
+// touches.
+func (d *Device) Pages(offset, size int64) int {
+	if size <= 0 {
+		return 0
+	}
+	first := offset / d.cfg.PageSize
+	last := (offset + size - 1) / d.cfg.PageSize
+	return int(last - first + 1)
+}
+
+// chipOf maps an absolute page index to its (channel, chip) placement:
+// InterleaveBytes-sized units stripe across channels first, then across
+// chips, so consecutive pages within a unit share one die.
+func (d *Device) chipOf(page int64) (channel, chip int) {
+	unit := page
+	if per := d.pagesPerUnit(); per > 1 {
+		unit = page / per
+	}
+	channel = int(unit % int64(d.cfg.Channels))
+	chip = int((unit / int64(d.cfg.Channels)) % int64(d.cfg.ChipsPerChannel))
+	return channel, chip
+}
+
+// pagesPerUnit reports how many consecutive pages share a die.
+func (d *Device) pagesPerUnit() int64 {
+	if d.cfg.InterleaveBytes <= 0 {
+		return 1
+	}
+	return d.cfg.InterleaveBytes / d.cfg.PageSize
+}
+
+// SubmitPage services one page at instant now and returns its completion
+// instant. Reads occupy the die for tR then the channel bus for the
+// transfer out; programs transfer in first, then occupy the die.
+func (d *Device) SubmitPage(now sim.Time, page int64, op Op) sim.Time {
+	ch, chip := d.chipOf(page)
+	die := &d.chips[ch*d.cfg.ChipsPerChannel+chip]
+	bus := &d.channels[ch]
+	switch op {
+	case Read:
+		d.stats.PagesRead++
+		grant, _ := die.Acquire(now, d.cfg.ReadLatency)
+		mediaDone := grant.Add(d.cfg.ReadLatency)
+		busGrant, _ := bus.Acquire(mediaDone, d.cfg.XferLatency)
+		return busGrant.Add(d.cfg.XferLatency)
+	case Program:
+		// Log-structured allocation: ignore the page's LBA placement and
+		// append to the next die in round-robin order.
+		d.stats.PagesWritten++
+		d.allocRR++
+		idx := d.allocRR % int64(len(d.chips))
+		die = &d.chips[idx]
+		bus = &d.channels[int(idx)/d.cfg.ChipsPerChannel]
+		busGrant, _ := bus.Acquire(now, d.cfg.XferLatency)
+		xferDone := busGrant.Add(d.cfg.XferLatency)
+		grant, _ := die.Acquire(xferDone, d.cfg.ProgramLatency)
+		return grant.Add(d.cfg.ProgramLatency)
+	default:
+		panic(fmt.Sprintf("flash: unknown op %d", op))
+	}
+}
+
+// SubmitIO services the byte range [offset, offset+size) at instant now and
+// returns the completion instant of the final page.
+func (d *Device) SubmitIO(now sim.Time, offset, size int64, op Op) sim.Time {
+	n := d.Pages(offset, size)
+	if n == 0 {
+		return now
+	}
+	first := offset / d.cfg.PageSize
+	done := now
+	for i := int64(0); i < int64(n); i++ {
+		if t := d.SubmitPage(now, first+i, op); t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// QueuedWork estimates the backlog (busy horizon) of the die serving the
+// given page, as a duration beyond now. Zero means the die is idle.
+func (d *Device) QueuedWork(now sim.Time, page int64) sim.Duration {
+	ch, chip := d.chipOf(page)
+	die := &d.chips[ch*d.cfg.ChipsPerChannel+chip]
+	if die.FreeAt() <= now {
+		return 0
+	}
+	return die.FreeAt().Sub(now)
+}
+
+// MaxBacklog reports the largest die backlog beyond now across the device —
+// a coarse congestion signal used by tests and diagnostics.
+func (d *Device) MaxBacklog(now sim.Time) sim.Duration {
+	var max sim.Duration
+	for i := range d.chips {
+		if d.chips[i].FreeAt() > now {
+			if b := d.chips[i].FreeAt().Sub(now); b > max {
+				max = b
+			}
+		}
+	}
+	return max
+}

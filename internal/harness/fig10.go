@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"io"
+	"strconv"
+
+	"daredevil/internal/sim"
+)
+
+// NamespaceCounts is the §7.2 sweep.
+var NamespaceCounts = []int{4, 8, 12}
+
+// Fig10Cell is one (stack, namespace-count) measurement.
+type Fig10Cell struct {
+	Kind       StackKind
+	Namespaces int
+	LTenants   int
+	TTenants   int
+	Tail       sim.Duration
+	Avg        sim.Duration
+	TMBps      float64
+	// LOps counts L completions in the window; zero means total blockage.
+	LOps uint64
+}
+
+// Fig10Result reproduces Figure 10: multi-namespace scenarios where each
+// namespace hosts only L- or T-tenants, yet the multi-tenancy issue
+// persists because namespaces share the NQ set (§3.2, Figure 3c).
+type Fig10Result struct {
+	Cells []Fig10Cell
+}
+
+// RunMultiNS runs one multi-namespace cell: nsCount namespaces at a 1:3
+// L:T ratio, 2 L-tenants per L-ns and 8 T-tenants per T-ns, on 4 cores.
+func RunMultiNS(kind StackKind, nsCount int, sc Scale) Fig10Cell {
+	env := NewEnv(SVM(4), kind)
+	env.CreateNamespaces(nsCount)
+	mix := NewMix(env)
+	lNS := nsCount / 4
+	if lNS < 1 {
+		lNS = 1
+	}
+	for ns := 0; ns < nsCount; ns++ {
+		if ns < lNS {
+			mix.AddL(2, ns)
+		} else {
+			mix.AddT(8, ns)
+		}
+	}
+	mix.StartAll()
+	env.Eng.RunUntil(sim.Time(sc.Warmup))
+	mix.ResetStats()
+	env.Eng.RunUntil(sim.Time(sc.Warmup + sc.Measure))
+	r := mix.Collect(sc.Measure)
+	return Fig10Cell{
+		Kind: kind, Namespaces: nsCount,
+		LTenants: len(mix.LJobs), TTenants: len(mix.TJobs),
+		Tail: r.L.P999, Avg: r.L.Mean, TMBps: r.TMBps,
+		LOps: r.L.Count,
+	}
+}
+
+// RunFig10 sweeps namespace counts for the comparison targets.
+func RunFig10(sc Scale) Fig10Result {
+	var res Fig10Result
+	for _, kind := range ComparisonKinds {
+		for _, n := range NamespaceCounts {
+			res.Cells = append(res.Cells, RunMultiNS(kind, n, sc))
+		}
+	}
+	return res
+}
+
+// WriteText renders the panels.
+func (r Fig10Result) WriteText(w io.Writer) {
+	header(w, "Figure 10: multi-namespace scenarios (L:T namespaces = 1:3)")
+	t := newTable(w)
+	t.row("stack", "namespaces", "L/T tenants", "tail p99.9 (ms)", "avg (ms)", "T MB/s")
+	for _, c := range r.Cells {
+		tail, avg := ms(c.Tail), ms(c.Avg)
+		if c.LOps == 0 {
+			tail, avg = "blocked", "blocked"
+		}
+		t.row(string(c.Kind), strconv.Itoa(c.Namespaces),
+			strconv.Itoa(c.LTenants)+"/"+strconv.Itoa(c.TTenants),
+			tail, avg, f1(c.TMBps))
+	}
+	t.flush()
+}
+
+// Cell returns the measurement for (kind, nsCount), or false.
+func (r Fig10Result) Cell(kind StackKind, nsCount int) (Fig10Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Kind == kind && c.Namespaces == nsCount {
+			return c, true
+		}
+	}
+	return Fig10Cell{}, false
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"io"
+
+	"daredevil/internal/sim"
+	"daredevil/internal/workload"
+)
+
+// Fig12Cell is one (application, stack) measurement.
+type Fig12Cell struct {
+	Workload string // "YCSB-A" ... "Mailserver"
+	Kind     StackKind
+	// Metrics maps op type to the reported statistic: p99.9 for YCSB
+	// (the paper's Figures 12a-d), mean for Mailserver (12e).
+	Metrics map[workload.OpType]sim.Duration
+	// Ops counts completed application operations in the window.
+	Ops uint64
+}
+
+// Fig12Result reproduces Figure 12: real-world applicability with RocksDB
+// under YCSB and Filebench Mailserver, co-located with 8 streaming
+// T-tenants on 4 cores.
+type Fig12Result struct {
+	Cells []Fig12Cell
+}
+
+// ycsbHeadlineOps maps the YCSB kind to the op types Figure 12 plots.
+var ycsbHeadlineOps = map[workload.YCSBKind][]workload.OpType{
+	workload.YCSBA: {workload.OpUpdate, workload.OpGet},
+	workload.YCSBB: {workload.OpGet, workload.OpUpdate},
+	workload.YCSBE: {workload.OpInsert, workload.OpScan},
+	workload.YCSBF: {workload.OpGet, workload.OpRMW},
+}
+
+// RunFig12 runs every application on every comparison stack.
+func RunFig12(sc Scale) Fig12Result {
+	var res Fig12Result
+	for _, kind := range ComparisonKinds {
+		for _, ycsbKind := range []workload.YCSBKind{workload.YCSBA, workload.YCSBB, workload.YCSBE, workload.YCSBF} {
+			res.Cells = append(res.Cells, runYCSBCell(kind, ycsbKind, sc))
+		}
+		res.Cells = append(res.Cells, runMailCell(kind, sc))
+	}
+	return res
+}
+
+// withBackgroundT adds the §7.4 background pressure: 8 streaming T-tenants.
+func withBackgroundT(env *Env) *Mix {
+	mix := NewMix(env)
+	mix.AddT(8, 0)
+	mix.StartAll()
+	return mix
+}
+
+func runYCSBCell(kind StackKind, ycsbKind workload.YCSBKind, sc Scale) Fig12Cell {
+	env := NewEnv(SVM(4), kind)
+	withBackgroundT(env)
+	kvCfg := workload.DefaultKVConfig("rocksdb", 0)
+	kv := workload.NewKV(1000, kvCfg)
+	kv.BGTenant.Core = 1
+	kv.Start(env.Eng, env.Pool, env.Stack)
+	// Four closed-loop clients, like YCSB's client threads.
+	var drivers []*workload.YCSB
+	for i := 0; i < 4; i++ {
+		d := workload.NewYCSB(ycsbKind, kv, 42+uint64(i))
+		d.Start(env.Eng)
+		drivers = append(drivers, d)
+	}
+	env.Eng.RunUntil(sim.Time(sc.Warmup))
+	kv.ResetStats()
+	var opsBefore uint64
+	for _, d := range drivers {
+		opsBefore += d.Ops
+	}
+	env.Eng.RunUntil(sim.Time(sc.Warmup + sc.Measure))
+	var opsAfter uint64
+	for _, d := range drivers {
+		opsAfter += d.Ops
+	}
+	cell := Fig12Cell{
+		Workload: "YCSB-" + string(ycsbKind), Kind: kind,
+		Metrics: map[workload.OpType]sim.Duration{},
+		Ops:     opsAfter - opsBefore,
+	}
+	for _, op := range ycsbHeadlineOps[ycsbKind] {
+		cell.Metrics[op] = kv.OpLat[op].Quantile(0.999)
+	}
+	return cell
+}
+
+func runMailCell(kind StackKind, sc Scale) Fig12Cell {
+	env := NewEnv(SVM(4), kind)
+	withBackgroundT(env)
+	mail := workload.NewMail(2000, workload.DefaultMailConfig("mailserver", 0))
+	mail.Start(env.Eng, env.Pool, env.Stack)
+	env.Eng.RunUntil(sim.Time(sc.Warmup))
+	mail.ResetStats()
+	opsBefore := mail.Ops
+	env.Eng.RunUntil(sim.Time(sc.Warmup + sc.Measure))
+	return Fig12Cell{
+		Workload: "Mailserver", Kind: kind,
+		Metrics: map[workload.OpType]sim.Duration{
+			workload.OpFsync:  mail.OpLat[workload.OpFsync].Mean(),
+			workload.OpDelete: mail.OpLat[workload.OpDelete].Mean(),
+		},
+		Ops: mail.Ops - opsBefore,
+	}
+}
+
+// WriteText renders the per-application panels.
+func (r Fig12Result) WriteText(w io.Writer) {
+	header(w, "Figure 12: real-world workloads (YCSB p99.9, Mailserver mean; ms)")
+	t := newTable(w)
+	t.row("workload", "stack", "op", "latency (ms)", "ops")
+	for _, c := range r.Cells {
+		for _, op := range orderedOps(c) {
+			t.row(c.Workload, string(c.Kind), string(op), ms(c.Metrics[op]), u64(c.Ops))
+		}
+	}
+	t.flush()
+}
+
+func orderedOps(c Fig12Cell) []workload.OpType {
+	order := []workload.OpType{
+		workload.OpUpdate, workload.OpGet, workload.OpInsert,
+		workload.OpScan, workload.OpRMW, workload.OpFsync, workload.OpDelete,
+	}
+	var out []workload.OpType
+	for _, op := range order {
+		if _, ok := c.Metrics[op]; ok {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Cell returns the measurement for (workload, kind), or false.
+func (r Fig12Result) Cell(wl string, kind StackKind) (Fig12Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Workload == wl && c.Kind == kind {
+			return c, true
+		}
+	}
+	return Fig12Cell{}, false
+}

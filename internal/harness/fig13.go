@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"daredevil/internal/sim"
+	"daredevil/internal/stats"
+	"daredevil/internal/workload"
+)
+
+// Fig13Cell is one cross-core overhead measurement (§7.5).
+type Fig13Cell struct {
+	Kind StackKind
+	// Fixed reports whether the TL count was fixed (varying L) or the L
+	// count was fixed (varying TL).
+	Fixed   string // "TL" or "L"
+	LCount  int
+	TLCount int
+	// Avg is the overall L-tenant average latency.
+	Avg sim.Duration
+	// Std is the standard-deviation proxy (p90-p50 spread).
+	Std sim.Duration
+	// SubWait is the mean submission-side NSQ lock wait per L-request.
+	SubWait sim.Duration
+	// CompDelay is the mean CQE-post-to-delivery time per L-request.
+	CompDelay sim.Duration
+	// CrossCoreFrac is the fraction of L completions delivered cross-core.
+	CrossCoreFrac float64
+}
+
+// Fig13Result reproduces Figure 13: overheads of cross-core NQ accesses
+// under TL-tenants (throughput-shaped tenants given L priority so they
+// share the L-tenants' NQs).
+type Fig13Result struct {
+	Cells []Fig13Cell
+}
+
+// fig13Machine confines the experiment to 4 cores and 16 NQs as §7.5 does.
+func fig13Machine() Machine {
+	m := SVM(4)
+	m.NVMe.NumNSQ = 16
+	m.NVMe.NumNCQ = 16
+	return m
+}
+
+// RunFig13 measures both directions: fixed 12 TL-tenants with varying
+// L-tenants, and fixed 12 L-tenants with varying TL-tenants. Daredevil runs
+// are interleaved by randomly migrating tenants across cores.
+func RunFig13(sc Scale) Fig13Result {
+	var res Fig13Result
+	counts := []int{4, 8, 12, 16}
+	for _, kind := range []StackKind{Vanilla, DareFull} {
+		for _, n := range counts {
+			res.Cells = append(res.Cells, runFig13Cell(kind, n, 12, "TL", sc))
+		}
+		for _, n := range counts {
+			res.Cells = append(res.Cells, runFig13Cell(kind, 12, n, "L", sc))
+		}
+	}
+	return res
+}
+
+func runFig13Cell(kind StackKind, nL, nTL int, fixed string, sc Scale) Fig13Cell {
+	env := NewEnv(fig13Machine(), kind)
+	mix := NewMix(env)
+	mix.AddL(nL, 0)
+	mix.AddTL(nTL, 0)
+	for _, j := range mix.LJobs {
+		j.EnableComponents()
+	}
+	// TL-tenants start first so Daredevil's NQ scheduling sees their load
+	// when assigning default NSQs to the L-tenants joining afterwards.
+	for _, j := range mix.TJobs {
+		j.Start(env.Eng, env.Pool, env.Stack)
+	}
+	lJobs := mix.LJobs
+	env.Eng.At(sim.Time(sc.Warmup/2), func() {
+		for _, j := range lJobs {
+			j.Start(env.Eng, env.Pool, env.Stack)
+		}
+	})
+	if kind == DareFull {
+		// Interleave NQ accesses: move tenants across cores randomly so
+		// each NQ is accessed by multiple cores (§7.5).
+		workload.StartMigrator(env.Eng, env.Stack, mix.Tenants(), env.Pool.N(),
+			2*sim.Millisecond, sim.Time(sc.Warmup+sc.Measure), 99)
+	}
+	env.Eng.RunUntil(sim.Time(sc.Warmup))
+	mix.ResetStats()
+	env.Eng.RunUntil(sim.Time(sc.Warmup + sc.Measure))
+
+	var lat, sub, comp stats.Histogram
+	var cross, total uint64
+	for _, j := range mix.LJobs {
+		lat.Merge(&j.Lat)
+		sub.Merge(j.SubWait)
+		comp.Merge(j.CompDelay)
+		cross += j.CrossCore
+		total += j.Done.Ops
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(cross) / float64(total)
+	}
+	return Fig13Cell{
+		Kind: kind, Fixed: fixed, LCount: nL, TLCount: nTL,
+		Avg:     lat.Mean(),
+		Std:     lat.Quantile(0.90) - lat.Quantile(0.50),
+		SubWait: sub.Mean(), CompDelay: comp.Mean(),
+		CrossCoreFrac: frac,
+	}
+}
+
+// WriteText renders the four panels.
+func (r Fig13Result) WriteText(w io.Writer) {
+	header(w, "Figure 13: cross-core NQ access overheads (TL-tenants share L NQs)")
+	t := newTable(w)
+	t.row("stack", "fixed", "L", "TL", "avg (ms)", "spread (ms)", "sub-wait (µs)", "comp-delay (µs)", "cross-core")
+	for _, c := range r.Cells {
+		t.row(string(c.Kind), c.Fixed,
+			strconv.Itoa(c.LCount), strconv.Itoa(c.TLCount),
+			ms(c.Avg), ms(c.Std), us(c.SubWait), us(c.CompDelay),
+			fmt.Sprintf("%.0f%%", 100*c.CrossCoreFrac))
+	}
+	t.flush()
+}
+
+// Cell returns the measurement for (kind, fixed, nL, nTL), or false.
+func (r Fig13Result) Cell(kind StackKind, fixed string, nL, nTL int) (Fig13Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Kind == kind && c.Fixed == fixed && c.LCount == nL && c.TLCount == nTL {
+			return c, true
+		}
+	}
+	return Fig13Cell{}, false
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"daredevil/internal/sim"
+	"daredevil/internal/workload"
+)
+
+// Fig14Row is one ionice-update interval measurement.
+type Fig14Row struct {
+	// Interval between base-priority updates (0 = no updates, the
+	// baseline).
+	Interval sim.Duration
+	// Normalized metrics (1.0 = baseline without updates).
+	LIOPSNorm float64
+	TMBpsNorm float64
+	CPUUtil   float64
+	// Updates performed in the window.
+	Updates uint64
+}
+
+// Fig14Result reproduces Figure 14: performance under continuously updated
+// tenant base priorities, which force default-NSQ re-scheduling (§7.5).
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14Intervals is the update-interval sweep (1s down to 10µs).
+var Fig14Intervals = []sim.Duration{
+	sim.Second, 100 * sim.Millisecond, 10 * sim.Millisecond,
+	sim.Millisecond, 100 * sim.Microsecond, 10 * sim.Microsecond,
+}
+
+// RunFig14 runs 4 L + 4 T tenants on Daredevil while an updater re-sets
+// ionice values at decreasing intervals.
+func RunFig14(sc Scale) Fig14Result {
+	base, _ := runFig14Cell(0, sc)
+	res := Fig14Result{Rows: []Fig14Row{{
+		Interval: 0, LIOPSNorm: 1, TMBpsNorm: 1, CPUUtil: base.CPUUtil,
+	}}}
+	for _, iv := range Fig14Intervals {
+		r, updates := runFig14Cell(iv, sc)
+		row := Fig14Row{Interval: iv, CPUUtil: r.CPUUtil, Updates: updates}
+		if base.LKIOPS > 0 {
+			row.LIOPSNorm = r.LKIOPS / base.LKIOPS
+		}
+		if base.TMBps > 0 {
+			row.TMBpsNorm = r.TMBps / base.TMBps
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func runFig14Cell(interval sim.Duration, sc Scale) (MixResult, uint64) {
+	env := NewEnv(SVM(4), DareFull)
+	mix := NewMix(env)
+	mix.AddL(4, 0)
+	mix.AddT(4, 0)
+	mix.StartAll()
+	var up *workload.IoniceUpdater
+	if interval > 0 {
+		up = workload.StartIoniceUpdater(env.Eng, env.Stack, mix.Tenants(),
+			interval, sim.Time(sc.Warmup+sc.Measure))
+	}
+	env.Eng.RunUntil(sim.Time(sc.Warmup))
+	mix.ResetStats()
+	env.Eng.RunUntil(sim.Time(sc.Warmup + sc.Measure))
+	var updates uint64
+	if up != nil {
+		updates = up.Updates
+	}
+	return mix.Collect(sc.Measure), updates
+}
+
+// WriteText renders the normalized series.
+func (r Fig14Result) WriteText(w io.Writer) {
+	header(w, "Figure 14: normalized performance under ionice update storms (Daredevil)")
+	t := newTable(w)
+	t.row("interval", "L IOPS (norm)", "T MB/s (norm)", "CPU util", "updates")
+	for _, row := range r.Rows {
+		iv := "none"
+		if row.Interval > 0 {
+			iv = row.Interval.String()
+		}
+		t.row(iv, f2(row.LIOPSNorm), f2(row.TMBpsNorm), f2(row.CPUUtil),
+			fmt.Sprintf("%d", row.Updates))
+	}
+	t.flush()
+}

@@ -1,0 +1,134 @@
+// Package harness builds the evaluation: machine presets (SV-M, WS-M),
+// stack construction, scenario helpers, and one experiment per paper figure
+// and table. Each experiment returns typed rows and renders the same
+// series/rows the paper reports.
+package harness
+
+import (
+	"fmt"
+
+	"daredevil/internal/blkmq"
+	"daredevil/internal/blkswitch"
+	"daredevil/internal/block"
+	"daredevil/internal/core"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+	"daredevil/internal/staticpart"
+)
+
+// StackKind names a storage-stack implementation.
+type StackKind string
+
+// Stack kinds.
+const (
+	Vanilla    StackKind = "vanilla"
+	BlkSwitch  StackKind = "blk-switch"
+	StaticPart StackKind = "static-part"
+	DareBase   StackKind = "dare-base"
+	DareSched  StackKind = "dare-sched"
+	DareFull   StackKind = "daredevil"
+)
+
+// AllKinds lists every stack.
+var AllKinds = []StackKind{Vanilla, BlkSwitch, StaticPart, DareBase, DareSched, DareFull}
+
+// ComparisonKinds lists the paper's §7.1 comparison targets.
+var ComparisonKinds = []StackKind{Vanilla, BlkSwitch, DareFull}
+
+// Machine describes a testbed.
+type Machine struct {
+	Name  string
+	Cores int
+	NVMe  nvme.Config
+}
+
+// SVM returns the server machine testbed (§7): the experiments use a 4-core
+// (configurable) slice of the EPYC box with a PM1735-class SSD exposing 64
+// NSQs and 64 NCQs at depth 1024.
+func SVM(cores int) Machine {
+	cfg := nvme.DefaultConfig()
+	cfg.NumNSQ = 64
+	cfg.NumNCQ = 64
+	return Machine{Name: "SV-M", Cores: cores, NVMe: cfg}
+}
+
+// WSM returns the workstation testbed (§7 complimentary setup): 8 P-cores
+// with a 980Pro-class SSD exposing 128 NSQs over 24 NCQs, so each NCQ has
+// at least 5 NSQs attached.
+func WSM() Machine {
+	cfg := nvme.DefaultConfig()
+	cfg.NumNSQ = 128
+	cfg.NumNCQ = 24
+	return Machine{Name: "WS-M", Cores: 8, NVMe: cfg}
+}
+
+// Env is a built machine + stack ready to run workloads.
+type Env struct {
+	Machine Machine
+	Kind    StackKind
+	Eng     *sim.Engine
+	Pool    *cpus.Pool
+	Dev     *nvme.Device
+	Stack   block.Stack
+}
+
+// NewEnv constructs the simulated machine and the requested stack.
+func NewEnv(m Machine, kind StackKind) *Env {
+	eng := sim.New()
+	pool := cpus.NewPool(eng, m.Cores, cpus.DefaultConfig())
+	dev := nvme.New(eng, pool, m.NVMe)
+	e := &Env{Machine: m, Kind: kind, Eng: eng, Pool: pool, Dev: dev}
+	e.Stack = buildStack(kind, stackbase.Env{Eng: eng, Pool: pool, Dev: dev})
+	return e
+}
+
+func buildStack(kind StackKind, env stackbase.Env) block.Stack {
+	switch kind {
+	case Vanilla:
+		return blkmq.New(env)
+	case BlkSwitch:
+		return blkswitch.New(env, blkswitch.DefaultConfig())
+	case StaticPart:
+		// The §3.1 configuration: as many NQs as vanilla's core-NQ
+		// bindings, split between classes.
+		return staticpart.New(env, staticpart.SplitHalf, env.Pool.N())
+	case DareBase:
+		cfg := core.DefaultConfig()
+		cfg.Level = core.LevelBase
+		return core.New(env, cfg)
+	case DareSched:
+		cfg := core.DefaultConfig()
+		cfg.Level = core.LevelSched
+		return core.New(env, cfg)
+	case DareFull:
+		return core.New(env, core.DefaultConfig())
+	default:
+		if build, ok := extraStacks[kind]; ok {
+			return build(env)
+		}
+		panic(fmt.Sprintf("harness: unknown stack kind %q", kind))
+	}
+}
+
+// CreateNamespaces sets up n namespaces on the device (call before starting
+// workloads).
+func (e *Env) CreateNamespaces(n int) { e.Dev.CreateNamespaces(n) }
+
+// Elapsed reports virtual time since start.
+func (e *Env) Elapsed() sim.Duration { return sim.Duration(e.Eng.Now()) }
+
+// Scale controls experiment durations. The paper runs minutes per phase;
+// the simulation compresses each phase to a window that preserves queueing
+// behavior (thousands of requests per tenant per window).
+type Scale struct {
+	Warmup  sim.Duration
+	Measure sim.Duration
+}
+
+// DefaultScale is used by the CLI harness.
+var DefaultScale = Scale{Warmup: 150 * sim.Millisecond, Measure: 600 * sim.Millisecond}
+
+// QuickScale is used by tests and testing.B benchmarks.
+var QuickScale = Scale{Warmup: 40 * sim.Millisecond, Measure: 160 * sim.Millisecond}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"daredevil/internal/block"
+	"daredevil/internal/sim"
+	"daredevil/internal/stats"
+	"daredevil/internal/workload"
+)
+
+// tenantIDs hands out unique tenant IDs per Env run.
+type idGen struct{ next int }
+
+func (g *idGen) get() int { g.next++; return g.next }
+
+// Mix is a set of L- and T-tenant FIO jobs on an Env.
+type Mix struct {
+	Env   *Env
+	LJobs []*workload.Job
+	TJobs []*workload.Job
+	// SeedShift perturbs every subsequently added job's random stream —
+	// set it before AddL/AddT to re-run an experiment with fresh draws.
+	SeedShift uint64
+	ids       idGen
+}
+
+// NewMix prepares an empty mix.
+func NewMix(env *Env) *Mix { return &Mix{Env: env} }
+
+// AddL adds n L-tenants (4KB rand qd=1, real-time ionice) in namespace ns,
+// spread round-robin over the cores.
+func (m *Mix) AddL(n, ns int) {
+	for i := 0; i < n; i++ {
+		cfg := workload.DefaultLTenant("fio-L", len(m.LJobs)%m.Env.Pool.N())
+		cfg.Namespace = ns
+		cfg.Seed += m.SeedShift
+		m.LJobs = append(m.LJobs, workload.NewJob(m.ids.get(), cfg))
+	}
+}
+
+// AddT adds n T-tenants (128KB qd=32, best-effort ionice) in namespace ns.
+func (m *Mix) AddT(n, ns int) {
+	for i := 0; i < n; i++ {
+		cfg := workload.DefaultTTenant("fio-T", len(m.TJobs)%m.Env.Pool.N())
+		cfg.Namespace = ns
+		cfg.Seed += m.SeedShift
+		m.TJobs = append(m.TJobs, workload.NewJob(m.ids.get(), cfg))
+	}
+}
+
+// AddTL adds n throughput-shaped tenants with *real-time* ionice — the
+// §7.5 TL-tenants that share NQs with L-tenants to stress cross-core
+// overheads.
+func (m *Mix) AddTL(n, ns int) {
+	for i := 0; i < n; i++ {
+		cfg := workload.DefaultTTenant("fio-TL", len(m.TJobs)%m.Env.Pool.N())
+		cfg.Class = block.ClassRT
+		cfg.Namespace = ns
+		m.TJobs = append(m.TJobs, workload.NewJob(m.ids.get(), cfg))
+	}
+}
+
+// StartAll starts every job.
+func (m *Mix) StartAll() {
+	for _, j := range m.AllJobs() {
+		j.Start(m.Env.Eng, m.Env.Pool, m.Env.Stack)
+	}
+}
+
+// StartTLater starts the T-tenants from index from (inclusive) at instant
+// at — the rising T-pressure of §7.1.
+func (m *Mix) StartTLater(from int, at sim.Time) {
+	jobs := m.TJobs[from:]
+	m.Env.Eng.At(at, func() {
+		for _, j := range jobs {
+			j.Start(m.Env.Eng, m.Env.Pool, m.Env.Stack)
+		}
+	})
+}
+
+// AllJobs returns L-jobs then T-jobs.
+func (m *Mix) AllJobs() []*workload.Job {
+	all := make([]*workload.Job, 0, len(m.LJobs)+len(m.TJobs))
+	all = append(all, m.LJobs...)
+	return append(all, m.TJobs...)
+}
+
+// Tenants returns all tenants in the mix.
+func (m *Mix) Tenants() []*block.Tenant {
+	var ts []*block.Tenant
+	for _, j := range m.AllJobs() {
+		ts = append(ts, j.Tenant)
+	}
+	return ts
+}
+
+// ResetStats clears every job's measurement state (after warmup).
+func (m *Mix) ResetStats() {
+	for _, j := range m.AllJobs() {
+		j.ResetStats()
+	}
+}
+
+// MixResult aggregates one measurement window.
+type MixResult struct {
+	// L-tenant latency distribution (merged over L jobs).
+	L stats.Snapshot
+	// T-tenant latency distribution.
+	T stats.Snapshot
+	// LKIOPS is aggregate L-tenant thousands of IOPS.
+	LKIOPS float64
+	// TMBps is aggregate T-tenant throughput.
+	TMBps float64
+	// CPUUtil is the mean core utilization over the window.
+	CPUUtil float64
+	// LFairness is Jain's index over per-L-tenant completion counts (1 =
+	// every L-tenant served equally).
+	LFairness float64
+}
+
+// Collect aggregates job stats over a window of length measured.
+func (m *Mix) Collect(measured sim.Duration) MixResult {
+	var l, t stats.Histogram
+	var lops, tops stats.Counter
+	for _, j := range m.LJobs {
+		l.Merge(&j.Lat)
+		lops.Ops += j.Done.Ops
+		lops.Bytes += j.Done.Bytes
+	}
+	for _, j := range m.TJobs {
+		t.Merge(&j.Lat)
+		tops.Ops += j.Done.Ops
+		tops.Bytes += j.Done.Bytes
+	}
+	var perL []float64
+	for _, j := range m.LJobs {
+		perL = append(perL, float64(j.Done.Ops))
+	}
+	return MixResult{
+		L:         l.Snapshot(),
+		T:         t.Snapshot(),
+		LKIOPS:    lops.IOPS(measured) / 1000,
+		TMBps:     tops.MBps(measured),
+		CPUUtil:   m.Env.Pool.Utilization(sim.Duration(m.Env.Eng.Now())),
+		LFairness: stats.JainIndex(perL),
+	}
+}
+
+// RunMixOnce builds a mix of nL/nT tenants in namespace 0, runs
+// warmup+measure, and aggregates — the basic cell of Figures 6, 7, 9.
+func RunMixOnce(machine Machine, kind StackKind, nL, nT int, sc Scale) MixResult {
+	env := NewEnv(machine, kind)
+	mix := NewMix(env)
+	mix.AddL(nL, 0)
+	mix.AddT(nT, 0)
+	mix.StartAll()
+	env.Eng.RunUntil(sim.Time(sc.Warmup))
+	mix.ResetStats()
+	env.Eng.RunUntil(sim.Time(sc.Warmup + sc.Measure))
+	return mix.Collect(sc.Measure)
+}

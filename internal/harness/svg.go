@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"daredevil/internal/plot"
+	"daredevil/internal/sim"
+	"daredevil/internal/workload"
+)
+
+// SVG rendering for the experiment results: each WriteSVG emits the
+// figure-shaped chart next to the textual rows (ddbench -svg).
+
+func msF(d sim.Duration) float64 { return d.Milliseconds() }
+
+// WriteSVG renders Figure 2 as two latency curves per configuration.
+func (r Fig2Result) WriteSVG(w io.Writer) error {
+	var x, withAvg, withoutAvg, withTail, withoutTail []float64
+	for _, row := range r.Rows {
+		x = append(x, float64(row.TCount))
+		withAvg = append(withAvg, msF(row.WithAvg))
+		withoutAvg = append(withoutAvg, msF(row.WithoutAvg))
+		withTail = append(withTail, msF(row.WithTail))
+		withoutTail = append(withoutTail, msF(row.WithoutTail))
+	}
+	c := &plot.Chart{
+		Title:  "Figure 2: L-tenant latency w/ and w/o NQ interference",
+		XLabel: "co-running T-tenants", YLabel: "latency (ms, log)",
+		Kind: plot.Lines, LogY: true,
+		Series: []plot.Series{
+			{Name: "w/ tail p99.9", X: x, Y: withTail},
+			{Name: "w/o tail p99.9", X: x, Y: withoutTail},
+			{Name: "w/ avg", X: x, Y: withAvg},
+			{Name: "w/o avg", X: x, Y: withoutAvg},
+		},
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 6/7 as average-latency curves per stack.
+func (r Fig6Result) WriteSVG(w io.Writer) error {
+	c := &plot.Chart{
+		Title:  "Figure 6/7 (" + r.Machine + "): L-tenant average latency vs T-pressure",
+		XLabel: "T-tenants", YLabel: "avg latency (ms, log)",
+		Kind: plot.Lines, LogY: true,
+	}
+	for _, kind := range ComparisonKinds {
+		var x, y []float64
+		for _, cell := range r.Cells {
+			if cell.Kind != kind || cell.LOps == 0 {
+				continue
+			}
+			x = append(x, float64(cell.TCount))
+			y = append(y, msF(cell.Avg))
+		}
+		if len(x) > 0 {
+			c.Series = append(c.Series, plot.Series{Name: string(kind), X: x, Y: y})
+		}
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 8 as the windowed L-latency series per stack.
+func (r Fig8Result) WriteSVG(w io.Writer) error {
+	c := &plot.Chart{
+		Title:  "Figure 8 (" + r.Machine + "): windowed L-tenant latency, rising T-pressure",
+		XLabel: "time (ms)", YLabel: "window avg latency (ms, log)",
+		Kind: plot.Lines, LogY: true,
+	}
+	for _, s := range r.Series {
+		var x, y []float64
+		for _, p := range s.Points {
+			if p.LAvgMs <= 0 {
+				continue // blocked windows have no defined latency
+			}
+			x = append(x, sim.Duration(p.At).Milliseconds())
+			y = append(y, p.LAvgMs)
+		}
+		if len(x) > 0 {
+			c.Series = append(c.Series, plot.Series{Name: string(s.Kind), X: x, Y: y})
+		}
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 9 as grouped bars (cores x pressure) per stack.
+func (r Fig9Result) WriteSVG(w io.Writer) error {
+	cats := []string{}
+	type key struct {
+		cores, t int
+	}
+	var keys []key
+	for _, cores := range []int{2, 4, 8} {
+		for _, tc := range []int{4, 32} {
+			keys = append(keys, key{cores, tc})
+			cats = append(cats, fmt.Sprintf("%dc/%dT", cores, tc))
+		}
+	}
+	c := &plot.Chart{
+		Title:  "Figure 9: L-tenant p99.9 vs available cores",
+		XLabel: "cores / T-tenants", YLabel: "tail latency (ms, log)",
+		Kind: plot.Bars, LogY: true, Categories: cats,
+	}
+	for _, kind := range ComparisonKinds {
+		var y []float64
+		for _, k := range keys {
+			if cell, ok := r.Cell(kind, k.cores, k.t); ok {
+				y = append(y, msF(cell.Tail))
+			} else {
+				y = append(y, 0)
+			}
+		}
+		c.Series = append(c.Series, plot.Series{Name: string(kind), Y: y})
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 10 as average latency bars per namespace count.
+func (r Fig10Result) WriteSVG(w io.Writer) error {
+	var cats []string
+	for _, n := range NamespaceCounts {
+		cats = append(cats, strconv.Itoa(n)+" ns")
+	}
+	c := &plot.Chart{
+		Title:  "Figure 10: multi-namespace L-tenant average latency",
+		XLabel: "namespaces", YLabel: "avg latency (ms, log)",
+		Kind: plot.Bars, LogY: true, Categories: cats,
+	}
+	for _, kind := range ComparisonKinds {
+		var y []float64
+		for _, n := range NamespaceCounts {
+			if cell, ok := r.Cell(kind, n); ok && cell.LOps > 0 {
+				y = append(y, msF(cell.Avg))
+			} else {
+				y = append(y, 0)
+			}
+		}
+		c.Series = append(c.Series, plot.Series{Name: string(kind), Y: y})
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 11's single-namespace ablation curves.
+func (r Fig11Result) WriteSVG(w io.Writer) error {
+	c := &plot.Chart{
+		Title:  "Figure 11: subsystem decomposition (single namespace)",
+		XLabel: "T-tenants", YLabel: "avg latency (ms)",
+		Kind: plot.Lines,
+	}
+	for _, kind := range AblationKinds {
+		var x, y []float64
+		for _, cell := range r.SingleNS {
+			if cell.Kind != kind {
+				continue
+			}
+			x = append(x, float64(cell.X))
+			y = append(y, msF(cell.Avg))
+		}
+		c.Series = append(c.Series, plot.Series{Name: string(kind), X: x, Y: y})
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 12 as bars of the headline op per workload.
+func (r Fig12Result) WriteSVG(w io.Writer) error {
+	headline := map[string]workload.OpType{
+		"YCSB-A": workload.OpUpdate, "YCSB-B": workload.OpGet,
+		"YCSB-E": workload.OpScan, "YCSB-F": workload.OpRMW,
+		"Mailserver": workload.OpFsync,
+	}
+	cats := []string{"YCSB-A", "YCSB-B", "YCSB-E", "YCSB-F", "Mailserver"}
+	c := &plot.Chart{
+		Title:  "Figure 12: real-world workloads (headline op latency)",
+		XLabel: "workload", YLabel: "latency (ms, log)",
+		Kind: plot.Bars, LogY: true, Categories: cats,
+	}
+	for _, kind := range ComparisonKinds {
+		var y []float64
+		for _, wl := range cats {
+			if cell, ok := r.Cell(wl, kind); ok {
+				y = append(y, msF(cell.Metrics[headline[wl]]))
+			} else {
+				y = append(y, 0)
+			}
+		}
+		c.Series = append(c.Series, plot.Series{Name: string(kind), Y: y})
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 13 as average latency vs TL count (fixed L=12).
+func (r Fig13Result) WriteSVG(w io.Writer) error {
+	c := &plot.Chart{
+		Title:  "Figure 13: L-tenant average latency vs TL-tenants (12 L-tenants)",
+		XLabel: "TL-tenants", YLabel: "avg latency (ms)",
+		Kind: plot.Lines,
+	}
+	for _, kind := range []StackKind{Vanilla, DareFull} {
+		var x, y []float64
+		for _, n := range []int{4, 8, 12, 16} {
+			if cell, ok := r.Cell(kind, "L", 12, n); ok {
+				x = append(x, float64(n))
+				y = append(y, msF(cell.Avg))
+			}
+		}
+		c.Series = append(c.Series, plot.Series{Name: string(kind), X: x, Y: y})
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 14 as the normalized performance curves.
+func (r Fig14Result) WriteSVG(w io.Writer) error {
+	var x, iops, tput, cpu []float64
+	for _, row := range r.Rows {
+		if row.Interval == 0 {
+			continue
+		}
+		// X axis: updates per second (log-friendly).
+		x = append(x, 1e9/float64(row.Interval))
+		iops = append(iops, row.LIOPSNorm)
+		tput = append(tput, row.TMBpsNorm)
+		cpu = append(cpu, row.CPUUtil)
+	}
+	c := &plot.Chart{
+		Title:  "Figure 14: normalized performance under ionice update storms",
+		XLabel: "updates per second per tenant", YLabel: "normalized",
+		Kind: plot.Lines,
+		Series: []plot.Series{
+			{Name: "L IOPS (norm)", X: x, Y: iops},
+			{Name: "T MB/s (norm)", X: x, Y: tput},
+			{Name: "CPU util", X: x, Y: cpu},
+		},
+	}
+	return c.WriteSVG(w)
+}

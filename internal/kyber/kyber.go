@@ -1,0 +1,233 @@
+// Package kyber implements a Kyber-style I/O scheduler on top of the
+// vanilla blk-mq structure — the Linux I/O scheduler family the paper's
+// related work covers ("their scheduling algorithms are built upon blk-mq,
+// assuming the static core-NQ mapping, and thus inherit the same
+// limitations", §9).
+//
+// Like Linux's Kyber, the scheduler splits requests into a
+// latency-sensitive sync domain and a throughput async domain, bounds the
+// async requests in flight per hardware queue with a token budget, and
+// adapts that budget AIMD-style against a sync-latency target. It restores
+// L-latency by throttling T-requests *before* the NQ — at the cost of
+// device utilization, because the static bindings leave it no way to
+// separate the two classes inside the NQs (contrast with Daredevil's
+// NQ-level separation, which keeps both).
+package kyber
+
+import (
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+// Config holds the scheduler's knobs (defaults shaped after Linux Kyber).
+type Config struct {
+	// SyncTarget is the latency goal for sync-domain requests.
+	SyncTarget sim.Duration
+	// InitialAsyncDepth is the starting per-HQ async token budget.
+	InitialAsyncDepth int
+	// MaxAsyncDepth caps the budget.
+	MaxAsyncDepth int
+	// AdjustEvery is the budget adaptation period.
+	AdjustEvery sim.Duration
+	// DispatchCost is the CPU cost of dispatching a staged request.
+	DispatchCost sim.Duration
+}
+
+// DefaultConfig returns Kyber-like defaults: a 2 ms sync target (Linux's
+// default read target order of magnitude, scaled to the simulated device).
+func DefaultConfig() Config {
+	return Config{
+		SyncTarget:        2 * sim.Millisecond,
+		InitialAsyncDepth: 16,
+		MaxAsyncDepth:     64,
+		AdjustEvery:       10 * sim.Millisecond,
+		DispatchCost:      700 * sim.Nanosecond,
+	}
+}
+
+// hqState is the per-hardware-queue scheduler state.
+type hqState struct {
+	asyncDepth    int
+	asyncInFlight int
+	staged        []*block.Request
+	pumpPending   bool
+}
+
+// Stack is the Kyber-like scheduler over the static blk-mq structure.
+type Stack struct {
+	stackbase.Base
+	cfg   Config
+	numHQ int
+	hqs   []*hqState
+
+	// sync-domain latency observations since the last adjustment
+	syncLatSum sim.Duration
+	syncLatN   uint64
+	armed      bool
+
+	// Throttles counts budget decreases; Releases counts increases.
+	Throttles uint64
+	Releases  uint64
+}
+
+// New builds the scheduler on env.
+func New(env stackbase.Env, cfg Config) *Stack {
+	if cfg.InitialAsyncDepth <= 0 || cfg.MaxAsyncDepth < cfg.InitialAsyncDepth {
+		panic("kyber: invalid async depth configuration")
+	}
+	if cfg.SyncTarget <= 0 || cfg.AdjustEvery <= 0 {
+		panic("kyber: target and adjust interval must be positive")
+	}
+	s := &Stack{Base: stackbase.DefaultBase(env), cfg: cfg}
+	s.numHQ = env.Pool.N()
+	if n := env.Dev.NumNSQ(); s.numHQ > n {
+		s.numHQ = n
+	}
+	if n := env.Dev.NumNCQ(); s.numHQ > n {
+		s.numHQ = n
+	}
+	for i := 0; i < s.numHQ; i++ {
+		s.hqs = append(s.hqs, &hqState{asyncDepth: cfg.InitialAsyncDepth})
+	}
+	return s
+}
+
+// Name identifies the stack.
+func (s *Stack) Name() string { return "kyber" }
+
+// AsyncDepth reports the current async budget of HQ i.
+func (s *Stack) AsyncDepth(i int) int { return s.hqs[i].asyncDepth }
+
+// Register arms the adaptation timer on first use.
+func (s *Stack) Register(t *block.Tenant) {
+	if !s.armed {
+		s.armed = true
+		s.Eng.After(s.cfg.AdjustEvery, s.adjustTick)
+	}
+}
+
+// Submit places sync-domain requests directly on the core's static NQ and
+// throttles async-domain requests against the HQ's token budget.
+func (s *Stack) Submit(rq *block.Request) sim.Duration {
+	rq.Prio = block.PrioOf(rq.Tenant.Class)
+	hq := s.hqs[s.hqOf(rq.Tenant.Core)]
+	nsq := s.hqOf(rq.Tenant.Core)
+	var overhead sim.Duration
+	for _, child := range s.SplitAll(rq) {
+		child.Prio = rq.Prio
+		if s.isSyncDomain(child) {
+			overhead += s.enqueueSync(child, nsq)
+			continue
+		}
+		if hq.asyncInFlight < hq.asyncDepth {
+			overhead += s.enqueueAsync(child, hq, nsq)
+		} else {
+			hq.staged = append(hq.staged, child)
+		}
+	}
+	return overhead
+}
+
+// isSyncDomain classifies like Kyber: reads and explicitly synchronous
+// requests are latency-sensitive; bulk writes are the async domain.
+func (s *Stack) isSyncDomain(rq *block.Request) bool {
+	return rq.Op == block.OpRead || rq.Flags.Sync()
+}
+
+func (s *Stack) hqOf(core int) int { return core % s.numHQ }
+
+func (s *Stack) enqueueSync(rq *block.Request, nsq int) sim.Duration {
+	prev := rq.OnComplete
+	rq.OnComplete = func(r *block.Request) {
+		s.syncLatSum += r.Latency()
+		s.syncLatN++
+		if prev != nil {
+			prev(r)
+		}
+	}
+	_, overhead := s.EnqueueOrRetry(rq, nsq, true)
+	return overhead
+}
+
+func (s *Stack) enqueueAsync(rq *block.Request, hq *hqState, nsq int) sim.Duration {
+	hq.asyncInFlight++
+	prev := rq.OnComplete
+	rq.OnComplete = func(r *block.Request) {
+		hq.asyncInFlight--
+		s.pumpLater(hq, nsq)
+		if prev != nil {
+			prev(r)
+		}
+	}
+	_, overhead := s.EnqueueOrRetry(rq, nsq, true)
+	return overhead
+}
+
+// pumpLater drains staged async requests as tokens free, charging the
+// dispatch work to the HQ's home core.
+func (s *Stack) pumpLater(hq *hqState, nsq int) {
+	if len(hq.staged) == 0 || hq.pumpPending {
+		return
+	}
+	hq.pumpPending = true
+	s.Pool.Core(nsq % s.Pool.N()).Submit(cpus.Work{
+		Cost:  s.cfg.DispatchCost,
+		Owner: cpus.OwnerNone,
+		Fn: func() sim.Duration {
+			hq.pumpPending = false
+			var overhead sim.Duration
+			for len(hq.staged) > 0 && hq.asyncInFlight < hq.asyncDepth {
+				rq := hq.staged[0]
+				hq.staged = hq.staged[1:]
+				overhead += s.enqueueAsync(rq, hq, nsq)
+			}
+			return overhead
+		},
+	})
+}
+
+// adjustTick adapts every HQ's async budget AIMD-style against the sync
+// latency target.
+func (s *Stack) adjustTick() {
+	if s.syncLatN > 0 {
+		mean := s.syncLatSum / sim.Duration(s.syncLatN)
+		switch {
+		case mean > s.cfg.SyncTarget:
+			for _, hq := range s.hqs {
+				if hq.asyncDepth > 1 {
+					hq.asyncDepth /= 2
+					s.Throttles++
+				}
+			}
+		case mean < s.cfg.SyncTarget/2:
+			for i, hq := range s.hqs {
+				if hq.asyncDepth < s.cfg.MaxAsyncDepth {
+					hq.asyncDepth++
+					s.Releases++
+					s.pumpLater(hq, i)
+				}
+			}
+		}
+	}
+	s.syncLatSum, s.syncLatN = 0, 0
+	s.Eng.After(s.cfg.AdjustEvery, s.adjustTick)
+}
+
+// SetIonice records the class.
+func (s *Stack) SetIonice(t *block.Tenant, c block.Class) { t.Class = c }
+
+// MigrateTenant moves the tenant to another core's static binding.
+func (s *Stack) MigrateTenant(t *block.Tenant, core int) { t.Core = core }
+
+// Factors reports the Table 1 row: an I/O scheduler on blk-mq inherits
+// blk-mq's static structure (§9).
+func (s *Stack) Factors() block.Factors {
+	return block.Factors{
+		HardwareIndependence: true,
+		NQExploitation:       false,
+		CrossCoreAutonomy:    true,
+		MultiNamespace:       false,
+	}
+}

@@ -1,0 +1,261 @@
+package kyber
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+func newStack(t *testing.T, cores int, cfg Config) (*sim.Engine, *Stack) {
+	t.Helper()
+	eng := sim.New()
+	pool := cpus.NewPool(eng, cores, cpus.Config{})
+	devCfg := nvme.DefaultConfig()
+	devCfg.NumNSQ = 64
+	devCfg.NumNCQ = 64
+	dev := nvme.New(eng, pool, devCfg)
+	return eng, New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev}, cfg)
+}
+
+func submit(eng *sim.Engine, s *Stack, ten *block.Tenant, size int64, op block.OpKind, done func()) *block.Request {
+	rq := &block.Request{ID: 1, Tenant: ten, Size: size, Op: op,
+		IssueTime: eng.Now(), NSQ: -1}
+	rq.OnComplete = func(r *block.Request) {
+		if done != nil {
+			done()
+		}
+	}
+	s.Submit(rq)
+	return rq
+}
+
+func TestNameAndFactors(t *testing.T) {
+	_, s := newStack(t, 4, DefaultConfig())
+	if s.Name() != "kyber" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	f := s.Factors()
+	if !f.HardwareIndependence || f.NQExploitation || !f.CrossCoreAutonomy || f.MultiNamespace {
+		t.Fatalf("factors wrong: %+v", f)
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero depth":  {SyncTarget: 1, InitialAsyncDepth: 0, MaxAsyncDepth: 4, AdjustEvery: 1},
+		"max < init":  {SyncTarget: 1, InitialAsyncDepth: 8, MaxAsyncDepth: 4, AdjustEvery: 1},
+		"zero target": {SyncTarget: 0, InitialAsyncDepth: 4, MaxAsyncDepth: 8, AdjustEvery: 1},
+		"zero adjust": {SyncTarget: 1, InitialAsyncDepth: 4, MaxAsyncDepth: 8, AdjustEvery: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			newStack(t, 2, cfg)
+		}()
+	}
+}
+
+func TestSyncDomainClassification(t *testing.T) {
+	_, s := newStack(t, 2, DefaultConfig())
+	cases := []struct {
+		op   block.OpKind
+		fl   block.Flags
+		sync bool
+	}{
+		{block.OpRead, 0, true},
+		{block.OpWrite, block.FlagSync, true},
+		{block.OpWrite, 0, false},
+	}
+	for _, c := range cases {
+		rq := &block.Request{Op: c.op, Flags: c.fl}
+		if got := s.isSyncDomain(rq); got != c.sync {
+			t.Errorf("isSyncDomain(%v, %v) = %v, want %v", c.op, c.fl, got, c.sync)
+		}
+	}
+}
+
+func TestAsyncThrottledAtDepth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialAsyncDepth = 4
+	eng, s := newStack(t, 1, cfg)
+	ten := &block.Tenant{ID: 1, Core: 0, Class: block.ClassBE}
+	s.Register(ten)
+	for i := 0; i < 10; i++ {
+		submit(eng, s, ten, 131072, block.OpWrite, nil)
+	}
+	// Only 4 enter the NQ; 6 stage.
+	if got := s.Env.Dev.NSQ(0).Len(); got != 4 {
+		t.Fatalf("NSQ holds %d async requests, want depth 4", got)
+	}
+	if got := len(s.hqs[0].staged); got != 6 {
+		t.Fatalf("staged %d, want 6", got)
+	}
+}
+
+func TestSyncBypassesThrottle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialAsyncDepth = 1
+	eng, s := newStack(t, 1, cfg)
+	ten := &block.Tenant{ID: 1, Core: 0, Class: block.ClassBE}
+	s.Register(ten)
+	for i := 0; i < 5; i++ {
+		submit(eng, s, ten, 131072, block.OpWrite, nil)
+	}
+	l := &block.Tenant{ID: 2, Core: 0, Class: block.ClassRT}
+	rq := submit(eng, s, l, 4096, block.OpRead, nil)
+	// The sync read entered the NQ immediately (behind only 1 async).
+	if rq.NSQ != 0 {
+		t.Fatalf("sync read routed to NSQ %d, want 0", rq.NSQ)
+	}
+	if got := s.Env.Dev.NSQ(0).Len(); got != 2 {
+		t.Fatalf("NSQ holds %d, want 2 (1 async + 1 sync)", got)
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+}
+
+func TestStagedDrainOnCompletion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialAsyncDepth = 2
+	eng, s := newStack(t, 1, cfg)
+	ten := &block.Tenant{ID: 1, Core: 0, Class: block.ClassBE}
+	s.Register(ten)
+	done := 0
+	for i := 0; i < 8; i++ {
+		submit(eng, s, ten, 131072, block.OpWrite, func() { done++ })
+	}
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if done != 8 {
+		t.Fatalf("completed %d/8; staged requests must drain", done)
+	}
+}
+
+func TestAIMDThrottlesUnderLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SyncTarget = 200 * sim.Microsecond // unreachable under load
+	eng, s := newStack(t, 2, cfg)
+	tt := &block.Tenant{ID: 1, Core: 0, Class: block.ClassBE}
+	l := &block.Tenant{ID: 2, Core: 0, Class: block.ClassRT}
+	s.Register(tt)
+	s.Register(l)
+	// Closed loops: T writes keep pressure; L reads observe latency.
+	var tLoop, lLoop func()
+	tLoop = func() { submit(eng, s, tt, 131072, block.OpWrite, tLoop) }
+	lLoop = func() { submit(eng, s, l, 4096, block.OpRead, lLoop) }
+	for i := 0; i < 32; i++ {
+		tLoop()
+	}
+	lLoop()
+	eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	if s.Throttles == 0 {
+		t.Fatal("scheduler never throttled despite missed target")
+	}
+	if s.AsyncDepth(0) >= cfg.InitialAsyncDepth {
+		t.Fatalf("async depth %d did not shrink", s.AsyncDepth(0))
+	}
+}
+
+func TestAIMDReleasesWhenIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialAsyncDepth = 2
+	cfg.SyncTarget = 100 * sim.Millisecond // trivially met
+	eng, s := newStack(t, 2, cfg)
+	l := &block.Tenant{ID: 1, Core: 0, Class: block.ClassRT}
+	s.Register(l)
+	var lLoop func()
+	lLoop = func() { submit(eng, s, l, 4096, block.OpRead, lLoop) }
+	lLoop()
+	eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	if s.Releases == 0 {
+		t.Fatal("scheduler never released budget despite met target")
+	}
+	if s.AsyncDepth(0) <= cfg.InitialAsyncDepth {
+		t.Fatalf("async depth %d did not grow", s.AsyncDepth(0))
+	}
+}
+
+func TestKyberImprovesLatencyOverVanillaAtThroughputCost(t *testing.T) {
+	// The headline trade-off: under T-pressure Kyber restores L-latency by
+	// throttling, paying with T throughput.
+	type result struct {
+		lAvg sim.Duration
+		tOps uint64
+	}
+	run := func(useKyber bool) result {
+		eng := sim.New()
+		pool := cpus.NewPool(eng, 4, cpus.Config{})
+		devCfg := nvme.DefaultConfig()
+		dev := nvme.New(eng, pool, devCfg)
+		env := stackbase.Env{Eng: eng, Pool: pool, Dev: dev}
+		var stack block.Stack
+		if useKyber {
+			stack = New(env, DefaultConfig())
+		} else {
+			stack = &passthrough{Base: stackbase.DefaultBase(env)}
+		}
+		var lSum sim.Duration
+		var lN, tN uint64
+		var issueL, issueT func(core int)
+		issueL = func(core int) {
+			ten := &block.Tenant{ID: 100 + core, Core: core, Class: block.ClassRT}
+			rq := &block.Request{ID: uint64(lN), Tenant: ten, Size: 4096,
+				Op: block.OpRead, IssueTime: eng.Now(), NSQ: -1}
+			rq.OnComplete = func(r *block.Request) {
+				lSum += r.Latency()
+				lN++
+				issueL(core)
+			}
+			stack.Submit(rq)
+		}
+		issueT = func(core int) {
+			ten := &block.Tenant{ID: 200 + core, Core: core, Class: block.ClassBE}
+			rq := &block.Request{ID: uint64(tN), Tenant: ten, Size: 131072,
+				Op: block.OpWrite, IssueTime: eng.Now(), NSQ: -1}
+			rq.OnComplete = func(r *block.Request) {
+				tN++
+				issueT(core)
+			}
+			stack.Submit(rq)
+		}
+		for c := 0; c < 4; c++ {
+			stack.Register(&block.Tenant{ID: c, Core: c})
+			issueL(c)
+			for k := 0; k < 16; k++ {
+				issueT(c)
+			}
+		}
+		eng.RunUntil(sim.Time(300 * sim.Millisecond))
+		if lN == 0 {
+			return result{lAvg: 1 << 60}
+		}
+		return result{lAvg: lSum / sim.Duration(lN), tOps: tN}
+	}
+	ky, van := run(true), run(false)
+	if ky.lAvg >= van.lAvg {
+		t.Fatalf("kyber L avg (%v) should beat vanilla (%v)", ky.lAvg, van.lAvg)
+	}
+	if ky.tOps >= van.tOps {
+		t.Fatalf("kyber must pay throughput for latency: %d vs %d T-ops", ky.tOps, van.tOps)
+	}
+}
+
+// passthrough is a minimal static-binding stack for the comparison above.
+type passthrough struct{ stackbase.Base }
+
+func (p *passthrough) Name() string                             { return "passthrough" }
+func (p *passthrough) Register(t *block.Tenant)                 {}
+func (p *passthrough) SetIonice(t *block.Tenant, c block.Class) { t.Class = c }
+func (p *passthrough) MigrateTenant(t *block.Tenant, core int)  { t.Core = core }
+func (p *passthrough) Submit(rq *block.Request) (ov sim.Duration) {
+	for _, child := range p.SplitAll(rq) {
+		_, o := p.EnqueueOrRetry(child, rq.Tenant.Core%p.Pool.N(), true)
+		ov += o
+	}
+	return ov
+}

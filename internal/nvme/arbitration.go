@@ -1,0 +1,120 @@
+package nvme
+
+import "fmt"
+
+// Arbitration selects the controller's command arbitration mechanism. The
+// paper assumes the default round-robin "for generalizability" (§2.1); the
+// NVMe specification also defines weighted round robin with urgent priority
+// class, which prior work (Joshi et al., HotStorage '17) exposed through
+// the block layer. Both are implemented so the WRR ablation bench can
+// quantify what Daredevil gains when the hardware cooperates.
+type Arbitration uint8
+
+// Arbitration mechanisms.
+const (
+	// ArbRoundRobin is the NVMe default: all submission queues are equal.
+	ArbRoundRobin Arbitration = iota
+	// ArbWeightedRoundRobin serves urgent-class queues strictly first,
+	// then cycles high→medium→low with per-class credit weights.
+	ArbWeightedRoundRobin
+)
+
+// QueueClass is an NSQ's WRR priority class.
+type QueueClass uint8
+
+// WRR queue classes.
+const (
+	ClassUrgent QueueClass = iota
+	ClassHigh
+	ClassMedium
+	ClassLow
+)
+
+// String names the class.
+func (c QueueClass) String() string {
+	switch c {
+	case ClassUrgent:
+		return "urgent"
+	case ClassHigh:
+		return "high"
+	case ClassMedium:
+		return "medium"
+	default:
+		return "low"
+	}
+}
+
+// WRRWeights are the per-class credits (commands fetched per class visit)
+// for high, medium, low. Urgent is strict-priority and needs no weight.
+type WRRWeights struct {
+	High   int
+	Medium int
+	Low    int
+}
+
+// DefaultWRRWeights mirrors common controller defaults.
+func DefaultWRRWeights() WRRWeights { return WRRWeights{High: 8, Medium: 4, Low: 1} }
+
+func (w WRRWeights) validate() error {
+	if w.High <= 0 || w.Medium <= 0 || w.Low <= 0 {
+		return fmt.Errorf("nvme: WRR weights must be positive: %+v", w)
+	}
+	return nil
+}
+
+// SetClass assigns the NSQ's WRR class (ignored under round-robin
+// arbitration).
+func (q *NSQ) SetClass(c QueueClass) { q.class = c }
+
+// Class reports the NSQ's WRR class.
+func (q *NSQ) Class() QueueClass { return q.class }
+
+// nextWRR picks the next NSQ under weighted round robin: any urgent queue
+// first (strict), then the current weighted class while its credits last.
+func (d *Device) nextWRR() *NSQ {
+	// Urgent: strict priority, round-robin among urgent queues.
+	if q := d.scanClass(ClassUrgent); q != nil {
+		return q
+	}
+	// Weighted classes: spend the current class's credits, then rotate.
+	for tries := 0; tries < 3; tries++ {
+		class := wrrOrder[d.wrrClass]
+		if d.wrrCredit > 0 {
+			if q := d.scanClass(class); q != nil {
+				d.wrrCredit--
+				return q
+			}
+		}
+		d.wrrClass = (d.wrrClass + 1) % len(wrrOrder)
+		d.wrrCredit = d.weightOf(wrrOrder[d.wrrClass])
+	}
+	return nil
+}
+
+var wrrOrder = []QueueClass{ClassHigh, ClassMedium, ClassLow}
+
+func (d *Device) weightOf(c QueueClass) int {
+	switch c {
+	case ClassHigh:
+		return d.cfg.WRR.High
+	case ClassMedium:
+		return d.cfg.WRR.Medium
+	default:
+		return d.cfg.WRR.Low
+	}
+}
+
+// scanClass returns the next NSQ of the class with visible entries,
+// round-robin within the class.
+func (d *Device) scanClass(c QueueClass) *NSQ {
+	n := len(d.nsqs)
+	cursor := d.classRR[c]
+	for i := 1; i <= n; i++ {
+		q := d.nsqs[(cursor+i)%n]
+		if q.class == c && q.visible > 0 {
+			d.classRR[c] = q.ID
+			return q
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package nvme
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/sim"
+)
+
+func newFaultyDevice(t *testing.T, rate float64, retries int) (*sim.Engine, *Device) {
+	t.Helper()
+	eng := sim.New()
+	pool := cpus.NewPool(eng, 1, cpus.Config{})
+	cfg := testConfig()
+	cfg.MediaErrorRate = rate
+	cfg.MediaRetries = retries
+	cfg.ErrorSeed = 7
+	return eng, New(eng, pool, cfg)
+}
+
+func runBatch(eng *sim.Engine, d *Device, n int) (ok, failed int, totalRetries int) {
+	ten := &block.Tenant{ID: 1, Core: 0}
+	for i := 0; i < n; i++ {
+		rq := &block.Request{ID: uint64(i), Tenant: ten, Size: 4096,
+			Offset: int64(i) * 4096, NSQ: -1, IssueTime: eng.Now()}
+		rq.OnComplete = func(r *block.Request) {
+			if r.Err != nil {
+				failed++
+			} else {
+				ok++
+			}
+			totalRetries += r.Retries
+		}
+		d.Enqueue(eng.Now(), i%d.NumNSQ(), rq, true)
+	}
+	eng.Run()
+	return ok, failed, totalRetries
+}
+
+func TestNoErrorsByDefault(t *testing.T) {
+	eng, d := newFaultyDevice(t, 0, 0)
+	okN, failed, retries := runBatch(eng, d, 50)
+	if okN != 50 || failed != 0 || retries != 0 {
+		t.Fatalf("ok=%d failed=%d retries=%d, want 50/0/0", okN, failed, retries)
+	}
+	if d.MediaErrors != 0 {
+		t.Fatalf("MediaErrors = %d", d.MediaErrors)
+	}
+}
+
+func TestRetriesMaskMostErrors(t *testing.T) {
+	// 10% per-execution error rate with 3 retries: unrecoverable chance is
+	// 0.1^4 = 1e-4, so a 100-command batch almost surely all succeeds.
+	// (100 commands fit the 8 NSQs of depth 16 without queue-full drops.)
+	eng, d := newFaultyDevice(t, 0.10, 3)
+	okN, failed, retries := runBatch(eng, d, 100)
+	if failed != 0 {
+		t.Fatalf("failed = %d, want 0 (retries should mask a 10%% rate)", failed)
+	}
+	if okN != 100 {
+		t.Fatalf("ok = %d", okN)
+	}
+	if d.MediaErrors == 0 || retries == 0 {
+		t.Fatal("injection never fired at a 10% rate over 100 commands")
+	}
+}
+
+func TestExhaustedRetriesFailTheRequest(t *testing.T) {
+	// Absurd error rate: every execution fails, so every command fails
+	// after MediaRetries attempts.
+	eng, d := newFaultyDevice(t, 0.999999, 2)
+	okN, failed, _ := runBatch(eng, d, 10)
+	if okN != 0 || failed != 10 {
+		t.Fatalf("ok=%d failed=%d, want 0/10", okN, failed)
+	}
+	if d.FailedCommands != 10 {
+		t.Fatalf("FailedCommands = %d", d.FailedCommands)
+	}
+}
+
+func TestFailedRequestsStillCompleteExactlyOnce(t *testing.T) {
+	eng, d := newFaultyDevice(t, 0.5, 1)
+	completions := map[uint64]int{}
+	ten := &block.Tenant{ID: 1, Core: 0}
+	for i := 0; i < 100; i++ {
+		id := uint64(i)
+		rq := &block.Request{ID: id, Tenant: ten, Size: 4096, NSQ: -1}
+		rq.OnComplete = func(r *block.Request) { completions[r.ID]++ }
+		d.Enqueue(eng.Now(), i%d.NumNSQ(), rq, true)
+	}
+	eng.Run()
+	if len(completions) != 100 {
+		t.Fatalf("%d requests completed, want 100", len(completions))
+	}
+	for id, n := range completions {
+		if n != 1 {
+			t.Fatalf("request %d completed %d times", id, n)
+		}
+	}
+}
+
+func TestRetriesAddLatency(t *testing.T) {
+	clean := func() sim.Duration {
+		eng, d := newFaultyDevice(t, 0, 0)
+		ten := &block.Tenant{ID: 1, Core: 0}
+		rq := &block.Request{ID: 1, Tenant: ten, Size: 4096, NSQ: -1, IssueTime: eng.Now()}
+		rq.OnComplete = func(r *block.Request) {}
+		d.Enqueue(eng.Now(), 0, rq, true)
+		eng.Run()
+		return rq.Latency()
+	}()
+	faulty := func() sim.Duration {
+		eng, d := newFaultyDevice(t, 0.999999, 3)
+		ten := &block.Tenant{ID: 1, Core: 0}
+		rq := &block.Request{ID: 1, Tenant: ten, Size: 4096, NSQ: -1, IssueTime: eng.Now()}
+		rq.OnComplete = func(r *block.Request) {}
+		d.Enqueue(eng.Now(), 0, rq, true)
+		eng.Run()
+		if rq.Err == nil {
+			t.Fatal("expected failure")
+		}
+		return rq.Latency()
+	}()
+	// 3 retries = 4 media executions; latency must reflect the re-reads.
+	if faulty < clean*3 {
+		t.Fatalf("faulty latency %v should be >=3x clean %v", faulty, clean)
+	}
+}
+
+func TestErrorRateValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.MediaErrorRate = 1.0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("rate 1.0 must be invalid")
+	}
+	cfg.MediaErrorRate = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative rate must be invalid")
+	}
+}
+
+func TestSplitParentInheritsChildError(t *testing.T) {
+	eng, d := newFaultyDevice(t, 0.999999, 0)
+	// MediaRetries 0 defaults to 3 only when rate>0 and retries==0 at New;
+	// we set it explicitly here.
+	_ = d
+	cfg := testConfig()
+	cfg.MediaErrorRate = 0.999999
+	cfg.MediaRetries = 1
+	eng = sim.New()
+	pool := cpus.NewPool(eng, 1, cpus.Config{})
+	d = New(eng, pool, cfg)
+	ten := &block.Tenant{ID: 1, Core: 0}
+	parent := &block.Request{ID: 1, Tenant: ten, Size: 8192, NSQ: -1}
+	var gotErr error
+	parent.OnComplete = func(r *block.Request) { gotErr = r.Err }
+	id := uint64(100)
+	for _, child := range parent.Split(4096, func() uint64 { id++; return id }) {
+		d.Enqueue(eng.Now(), 0, child, true)
+	}
+	eng.Run()
+	if gotErr == nil {
+		t.Fatal("parent must inherit a child's media error")
+	}
+}

@@ -1,0 +1,536 @@
+// Package nvme models an NVMe SSD as seen by the kernel: submission and
+// completion queue pairs (NSQ/NCQ) in shared memory, a controller that
+// round-robins across doorbell-rung NSQs with a bounded in-flight command
+// window, namespaces that share the controller's queue set, CQE posting, and
+// interrupt delivery to per-NCQ IRQ cores with configurable coalescing.
+//
+// The stacks (blk-mq, blk-switch, static partitioning, Daredevil) differ
+// only in how they enqueue into NSQs and what completion policy they assign
+// to NCQs — exactly the degrees of freedom the paper manipulates.
+package nvme
+
+import (
+	"errors"
+	"fmt"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/flash"
+	"daredevil/internal/sim"
+)
+
+// Config describes the device and the driver-visible costs.
+type Config struct {
+	// NumNSQ and NumNCQ size the queue sets (SV-M: 64/64, WS-M: 128/24).
+	NumNSQ int
+	NumNCQ int
+	// QueueDepth is entries per NSQ (and per NCQ), 1024 on the tested SSDs.
+	QueueDepth int
+	// MaxInflight bounds commands the controller has fetched but not
+	// completed — the internal buffer whose exhaustion creates
+	// backpressure into NSQs.
+	MaxInflight int
+
+	// FetchCost is the fixed cost to fetch one SQE (doorbell read + DMA).
+	FetchCost sim.Duration
+	// FetchPerPage is the per-page decompose cost; bulky T-requests take
+	// proportionally longer to fetch and decompose (§2.3).
+	FetchPerPage sim.Duration
+	// CQEPostCost is the controller-side cost to post one CQE.
+	CQEPostCost sim.Duration
+	// IRQLatency is interrupt delivery latency to the CPU.
+	IRQLatency sim.Duration
+	// ISREntry is the fixed ISR entry/exit cost.
+	ISREntry sim.Duration
+	// ISRPerCQE is the driver cost to process one CQE inside the ISR.
+	ISRPerCQE sim.Duration
+	// CrossCoreCQE is the extra per-CQE cost when the completing core is
+	// not the submitting core (cache-line bouncing; §5.1, §7.5).
+	CrossCoreCQE sim.Duration
+	// SQLockHold is the NSQ tail-lock critical section per enqueue.
+	SQLockHold sim.Duration
+
+	// MediaErrorRate injects per-command media failures with this
+	// probability (0 disables). The controller retries a failed command up
+	// to MediaRetries times before completing it with an error — the
+	// kernel-visible behavior of NVMe command retries.
+	MediaErrorRate float64
+	// MediaRetries bounds controller-internal re-executions (default 3
+	// when errors are enabled).
+	MediaRetries int
+	// ErrorSeed seeds the injection stream.
+	ErrorSeed uint64
+
+	// Arbitration selects the controller's fetch arbitration; the
+	// evaluation uses the round-robin default (§2.1).
+	Arbitration Arbitration
+	// WRR holds per-class credits under ArbWeightedRoundRobin.
+	WRR WRRWeights
+
+	Flash flash.Config
+}
+
+// DefaultConfig returns device parameters used across the evaluation,
+// shaped after the SV-M testbed (Samsung PM1735: 64 NQ pairs, depth 1024).
+func DefaultConfig() Config {
+	return Config{
+		NumNSQ:       64,
+		NumNCQ:       64,
+		QueueDepth:   1024,
+		MaxInflight:  64,
+		FetchCost:    600 * sim.Nanosecond,
+		FetchPerPage: 60 * sim.Nanosecond,
+		CQEPostCost:  150 * sim.Nanosecond,
+		IRQLatency:   2 * sim.Microsecond,
+		ISREntry:     1 * sim.Microsecond,
+		ISRPerCQE:    700 * sim.Nanosecond,
+		CrossCoreCQE: 900 * sim.Nanosecond,
+		SQLockHold:   250 * sim.Nanosecond,
+		Arbitration:  ArbRoundRobin,
+		WRR:          DefaultWRRWeights(),
+		Flash:        flash.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumNSQ <= 0 || c.NumNCQ <= 0:
+		return fmt.Errorf("nvme: queue counts must be positive (NSQ=%d NCQ=%d)", c.NumNSQ, c.NumNCQ)
+	case c.NumNCQ > c.NumNSQ:
+		return fmt.Errorf("nvme: NumNCQ (%d) cannot exceed NumNSQ (%d): every NCQ needs a paired NSQ", c.NumNCQ, c.NumNSQ)
+	case c.QueueDepth <= 0:
+		return fmt.Errorf("nvme: QueueDepth must be positive")
+	case c.MaxInflight <= 0:
+		return fmt.Errorf("nvme: MaxInflight must be positive")
+	}
+	if c.Arbitration == ArbWeightedRoundRobin {
+		if err := c.WRR.validate(); err != nil {
+			return err
+		}
+	}
+	if c.MediaErrorRate < 0 || c.MediaErrorRate >= 1 {
+		return fmt.Errorf("nvme: MediaErrorRate %v out of [0,1)", c.MediaErrorRate)
+	}
+	return c.Flash.Validate()
+}
+
+// CompletionPolicy controls how an NCQ turns CQEs into interrupts.
+type CompletionPolicy struct {
+	// PerRequest fires an interrupt for each CQE as soon as it posts (the
+	// fast path nqreg assigns to high-priority NCQs).
+	PerRequest bool
+	// CoalesceMax delays the interrupt until this many CQEs are pending
+	// (0 = interrupt on first CQE).
+	CoalesceMax int
+	// CoalesceDelay bounds how long a pending CQE may wait for the batch
+	// to fill (0 with CoalesceMax 0 = vanilla behavior).
+	CoalesceDelay sim.Duration
+}
+
+// command is an in-flight NVMe command.
+type command struct {
+	rq      *block.Request
+	nsq     *NSQ
+	pages   int
+	retries int
+}
+
+// NSQ is a submission queue.
+type NSQ struct {
+	ID  int
+	dev *Device
+	ncq *NCQ
+
+	entries []*command
+	head    int
+	// visible counts entries the doorbell has announced to the controller.
+	visible int
+
+	// class is the WRR priority class (ignored under round-robin).
+	class QueueClass
+
+	// Lock serializes tail updates from multiple cores; its wait times are
+	// the submission-side contention that feeds NSQ merits (§5.3).
+	Lock sim.FIFORes
+
+	// Submitted counts enqueued requests (nq.submitted_rqs).
+	Submitted uint64
+	// Fetched counts controller fetches.
+	Fetched uint64
+	// OverflowRejects counts enqueue attempts that found the queue full.
+	OverflowRejects uint64
+}
+
+// Len reports queued (not yet fetched) entries.
+func (q *NSQ) Len() int { return len(q.entries) - q.head }
+
+// VisibleLen reports doorbell-announced entries awaiting fetch.
+func (q *NSQ) VisibleLen() int { return q.visible }
+
+// Full reports whether the queue has no free entries.
+func (q *NSQ) Full() bool { return q.Len() >= q.dev.cfg.QueueDepth }
+
+// NCQ returns the paired completion queue.
+func (q *NSQ) NCQ() *NCQ { return q.ncq }
+
+// InLockTime reports cumulative lock wait (nq.in_lock_µs).
+func (q *NSQ) InLockTime() sim.Duration { return q.Lock.TotalWait }
+
+// NCQ is a completion queue.
+type NCQ struct {
+	ID      int
+	dev     *Device
+	irqCore int
+	policy  CompletionPolicy
+
+	pendingCQE []*command
+	irqArmed   bool
+	timer      *sim.Timer
+
+	// polling-mode state (see polling.go)
+	polled    bool
+	pollEvery sim.Duration
+	pollArmed bool
+
+	// InFlight counts commands fetched toward this NCQ but not yet
+	// ISR-processed (nq.in_flight_rqs).
+	InFlight int
+	// Completed counts CQEs processed (nq.complete_rqs).
+	Completed uint64
+	// IRQs counts interrupts fired (nq.irqs).
+	IRQs uint64
+}
+
+// IRQCore reports the core this NCQ's interrupt vector targets.
+func (c *NCQ) IRQCore() int { return c.irqCore }
+
+// Policy returns the current completion policy.
+func (c *NCQ) Policy() CompletionPolicy { return c.policy }
+
+// SetPolicy replaces the completion policy (nqreg's completion-path
+// dispatching).
+func (c *NCQ) SetPolicy(p CompletionPolicy) { c.policy = p }
+
+// SetIRQCore retargets the interrupt vector.
+func (c *NCQ) SetIRQCore(core int) {
+	if core < 0 || core >= c.dev.pool.N() {
+		panic(fmt.Sprintf("nvme: IRQ core %d out of range", core))
+	}
+	c.irqCore = core
+}
+
+// Depth reports the queue depth.
+func (c *NCQ) Depth() int { return c.dev.cfg.QueueDepth }
+
+// Namespace is an NVMe namespace: a logically isolated slice of the flash
+// address space that nevertheless shares the controller's NQ set (§2.1).
+type Namespace struct {
+	ID   int
+	Base int64 // absolute byte offset into the flash address space
+	Size int64
+}
+
+// Device is the simulated NVMe SSD.
+type Device struct {
+	cfg  Config
+	eng  *sim.Engine
+	pool *cpus.Pool
+
+	nsqs       []*NSQ
+	ncqs       []*NCQ
+	namespaces []Namespace
+	media      *flash.Device
+
+	// controller state
+	rr        int
+	inflight  int
+	fetchBusy bool
+	wrrClass  int
+	wrrCredit int
+	classRR   map[QueueClass]int
+	errRNG    *sim.Rand
+
+	// MediaErrors counts injected failures; FailedCommands counts commands
+	// completed with an error after exhausting retries.
+	MediaErrors    uint64
+	FailedCommands uint64
+}
+
+// New builds a device on engine eng delivering interrupts into pool.
+// NCQ i's IRQ vector lands on core i mod pool.N(); NSQ i pairs with NCQ
+// i mod NumNCQ.
+func New(eng *sim.Engine, pool *cpus.Pool, cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.MediaErrorRate > 0 && cfg.MediaRetries == 0 {
+		cfg.MediaRetries = 3
+	}
+	d := &Device{cfg: cfg, eng: eng, pool: pool, media: flash.New(cfg.Flash),
+		classRR: map[QueueClass]int{}, errRNG: sim.NewRand(cfg.ErrorSeed + 0x5eed)}
+	d.wrrCredit = cfg.WRR.High
+	for i := 0; i < cfg.NumNCQ; i++ {
+		d.ncqs = append(d.ncqs, &NCQ{ID: i, dev: d, irqCore: i % pool.N()})
+	}
+	for i := 0; i < cfg.NumNSQ; i++ {
+		d.nsqs = append(d.nsqs, &NSQ{ID: i, dev: d, ncq: d.ncqs[i%cfg.NumNCQ], class: ClassMedium})
+	}
+	d.namespaces = []Namespace{{ID: 0, Base: 0, Size: 1 << 41}} // single 2TB ns by default
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Media exposes the flash backend (read-only use intended).
+func (d *Device) Media() *flash.Device { return d.media }
+
+// NumNSQ reports the NSQ count.
+func (d *Device) NumNSQ() int { return len(d.nsqs) }
+
+// NumNCQ reports the NCQ count.
+func (d *Device) NumNCQ() int { return len(d.ncqs) }
+
+// NSQ returns submission queue i.
+func (d *Device) NSQ(i int) *NSQ { return d.nsqs[i] }
+
+// NCQOf returns completion queue i.
+func (d *Device) NCQOf(i int) *NCQ { return d.ncqs[i] }
+
+// CreateNamespaces divides the flash address space into n equal namespaces,
+// replacing any existing layout (§2.1: up to 128 namespaces per SSD).
+func (d *Device) CreateNamespaces(n int) {
+	if n <= 0 {
+		panic("nvme: need at least one namespace")
+	}
+	total := int64(1) << 41
+	per := total / int64(n)
+	d.namespaces = d.namespaces[:0]
+	for i := 0; i < n; i++ {
+		d.namespaces = append(d.namespaces, Namespace{ID: i, Base: int64(i) * per, Size: per})
+	}
+}
+
+// NumNamespaces reports the namespace count.
+func (d *Device) NumNamespaces() int { return len(d.namespaces) }
+
+// Namespace returns namespace i.
+func (d *Device) Namespace(i int) Namespace { return d.namespaces[i] }
+
+// resolve maps a namespace-relative offset to the flash address space.
+func (d *Device) resolve(ns int, offset int64) int64 {
+	if ns < 0 || ns >= len(d.namespaces) {
+		panic(fmt.Sprintf("nvme: namespace %d out of range [0,%d)", ns, len(d.namespaces)))
+	}
+	n := d.namespaces[ns]
+	return n.Base + offset%n.Size
+}
+
+// Enqueue places rq into NSQ nsqID at instant now, optionally ringing the
+// doorbell. It returns ok=false when the queue is full (caller requeues),
+// otherwise the CPU overhead (lock wait + hold) the submitting core must
+// absorb. rq.SubmitTime, rq.LockWait and rq.NSQ are filled in.
+func (d *Device) Enqueue(now sim.Time, nsqID int, rq *block.Request, ring bool) (ok bool, overhead sim.Duration) {
+	q := d.nsqs[nsqID]
+	if q.Full() {
+		q.OverflowRejects++
+		return false, 0
+	}
+	grant, wait := q.Lock.Acquire(now, d.cfg.SQLockHold)
+	enqAt := grant.Add(d.cfg.SQLockHold)
+	rq.LockWait = wait
+	rq.SubmitTime = enqAt
+	rq.NSQ = nsqID
+	pages := d.media.Pages(d.resolve(rq.Namespace, rq.Offset), rq.Size)
+	if pages == 0 {
+		pages = 1 // zero-length requests still occupy an entry
+	}
+	cmd := &command{rq: rq, nsq: q, pages: pages}
+	q.entries = append(q.entries, cmd)
+	q.Submitted++
+	if ring {
+		d.eng.At(enqAt, func() {
+			q.visible = q.Len()
+			d.maybeFetch()
+		})
+	}
+	return true, wait + d.cfg.SQLockHold
+}
+
+// Ring announces all enqueued entries of the NSQ to the controller — the
+// batched-doorbell path nqreg uses for low-priority NSQs.
+func (d *Device) Ring(nsqID int) {
+	q := d.nsqs[nsqID]
+	q.visible = q.Len()
+	d.maybeFetch()
+}
+
+// maybeFetch drives the controller's fetch engine: one command at a time,
+// round-robin over NSQs with doorbell-announced entries, bounded by the
+// in-flight window.
+func (d *Device) maybeFetch() {
+	if d.fetchBusy || d.inflight >= d.cfg.MaxInflight {
+		return
+	}
+	var q *NSQ
+	if d.cfg.Arbitration == ArbWeightedRoundRobin {
+		q = d.nextWRR()
+	} else {
+		q = d.nextRR()
+	}
+	if q == nil {
+		return
+	}
+	d.fetchBusy = true
+	// Peek the head entry to price the fetch; pop on completion of the
+	// fetch so queue occupancy reflects reality.
+	cmd := q.entries[q.head]
+	cost := d.cfg.FetchCost + sim.Duration(cmd.pages)*d.cfg.FetchPerPage
+	d.eng.After(cost, func() {
+		q.entries[q.head] = nil
+		q.head++
+		if q.head > 64 && q.head*2 >= len(q.entries) {
+			q.entries = append(q.entries[:0], q.entries[q.head:]...)
+			q.head = 0
+		}
+		q.visible--
+		q.Fetched++
+		d.inflight++
+		q.ncq.InFlight++
+		cmd.rq.FetchTime = d.eng.Now()
+		d.dispatchToFlash(cmd)
+		d.fetchBusy = false
+		d.maybeFetch()
+	})
+}
+
+// nextRR returns the next NSQ with visible entries, scanning round-robin
+// from the last position (the NVMe default arbitration the paper assumes).
+func (d *Device) nextRR() *NSQ {
+	n := len(d.nsqs)
+	for i := 1; i <= n; i++ {
+		q := d.nsqs[(d.rr+i)%n]
+		if q.visible > 0 {
+			d.rr = q.ID
+			return q
+		}
+	}
+	return nil
+}
+
+// dispatchToFlash decomposes the command into page operations and schedules
+// its completion when the last page finishes.
+func (d *Device) dispatchToFlash(cmd *command) {
+	rq := cmd.rq
+	op := flash.Read
+	if rq.Op == block.OpWrite {
+		op = flash.Program
+	}
+	abs := d.resolve(rq.Namespace, rq.Offset)
+	size := rq.Size
+	if size <= 0 {
+		size = 1
+	}
+	done := d.media.SubmitIO(d.eng.Now(), abs, size, op)
+	d.eng.At(done.Add(d.cfg.CQEPostCost), func() {
+		if d.cfg.MediaErrorRate > 0 && d.errRNG.Bool(d.cfg.MediaErrorRate) {
+			d.MediaErrors++
+			if cmd.retries < d.cfg.MediaRetries {
+				// Controller-internal retry: re-execute the media ops.
+				cmd.retries++
+				cmd.rq.Retries = cmd.retries
+				d.dispatchToFlash(cmd)
+				return
+			}
+			cmd.rq.Err = ErrMedia
+			d.FailedCommands++
+		}
+		d.inflight--
+		d.postCQE(cmd)
+		d.maybeFetch()
+	})
+}
+
+// ErrMedia marks a command that failed after exhausting device retries.
+var ErrMedia = errors.New("nvme: unrecoverable media error")
+
+// postCQE places the completed command on its NCQ and arms the interrupt
+// per the NCQ's completion policy.
+func (d *Device) postCQE(cmd *command) {
+	cq := cmd.nsq.ncq
+	cmd.rq.CQEPostTime = d.eng.Now()
+	cq.pendingCQE = append(cq.pendingCQE, cmd)
+	if cq.polled {
+		d.armPoll(cq)
+		return
+	}
+	p := cq.policy
+	switch {
+	case p.PerRequest:
+		d.fireIRQ(cq)
+	case p.CoalesceMax > 0 && len(cq.pendingCQE) >= p.CoalesceMax:
+		if cq.timer != nil {
+			cq.timer.Stop()
+			cq.timer = nil
+		}
+		d.fireIRQ(cq)
+	case p.CoalesceMax > 0 || p.CoalesceDelay > 0:
+		if !cq.irqArmed && cq.timer == nil {
+			delay := p.CoalesceDelay
+			if delay <= 0 {
+				delay = d.cfg.IRQLatency
+			}
+			cq.timer = d.eng.AfterTimer(delay, func() {
+				cq.timer = nil
+				d.fireIRQ(cq)
+			})
+		}
+	default:
+		// Vanilla: interrupt as soon as a CQE posts, unless one is already
+		// on its way (its ISR will drain everything pending — the default
+		// batched completion of §2.1).
+		d.fireIRQ(cq)
+	}
+}
+
+// fireIRQ delivers the NCQ's interrupt to its core and runs the ISR, which
+// drains all pending CQEs and completes their requests.
+func (d *Device) fireIRQ(cq *NCQ) {
+	if cq.irqArmed {
+		return
+	}
+	cq.irqArmed = true
+	d.eng.After(d.cfg.IRQLatency, func() {
+		cq.irqArmed = false
+		batch := cq.pendingCQE
+		cq.pendingCQE = nil
+		if len(batch) == 0 {
+			return
+		}
+		cq.IRQs++
+		cost := d.cfg.ISREntry
+		for _, cmd := range batch {
+			cost += d.cfg.ISRPerCQE
+			if cmd.rq.Tenant != nil && cmd.rq.Tenant.Core != cq.irqCore {
+				cost += d.cfg.CrossCoreCQE
+			}
+		}
+		core := d.pool.Core(cq.irqCore)
+		core.SubmitIRQ(cpus.Work{Cost: cost, Fn: func() sim.Duration {
+			now := d.eng.Now()
+			for _, cmd := range batch {
+				cq.InFlight--
+				cq.Completed++
+				if cmd.rq.Tenant != nil && cmd.rq.Tenant.Core != cq.irqCore {
+					cmd.rq.CrossCore = true
+				}
+				cmd.rq.Complete(now)
+			}
+			return 0
+		}})
+	})
+}
+
+// Inflight reports commands fetched but not completed.
+func (d *Device) Inflight() int { return d.inflight }

@@ -1,0 +1,334 @@
+// Package plot renders line and grouped-bar charts as standalone SVG using
+// only the standard library. It exists so the benchmark harness can emit
+// figure-shaped charts (ddbench -svg) next to its textual rows: latency
+// curves over T-pressure, time series, per-workload bars.
+//
+// The feature set is deliberately small — linear/log10 Y axes, nice tick
+// selection, a fixed color palette, legends — but the output is valid,
+// self-contained SVG 1.1.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Kind selects the mark type.
+type Kind uint8
+
+// Chart kinds.
+const (
+	// Lines draws one polyline per series over numeric X.
+	Lines Kind = iota
+	// Bars draws grouped vertical bars, one group per X category.
+	Bars
+)
+
+// Series is one named data set. For Lines, X and Y pair up point-wise; for
+// Bars, Y values align with the chart's Categories and X is ignored.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY uses a log10 Y axis (latency spans decades in this repo).
+	LogY bool
+	Kind Kind
+	// Categories labels bar groups (Bars only).
+	Categories []string
+	Series     []Series
+	// Width and Height default to 640x400.
+	Width  int
+	Height int
+}
+
+// palette holds distinguishable series colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+	"#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 36.0
+	marginBottom = 48.0
+)
+
+// Validate reports structural problems before rendering.
+func (c *Chart) Validate() error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		switch c.Kind {
+		case Lines:
+			if len(s.X) != len(s.Y) {
+				return fmt.Errorf("plot: series %q has %d X vs %d Y points", s.Name, len(s.X), len(s.Y))
+			}
+			if len(s.Y) == 0 {
+				return fmt.Errorf("plot: series %q is empty", s.Name)
+			}
+		case Bars:
+			if len(c.Categories) == 0 {
+				return fmt.Errorf("plot: bar chart %q needs categories", c.Title)
+			}
+			if len(s.Y) != len(c.Categories) {
+				return fmt.Errorf("plot: series %q has %d values for %d categories",
+					s.Name, len(s.Y), len(c.Categories))
+			}
+		default:
+			return fmt.Errorf("plot: unknown kind %d", c.Kind)
+		}
+	}
+	return nil
+}
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	width, height := float64(c.Width), float64(c.Height)
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 400
+	}
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom
+
+	xMin, xMax := c.xRange()
+	yMin, yMax := c.yRange()
+	xScale := func(v float64) float64 {
+		if xMax == xMin {
+			return marginLeft + plotW/2
+		}
+		return marginLeft + (v-xMin)/(xMax-xMin)*plotW
+	}
+	yScale := func(v float64) float64 {
+		lo, hi, vv := yMin, yMax, v
+		if c.LogY {
+			lo, hi, vv = math.Log10(yMin), math.Log10(yMax), math.Log10(clampPos(v, yMin))
+		}
+		if hi == lo {
+			return marginTop + plotH/2
+		}
+		return marginTop + plotH - (vv-lo)/(hi-lo)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%.0f" y="20" font-family="sans-serif" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+		width/2, escape(c.Title))
+
+	// Axes frame.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#333" stroke-width="1"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Y ticks + gridlines.
+	for _, tick := range c.yTicks(yMin, yMax) {
+		y := yScale(tick)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+3, formatTick(tick))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, height-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.0f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.0f)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	switch c.Kind {
+	case Lines:
+		c.renderLines(&b, xScale, yScale)
+		// X ticks for numeric axis.
+		for _, tick := range niceTicks(xMin, xMax, 6) {
+			x := xScale(tick)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				x, marginTop+plotH+14, formatTick(tick))
+		}
+	case Bars:
+		c.renderBars(&b, plotW, plotH, yScale)
+	}
+
+	c.renderLegend(&b, width)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (c *Chart) renderLines(b *strings.Builder, xScale, yScale func(float64) float64) {
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xScale(s.X[j]), yScale(s.Y[j])))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for j := range s.X {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				xScale(s.X[j]), yScale(s.Y[j]), color)
+		}
+	}
+}
+
+func (c *Chart) renderBars(b *strings.Builder, plotW, plotH float64, yScale func(float64) float64) {
+	groups := len(c.Categories)
+	groupW := plotW / float64(groups)
+	barW := groupW * 0.8 / float64(len(c.Series))
+	baseline := marginTop + plotH
+	for gi, cat := range c.Categories {
+		gx := marginLeft + float64(gi)*groupW
+		for si, s := range c.Series {
+			color := palette[si%len(palette)]
+			x := gx + groupW*0.1 + float64(si)*barW
+			y := yScale(s.Y[gi])
+			h := baseline - y
+			if h < 0 {
+				h = 0
+			}
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, h, color)
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, baseline+14, escape(cat))
+	}
+}
+
+func (c *Chart) renderLegend(b *strings.Builder, width float64) {
+	x := width - marginRight - 130
+	y := marginTop + 8.0
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", x, y-9, color)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			x+14, y, escape(s.Name))
+		y += 16
+		_ = i
+	}
+}
+
+func (c *Chart) xRange() (lo, hi float64) {
+	if c.Kind == Bars {
+		return 0, 1
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.X {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	return lo, hi
+}
+
+func (c *Chart) yRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if c.LogY && v <= 0 {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) { // all values filtered (log with non-positives)
+		lo, hi = 0.1, 1
+	}
+	if c.LogY {
+		// Expand to full decades for readable log grids.
+		lo = math.Pow(10, math.Floor(math.Log10(lo)))
+		hi = math.Pow(10, math.Ceil(math.Log10(hi)))
+		if lo == hi {
+			hi = lo * 10
+		}
+		return lo, hi
+	}
+	if lo > 0 {
+		lo = 0 // bar/line charts read better anchored at zero
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// yTicks picks gridline positions.
+func (c *Chart) yTicks(lo, hi float64) []float64 {
+	if !c.LogY {
+		return niceTicks(lo, hi, 6)
+	}
+	var ticks []float64
+	for d := math.Log10(lo); d <= math.Log10(hi)+1e-9; d++ {
+		ticks = append(ticks, math.Pow(10, d))
+	}
+	return ticks
+}
+
+// niceTicks returns ~n round tick values spanning [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+		if span/step <= float64(n)*2 {
+			break
+		}
+		step *= 2.5
+	}
+	var ticks []float64
+	start := math.Ceil(lo/step) * step
+	for v := start; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func clampPos(v, min float64) float64 {
+	if v < min {
+		return min
+	}
+	return v
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10 || av == 0 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,232 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func linesChart() *Chart {
+	return &Chart{
+		Title: "latency vs pressure", XLabel: "T-tenants", YLabel: "ms",
+		Kind: Lines,
+		Series: []Series{
+			{Name: "vanilla", X: []float64{2, 4, 8}, Y: []float64{5, 12, 26}},
+			{Name: "daredevil", X: []float64{2, 4, 8}, Y: []float64{5, 6, 6}},
+		},
+	}
+}
+
+func barsChart() *Chart {
+	return &Chart{
+		Title: "ops", XLabel: "workload", YLabel: "ms",
+		Kind:       Bars,
+		Categories: []string{"A", "B"},
+		Series: []Series{
+			{Name: "vanilla", Y: []float64{28, 29}},
+			{Name: "daredevil", Y: []float64{8, 7}},
+		},
+	}
+}
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, svg []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestLinesSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := linesChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	out := buf.String()
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	for _, want := range []string{"vanilla", "daredevil", "latency vs pressure", "T-tenants"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarsSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := barsChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	out := buf.String()
+	// 2 categories x 2 series bars + background + frame + legend swatches.
+	if strings.Count(out, "<rect") < 4+2 {
+		t.Fatalf("too few rects: %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestLogYAxis(t *testing.T) {
+	c := linesChart()
+	c.LogY = true
+	c.Series[0].Y = []float64{0.08, 10, 100}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestLogYNonPositiveFiltered(t *testing.T) {
+	c := linesChart()
+	c.LogY = true
+	c.Series[0].Y = []float64{0, 0, 0}
+	c.Series[1].Y = []float64{0, 0, 0}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatalf("all-zero log chart must still render: %v", err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := map[string]*Chart{
+		"no series":       {Title: "x", Kind: Lines},
+		"mismatched x/y":  {Kind: Lines, Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}},
+		"empty series":    {Kind: Lines, Series: []Series{{Name: "a"}}},
+		"bars no cats":    {Kind: Bars, Series: []Series{{Name: "a", Y: []float64{1}}}},
+		"bars wrong size": {Kind: Bars, Categories: []string{"a", "b"}, Series: []Series{{Name: "a", Y: []float64{1}}}},
+		"unknown kind":    {Kind: Kind(9), Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}},
+	}
+	for name, c := range cases {
+		if err := c.WriteSVG(&bytes.Buffer{}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := linesChart()
+	c.Title = `a <b> & "c"`
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if strings.Contains(buf.String(), "<b>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestSinglePointSeries(t *testing.T) {
+	c := &Chart{
+		Kind:   Lines,
+		Series: []Series{{Name: "one", X: []float64{5}, Y: []float64{5}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestNiceTicksProperties(t *testing.T) {
+	prop := func(loRaw, spanRaw uint16) bool {
+		lo := float64(loRaw) / 7
+		span := float64(spanRaw)/13 + 0.1
+		hi := lo + span
+		ticks := niceTicks(lo, hi, 6)
+		if len(ticks) == 0 || len(ticks) > 20 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, v := range ticks {
+			if v < lo-span/1e6 || v > hi+span/1e6 {
+				return false
+			}
+			if v <= prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2M", // rounded
+		1500:    "2k",
+		1000:    "1k",
+		42:      "42",
+		3.5:     "3.5",
+		0.25:    "0.25",
+		0:       "0",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCustomDimensions(t *testing.T) {
+	c := linesChart()
+	c.Width, c.Height = 800, 300
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="800" height="300"`) {
+		t.Fatal("custom dimensions not applied")
+	}
+}
+
+func TestBarsWithLogY(t *testing.T) {
+	c := barsChart()
+	c.LogY = true
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestBarsZeroValueRendersEmptyBar(t *testing.T) {
+	c := barsChart()
+	c.Series[0].Y = []float64{0, 29} // zero bar must not produce negative height
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if strings.Contains(buf.String(), `height="-`) {
+		t.Fatal("negative bar height emitted")
+	}
+}
+
+func TestLinesIdenticalYRange(t *testing.T) {
+	c := &Chart{
+		Kind:   Lines,
+		Series: []Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}

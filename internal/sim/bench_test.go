@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventThroughput measures raw event scheduling+dispatch.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := New()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(10, fn)
+		}
+	}
+	e.After(10, fn)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineFanout measures dispatch with a deep event heap.
+func BenchmarkEngineFanout(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(i%1000), func() {})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkRandUint64 measures the PRNG.
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkFIFOResAcquire measures the contention model.
+func BenchmarkFIFOResAcquire(b *testing.B) {
+	var r FIFORes
+	for i := 0; i < b.N; i++ {
+		r.Acquire(Time(i), 5)
+	}
+}

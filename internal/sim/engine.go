@@ -1,0 +1,152 @@
+package sim
+
+import "container/heap"
+
+// event is a single scheduled callback. Events at the same instant fire in
+// scheduling order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation core: a virtual clock plus an
+// ordered queue of pending events. It is not safe for concurrent use; the
+// entire simulated machine runs on one engine, single-threaded.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+
+	// Executed counts events that have fired; useful for budget guards in
+	// tests and long experiments.
+	Executed uint64
+}
+
+// New returns an engine with the clock at zero and no pending events.
+func New() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at instant t. Scheduling in the past panics: it
+// always indicates a modeling bug, and silently reordering time would make
+// every downstream measurement wrong.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its instant.
+// It reports whether an event fired.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 || e.stopped {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.Executed++
+	ev.fn()
+	return true
+}
+
+// RunUntil fires every event scheduled at or before t, then sets the clock
+// to t. Events scheduled during the run are fired too if they fall within
+// the horizon.
+func (e *Engine) RunUntil(t Time) {
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop halts Run/RunUntil after the current event. Pending events remain
+// queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears a previous Stop.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the callback from running.
+func (t *Timer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Fired reports whether the callback has run.
+func (t *Timer) Fired() bool { return t.fired }
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return !t.fired && !t.stopped }
+
+// AfterTimer schedules fn to run d from now and returns a handle that can
+// cancel it.
+func (e *Engine) AfterTimer(d Duration, fn func()) *Timer {
+	t := &Timer{fn: fn}
+	e.After(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		t.fn()
+	})
+	return t
+}

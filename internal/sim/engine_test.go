@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, d := range []Duration{50, 10, 30, 20, 40} {
+		d := d
+		e.After(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (same-instant events must be FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var trace []Time
+	e.After(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace = %v, want [10 15]", trace)
+	}
+}
+
+func TestEngineRunUntilAdvancesClock(t *testing.T) {
+	e := New()
+	fired := false
+	e.After(100, func() { fired = true })
+	e.RunUntil(50)
+	if fired {
+		t.Fatal("event at 100 fired before horizon 50")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %v, want 50", e.Now())
+	}
+	e.RunUntil(100)
+	if !fired {
+		t.Fatal("event at 100 did not fire by horizon 100")
+	}
+}
+
+func TestEngineRunUntilIncludesBoundary(t *testing.T) {
+	e := New()
+	fired := false
+	e.After(50, func() { fired = true })
+	e.RunUntil(50)
+	if !fired {
+		t.Fatal("event exactly at the horizon must fire")
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.After(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineNegativeAfterPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay must panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineStopHaltsRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.After(Duration(i+1), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	e.Resume()
+	e.Run()
+	if count != 10 {
+		t.Fatalf("ran %d events after Resume, want 10", count)
+	}
+}
+
+func TestEngineExecutedCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.After(Duration(i), func() {})
+	}
+	e.Run()
+	if e.Executed != 7 {
+		t.Fatalf("Executed = %d, want 7", e.Executed)
+	}
+}
+
+func TestTimerStopPreventsFire(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.AfterTimer(10, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer should return true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should return false")
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.AfterTimer(10, func() { fired = true })
+	e.Run()
+	if !fired || !tm.Fired() || tm.Active() {
+		t.Fatalf("fired=%v Fired()=%v Active()=%v, want true/true/false", fired, tm.Fired(), tm.Active())
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire should return false")
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the clock never moves backwards.
+func TestEngineOrderingProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		e := New()
+		var fireTimes []Time
+		last := Time(-1)
+		monotonic := true
+		for _, d := range raw {
+			e.After(Duration(d), func() {
+				now := e.Now()
+				if now < last {
+					monotonic = false
+				}
+				last = now
+				fireTimes = append(fireTimes, now)
+			})
+		}
+		e.Run()
+		if !monotonic || len(fireTimes) != len(raw) {
+			return false
+		}
+		want := make([]int64, len(raw))
+		for i, d := range raw {
+			want[i] = int64(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if int64(fireTimes[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tt := Time(100)
+	if tt.Add(50) != 150 {
+		t.Fatalf("Add: got %v", tt.Add(50))
+	}
+	if Time(150).Sub(tt) != 50 {
+		t.Fatalf("Sub: got %v", Time(150).Sub(tt))
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+		{1500 * Microsecond, "1.500ms"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if d.Milliseconds() != 1.5 {
+		t.Errorf("Milliseconds() = %v, want 1.5", d.Milliseconds())
+	}
+	if d.Microseconds() != 1500 {
+		t.Errorf("Microseconds() = %v, want 1500", d.Microseconds())
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Errorf("Seconds() = %v, want 2", (2 * Second).Seconds())
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if MaxDuration(3, 5) != 5 || MaxDuration(5, 3) != 5 {
+		t.Error("MaxDuration wrong")
+	}
+	if MinDuration(3, 5) != 3 || MinDuration(5, 3) != 3 {
+		t.Error("MinDuration wrong")
+	}
+	if MaxTime(3, 5) != 5 || MaxTime(5, 3) != 5 {
+		t.Error("MaxTime wrong")
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+// Rand is a small, fast, deterministic PRNG (splitmix64). Each simulated
+// component forks its own stream so that adding a consumer never perturbs
+// the draws seen by another, keeping experiments comparable across stacks.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Fork derives an independent stream from the current one.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64() ^ 0xA5A5A5A5A5A5A5A5)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative random int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Int63n returns a uniform random int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	// Modulo bias is negligible for n << 2^63 (our use), and determinism
+	// matters more than perfect uniformity here.
+	return r.Int63() % n
+}
+
+// Intn returns a uniform random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+// Float64 returns a uniform random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// DurationN returns a uniform random duration in [0, d). d must be positive.
+func (r *Rand) DurationN(d Duration) Duration {
+	return Duration(r.Int63n(int64(d)))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,82 @@
+// Package sim provides the deterministic discrete-event simulation (DES)
+// substrate on which the whole storage stack reproduction runs: a virtual
+// clock, an event queue, cancellable timers, a fast deterministic PRNG, and a
+// FIFO resource used to model serialized critical sections (NVMe submission
+// queue locks, flash channel buses).
+//
+// Everything in this repository executes on a single sim.Engine event loop,
+// so runs are reproducible bit-for-bit given a seed.
+package sim
+
+import "fmt"
+
+// Time is an absolute instant on the virtual clock, in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of ms.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds returns the duration as a floating-point number of µs.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// String renders a duration with an auto-selected unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second || d <= -Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond || d <= -Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	case d >= Microsecond || d <= -Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// String renders an instant as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// MaxDuration returns the larger of a and b.
+func MaxDuration(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinDuration returns the smaller of a and b.
+func MinDuration(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+// Package stackbase factors out the plumbing every storage stack shares:
+// the environment handles (engine, cores, device), block-layer I/O
+// splitting, request-ID allocation, and the requeue-on-full path that
+// mirrors blk-mq's BLK_STS_RESOURCE handling.
+package stackbase
+
+import (
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+)
+
+// Env bundles the simulated machine a stack operates on.
+type Env struct {
+	Eng  *sim.Engine
+	Pool *cpus.Pool
+	Dev  *nvme.Device
+}
+
+// Base provides common stack mechanics. Embed it in stack implementations.
+type Base struct {
+	Env
+
+	// MaxIOSize is the block-layer split threshold (kernel I/O splitting,
+	// §2.3). Zero disables splitting.
+	MaxIOSize int64
+	// RetryDelay is the backoff before re-attempting a submission that
+	// found its NSQ full.
+	RetryDelay sim.Duration
+	// RequeueCost is the CPU cost of a requeue attempt.
+	RequeueCost sim.Duration
+
+	nextID uint64
+
+	// Requeues counts submissions that hit a full NSQ at least once.
+	Requeues uint64
+}
+
+// DefaultBase returns a Base with kernel-like defaults on env.
+func DefaultBase(env Env) Base {
+	return Base{
+		Env:         env,
+		MaxIOSize:   256 * 1024,
+		RetryDelay:  10 * sim.Microsecond,
+		RequeueCost: 500 * sim.Nanosecond,
+	}
+}
+
+// NextID allocates a request ID for split children.
+func (b *Base) NextID() uint64 {
+	b.nextID++
+	return b.nextID
+}
+
+// SplitAll applies block-layer splitting to rq.
+func (b *Base) SplitAll(rq *block.Request) []*block.Request {
+	if b.MaxIOSize <= 0 {
+		return []*block.Request{rq}
+	}
+	return rq.Split(b.MaxIOSize, b.NextID)
+}
+
+// EnqueueOrRetry tries to place rq on NSQ nsq. On success it reports
+// accepted=true and the submission overhead (lock wait + hold). When the
+// NSQ is full it schedules a retry on the tenant's core after RetryDelay,
+// reports accepted=false, and returns the requeue bookkeeping cost; the
+// retry repeats until the queue drains. Retried submissions always ring
+// the doorbell — a requeued request has waited long enough that batching
+// it further could live-lock a full queue of unannounced entries.
+func (b *Base) EnqueueOrRetry(rq *block.Request, nsq int, ring bool) (accepted bool, overhead sim.Duration) {
+	ok, overhead := b.Dev.Enqueue(b.Eng.Now(), nsq, rq, ring)
+	if ok {
+		return true, overhead
+	}
+	b.Requeues++
+	b.scheduleRetry(rq, nsq)
+	return false, b.RequeueCost
+}
+
+func (b *Base) scheduleRetry(rq *block.Request, nsq int) {
+	core := 0
+	if rq.Tenant != nil {
+		core = rq.Tenant.Core
+	}
+	b.Eng.After(b.RetryDelay, func() {
+		b.Pool.Core(core).Submit(cpus.Work{
+			Cost:  b.RequeueCost,
+			Owner: tenantOwner(rq),
+			Fn: func() sim.Duration {
+				ok, overhead := b.Dev.Enqueue(b.Eng.Now(), nsq, rq, true)
+				if ok {
+					return overhead
+				}
+				b.scheduleRetry(rq, nsq)
+				return 0
+			},
+		})
+	})
+}
+
+func tenantOwner(rq *block.Request) int {
+	if rq.Tenant != nil {
+		return rq.Tenant.ID
+	}
+	return cpus.OwnerNone
+}

@@ -1,0 +1,134 @@
+package stackbase
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+)
+
+func newEnv(t *testing.T) Env {
+	t.Helper()
+	eng := sim.New()
+	pool := cpus.NewPool(eng, 2, cpus.Config{})
+	cfg := nvme.DefaultConfig()
+	cfg.NumNSQ = 4
+	cfg.NumNCQ = 4
+	cfg.QueueDepth = 4
+	dev := nvme.New(eng, pool, cfg)
+	return Env{Eng: eng, Pool: pool, Dev: dev}
+}
+
+func TestNextIDMonotonic(t *testing.T) {
+	b := DefaultBase(newEnv(t))
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		id := b.NextID()
+		if id <= prev {
+			t.Fatalf("NextID not monotonic: %d after %d", id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestSplitAllRespectsMaxIOSize(t *testing.T) {
+	b := DefaultBase(newEnv(t))
+	b.MaxIOSize = 4096
+	rq := &block.Request{Size: 10000}
+	parts := b.SplitAll(rq)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts, want 3", len(parts))
+	}
+}
+
+func TestSplitAllDisabled(t *testing.T) {
+	b := DefaultBase(newEnv(t))
+	b.MaxIOSize = 0
+	rq := &block.Request{Size: 1 << 20}
+	parts := b.SplitAll(rq)
+	if len(parts) != 1 || parts[0] != rq {
+		t.Fatal("splitting disabled must return the request unchanged")
+	}
+}
+
+func TestEnqueueOrRetrySuccess(t *testing.T) {
+	env := newEnv(t)
+	b := DefaultBase(env)
+	ten := &block.Tenant{ID: 1, Core: 0}
+	rq := &block.Request{ID: 1, Tenant: ten, Size: 4096, NSQ: -1}
+	rq.OnComplete = func(r *block.Request) {}
+	accepted, overhead := b.EnqueueOrRetry(rq, 0, true)
+	if !accepted {
+		t.Fatal("enqueue on an empty queue must be accepted")
+	}
+	if overhead <= 0 {
+		t.Fatalf("overhead = %v, want positive (lock hold)", overhead)
+	}
+	if b.Requeues != 0 {
+		t.Fatal("successful enqueue must not count a requeue")
+	}
+}
+
+func TestEnqueueOrRetryEventuallySucceeds(t *testing.T) {
+	env := newEnv(t)
+	b := DefaultBase(env)
+	ten := &block.Tenant{ID: 1, Core: 0}
+	// Fill NSQ 0 (depth 4) without ringing, so it stays full until we ring.
+	for i := 0; i < 4; i++ {
+		rq := &block.Request{ID: uint64(i), Tenant: ten, Size: 4096, NSQ: -1}
+		rq.OnComplete = func(r *block.Request) {}
+		if ok, _ := env.Dev.Enqueue(env.Eng.Now(), 0, rq, false); !ok {
+			t.Fatal("setup enqueue failed")
+		}
+	}
+	done := false
+	rq := &block.Request{ID: 99, Tenant: ten, Size: 4096, NSQ: -1}
+	rq.OnComplete = func(r *block.Request) { done = true }
+	accepted, overhead := b.EnqueueOrRetry(rq, 0, true)
+	if accepted {
+		t.Fatal("enqueue on a full queue must be deferred")
+	}
+	if overhead != b.RequeueCost {
+		t.Fatalf("overhead on full queue = %v, want RequeueCost %v", overhead, b.RequeueCost)
+	}
+	if b.Requeues != 1 {
+		t.Fatalf("Requeues = %d, want 1", b.Requeues)
+	}
+	// Drain the queue; the retry must land and complete.
+	env.Dev.Ring(0)
+	env.Eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if !done {
+		t.Fatal("retried request never completed")
+	}
+}
+
+func TestDefaultBaseDefaults(t *testing.T) {
+	b := DefaultBase(newEnv(t))
+	if b.MaxIOSize != 256*1024 {
+		t.Fatalf("MaxIOSize = %d", b.MaxIOSize)
+	}
+	if b.RetryDelay <= 0 || b.RequeueCost <= 0 {
+		t.Fatal("retry parameters must be positive")
+	}
+}
+
+func TestRetryWithNilTenantUsesCoreZero(t *testing.T) {
+	env := newEnv(t)
+	b := DefaultBase(env)
+	for i := 0; i < 4; i++ {
+		rq := &block.Request{ID: uint64(i), Size: 4096, NSQ: -1}
+		rq.OnComplete = func(r *block.Request) {}
+		env.Dev.Enqueue(env.Eng.Now(), 0, rq, false)
+	}
+	done := false
+	rq := &block.Request{ID: 99, Size: 4096, NSQ: -1} // no tenant
+	rq.OnComplete = func(r *block.Request) { done = true }
+	b.EnqueueOrRetry(rq, 0, true)
+	env.Dev.Ring(0)
+	env.Eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if !done {
+		t.Fatal("tenant-less retry never completed")
+	}
+}

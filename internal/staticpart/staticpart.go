@@ -1,0 +1,115 @@
+// Package staticpart implements static per-class NQ separation in the style
+// of FlashShare [98] and D2FQ [90] (§3.2, Figure 3a), and doubles as the
+// paper's §3.1 "w/o interfere" modified blk-mq: L- and T-requests use
+// disjoint, statically assigned NQs. Separation removes NQ-level
+// interference, but the static core→NQ binding still prevents an overloaded
+// core from borrowing another core's idle NQs (no Factor-2 NQ exploitation).
+package staticpart
+
+import (
+	"fmt"
+
+	"daredevil/internal/block"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+// Mode selects how NQs are divided between classes.
+type Mode uint8
+
+// Partition modes.
+const (
+	// SplitHalf gives L-requests the first half of the usable NQs and
+	// T-requests the second half (the §3.1 motivation configuration).
+	SplitHalf Mode = iota
+	// PerCorePair statically over-provisions one L-NQ and one T-NQ per
+	// core (FlashShare/D2FQ-style), requiring 2x cores NQs.
+	PerCorePair
+)
+
+// Stack is the static-partitioning storage stack.
+type Stack struct {
+	stackbase.Base
+	mode   Mode
+	usable int
+}
+
+// New builds the stack. In SplitHalf mode the usable NQ count may be
+// constrained via maxNQs (the paper constrains it to 4 to match vanilla's 4
+// core-NQ bindings); pass 0 for no constraint.
+func New(env stackbase.Env, mode Mode, maxNQs int) *Stack {
+	s := &Stack{Base: stackbase.DefaultBase(env), mode: mode}
+	avail := env.Dev.NumNSQ()
+	switch mode {
+	case SplitHalf:
+		s.usable = avail
+		if maxNQs > 0 && maxNQs < s.usable {
+			s.usable = maxNQs
+		}
+		if s.usable < 2 {
+			panic("staticpart: SplitHalf needs at least 2 NQs")
+		}
+	case PerCorePair:
+		need := 2 * env.Pool.N()
+		if avail < need {
+			panic(fmt.Sprintf("staticpart: PerCorePair needs %d NQs, device has %d", need, avail))
+		}
+		s.usable = need
+	default:
+		panic("staticpart: unknown mode")
+	}
+	return s
+}
+
+// Name identifies the stack.
+func (s *Stack) Name() string { return "static-part" }
+
+// Usable reports the NQ count in use.
+func (s *Stack) Usable() int { return s.usable }
+
+// Register is a no-op.
+func (s *Stack) Register(t *block.Tenant) {}
+
+// Submit routes by class into the statically assigned per-class NQs.
+func (s *Stack) Submit(rq *block.Request) sim.Duration {
+	rq.Prio = block.PrioOf(rq.Tenant.Class)
+	var overhead sim.Duration
+	for _, child := range s.SplitAll(rq) {
+		child.Prio = rq.Prio
+		_, ov := s.EnqueueOrRetry(child, s.route(rq.Tenant), true)
+		overhead += ov
+	}
+	return overhead
+}
+
+func (s *Stack) route(t *block.Tenant) int {
+	switch s.mode {
+	case SplitHalf:
+		half := s.usable / 2
+		if t.Class == block.ClassRT {
+			return t.Core % half
+		}
+		return half + t.Core%(s.usable-half)
+	default: // PerCorePair
+		if t.Class == block.ClassRT {
+			return 2 * t.Core
+		}
+		return 2*t.Core + 1
+	}
+}
+
+// SetIonice records the class; future requests route to the new partition.
+func (s *Stack) SetIonice(t *block.Tenant, c block.Class) { t.Class = c }
+
+// MigrateTenant moves the tenant to another core's static NQs.
+func (s *Stack) MigrateTenant(t *block.Tenant, core int) { t.Core = core }
+
+// Factors reports the Table 1 row shared by FlashShare and D2FQ.
+func (s *Stack) Factors() block.Factors {
+	return block.Factors{
+		HardwareIndependence: false,
+		NQExploitation:       false,
+		CrossCoreAutonomy:    true,
+		MultiNamespace:       false,
+	}
+}

@@ -1,0 +1,160 @@
+package staticpart
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+func newEnv(t *testing.T, cores, nsqs int) stackbase.Env {
+	t.Helper()
+	eng := sim.New()
+	pool := cpus.NewPool(eng, cores, cpus.Config{})
+	cfg := nvme.DefaultConfig()
+	cfg.NumNSQ = nsqs
+	cfg.NumNCQ = nsqs
+	dev := nvme.New(eng, pool, cfg)
+	return stackbase.Env{Eng: eng, Pool: pool, Dev: dev}
+}
+
+func route(s *Stack, ten *block.Tenant) int {
+	rq := &block.Request{ID: 1, Tenant: ten, Size: 4096, NSQ: -1}
+	rq.OnComplete = func(r *block.Request) {}
+	s.Submit(rq)
+	return rq.NSQ
+}
+
+func TestSplitHalfSeparatesClasses(t *testing.T) {
+	env := newEnv(t, 4, 64)
+	s := New(env, SplitHalf, 4)
+	if s.Usable() != 4 {
+		t.Fatalf("Usable = %d, want 4 (constrained)", s.Usable())
+	}
+	lNQs := map[int]bool{}
+	tNQs := map[int]bool{}
+	for core := 0; core < 4; core++ {
+		lNQs[route(s, &block.Tenant{ID: 1, Core: core, Class: block.ClassRT})] = true
+		tNQs[route(s, &block.Tenant{ID: 2, Core: core, Class: block.ClassBE})] = true
+	}
+	for nq := range lNQs {
+		if tNQs[nq] {
+			t.Fatalf("NQ %d serves both classes; separation broken", nq)
+		}
+		if nq >= 2 {
+			t.Fatalf("L-request on NQ %d, want first half [0,2)", nq)
+		}
+	}
+	for nq := range tNQs {
+		if nq < 2 {
+			t.Fatalf("T-request on NQ %d, want second half [2,4)", nq)
+		}
+	}
+	env.Eng.RunUntil(sim.Time(100 * sim.Millisecond))
+}
+
+func TestSplitHalfUnconstrained(t *testing.T) {
+	env := newEnv(t, 4, 16)
+	s := New(env, SplitHalf, 0)
+	if s.Usable() != 16 {
+		t.Fatalf("Usable = %d, want all 16", s.Usable())
+	}
+}
+
+func TestPerCorePairMapping(t *testing.T) {
+	env := newEnv(t, 4, 16)
+	s := New(env, PerCorePair, 0)
+	if s.Usable() != 8 {
+		t.Fatalf("Usable = %d, want 2*cores = 8", s.Usable())
+	}
+	for core := 0; core < 4; core++ {
+		l := route(s, &block.Tenant{ID: 1, Core: core, Class: block.ClassRT})
+		tt := route(s, &block.Tenant{ID: 2, Core: core, Class: block.ClassBE})
+		if l != 2*core || tt != 2*core+1 {
+			t.Fatalf("core %d: L->%d T->%d, want %d/%d", core, l, tt, 2*core, 2*core+1)
+		}
+	}
+	env.Eng.RunUntil(sim.Time(100 * sim.Millisecond))
+}
+
+func TestPerCorePairNeedsEnoughNQs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PerCorePair with too few NQs must panic")
+		}
+	}()
+	New(newEnv(t, 8, 8), PerCorePair, 0)
+}
+
+func TestSplitHalfNeedsTwoNQs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SplitHalf with 1 NQ must panic")
+		}
+	}()
+	New(newEnv(t, 1, 4), SplitHalf, 1)
+}
+
+func TestUnknownModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown mode must panic")
+		}
+	}()
+	New(newEnv(t, 2, 8), Mode(99), 0)
+}
+
+func TestStaticBindingCannotBorrowIdleNQs(t *testing.T) {
+	// The core limitation (§3.2): an I/O-heavy core cannot use NQs mapped
+	// by other cores — its requests always land on its static NQ.
+	env := newEnv(t, 4, 64)
+	s := New(env, SplitHalf, 4)
+	ten := &block.Tenant{ID: 1, Core: 0, Class: block.ClassBE}
+	first := route(s, ten)
+	for i := 0; i < 10; i++ {
+		if nq := route(s, ten); nq != first {
+			t.Fatalf("static partitioning moved a tenant's NQ: %d -> %d", first, nq)
+		}
+	}
+	env.Eng.RunUntil(sim.Time(100 * sim.Millisecond))
+}
+
+func TestIoniceSwapsPartition(t *testing.T) {
+	env := newEnv(t, 4, 64)
+	s := New(env, SplitHalf, 4)
+	ten := &block.Tenant{ID: 1, Core: 0, Class: block.ClassBE}
+	before := route(s, ten)
+	s.SetIonice(ten, block.ClassRT)
+	after := route(s, ten)
+	if before < 2 || after >= 2 {
+		t.Fatalf("partition swap wrong: before=%d after=%d", before, after)
+	}
+	env.Eng.RunUntil(sim.Time(100 * sim.Millisecond))
+}
+
+func TestFactorsRow(t *testing.T) {
+	s := New(newEnv(t, 2, 8), SplitHalf, 4)
+	f := s.Factors()
+	if f.HardwareIndependence || f.NQExploitation || !f.CrossCoreAutonomy || f.MultiNamespace {
+		t.Fatalf("static-part factors wrong: %+v", f)
+	}
+	if s.Name() != "static-part" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestMigrateChangesStaticTarget(t *testing.T) {
+	env := newEnv(t, 4, 64)
+	s := New(env, SplitHalf, 4)
+	ten := &block.Tenant{ID: 1, Core: 0, Class: block.ClassRT}
+	before := route(s, ten)
+	s.MigrateTenant(ten, 1)
+	after := route(s, ten)
+	if before == after {
+		t.Fatal("migration should change the per-core static NQ")
+	}
+	env.Eng.RunUntil(sim.Time(100 * sim.Millisecond))
+}

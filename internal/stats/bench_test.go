@@ -1,0 +1,30 @@
+package stats
+
+import (
+	"testing"
+
+	"daredevil/internal/sim"
+)
+
+// BenchmarkHistogramRecord measures the hot recording path.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(sim.Duration(i%1000000) * sim.Microsecond / 1000)
+	}
+}
+
+// BenchmarkHistogramQuantile measures percentile queries on a populated
+// histogram.
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Record(sim.Duration(i))
+	}
+	b.ResetTimer()
+	var sink sim.Duration
+	for i := 0; i < b.N; i++ {
+		sink += h.Quantile(0.999)
+	}
+	_ = sink
+}

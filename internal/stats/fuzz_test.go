@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"daredevil/internal/sim"
+)
+
+// FuzzBucketIndex ensures every int64 maps to a valid bucket whose bounds
+// contain it.
+func FuzzBucketIndex(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(63))
+	f.Add(int64(64))
+	f.Add(int64(1) << 62)
+	f.Add(int64(-17))
+	f.Fuzz(func(t *testing.T, v int64) {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		clamped := v
+		if clamped < 0 {
+			clamped = 0
+		}
+		lo := lowerBounds[idx]
+		hi := int64(math.MaxInt64)
+		if idx+1 < numBuckets {
+			hi = lowerBounds[idx+1] - 1
+		}
+		if clamped < lo || clamped > hi {
+			t.Fatalf("value %d in bucket %d = [%d, %d]", clamped, idx, lo, hi)
+		}
+	})
+}
+
+// FuzzHistogramQuantile ensures quantiles always lie within [Min, Max].
+func FuzzHistogramQuantile(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, 0.5)
+	f.Add([]byte{255, 0, 128}, 0.999)
+	f.Fuzz(func(t *testing.T, raw []byte, q float64) {
+		if len(raw) == 0 || math.IsNaN(q) {
+			return
+		}
+		var h Histogram
+		for _, b := range raw {
+			h.Record(sim.Duration(b) * sim.Microsecond)
+		}
+		got := h.Quantile(q)
+		if got < h.Min() || got > h.Max() {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, got, h.Min(), h.Max())
+		}
+	})
+}

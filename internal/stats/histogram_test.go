@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"daredevil/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(1000)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if h.Mean() != 1000 {
+		t.Fatalf("Mean = %v, want 1000", h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Fatalf("Quantile(%v) = %v, want 1000 (single value clamps)", q, got)
+		}
+	}
+}
+
+func TestHistogramMinMax(t *testing.T) {
+	var h Histogram
+	for _, v := range []sim.Duration{500, 100, 900, 300} {
+		h.Record(v)
+	}
+	if h.Min() != 100 || h.Max() != 900 {
+		t.Fatalf("Min/Max = %v/%v, want 100/900", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-50)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative record should clamp to 0, got min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramMedianAccuracy(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	med := h.Quantile(0.5)
+	want := 500 * sim.Microsecond
+	if relErr(med, want) > 0.05 {
+		t.Fatalf("median = %v, want ≈%v", med, want)
+	}
+}
+
+func TestHistogramTailAccuracy(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10000; i++ {
+		h.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	p999 := h.Quantile(0.999)
+	want := 9990 * sim.Microsecond
+	if relErr(p999, want) > 0.05 {
+		t.Fatalf("p99.9 = %v, want ≈%v", p999, want)
+	}
+}
+
+func relErr(got, want sim.Duration) float64 {
+	return math.Abs(float64(got)-float64(want)) / float64(want)
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	var h Histogram
+	vals := []sim.Duration{10, 20, 30, 40}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("Mean = %v, want 25 (mean is exact, not bucketed)", h.Mean())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(sim.Duration(i))
+		b.Record(sim.Duration(i + 1000))
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged Count = %d, want 200", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 1099 {
+		t.Fatalf("merged Min/Max = %v/%v, want 0/1099", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Record(5)
+	a.Merge(&b)
+	if a.Count() != 1 || a.Min() != 5 {
+		t.Fatal("merging an empty histogram must be a no-op")
+	}
+	b.Merge(&a)
+	if b.Count() != 1 || b.Min() != 5 || b.Max() != 5 {
+		t.Fatal("merging into an empty histogram must copy stats")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestHistogramLargeValues(t *testing.T) {
+	var h Histogram
+	huge := sim.Duration(1) << 55
+	h.Record(huge)
+	got := h.Quantile(1)
+	if relErr(got, huge) > 0.05 {
+		t.Fatalf("huge value quantile = %v, want ≈%v", got, huge)
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1 << 40, 1 << 62} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketBoundsConsistent(t *testing.T) {
+	// Every value must land in a bucket whose [lower, upper] contains it.
+	for _, v := range []int64{0, 1, 5, 63, 64, 100, 4095, 4096, 999999, 1 << 30, 1<<62 + 12345} {
+		idx := bucketIndex(v)
+		lo := lowerBounds[idx]
+		var hi int64 = math.MaxInt64
+		if idx+1 < numBuckets {
+			hi = lowerBounds[idx+1] - 1
+		}
+		if v < lo || v > hi {
+			t.Fatalf("value %d mapped to bucket %d = [%d, %d]", v, idx, lo, hi)
+		}
+	}
+}
+
+// Property: quantiles are within bucket error of the exact order statistic.
+func TestHistogramQuantileProperty(t *testing.T) {
+	prop := func(raw []uint32, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		var h Histogram
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r)
+			h.Record(sim.Duration(r))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		rank := int(math.Ceil(q * float64(len(vals))))
+		if rank == 0 {
+			rank = 1
+		}
+		exact := vals[rank-1]
+		got := int64(h.Quantile(q))
+		// Allow bucket-width error: 2^mag where mag derives from exact.
+		tol := exact/16 + 2
+		return got >= exact-tol && got <= exact+tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge(a, b) has the same quantiles as recording everything into
+// one histogram.
+func TestHistogramMergeEquivalenceProperty(t *testing.T) {
+	prop := func(xs, ys []uint16) bool {
+		var a, b, all Histogram
+		for _, v := range xs {
+			a.Record(sim.Duration(v))
+			all.Record(sim.Duration(v))
+		}
+		for _, v := range ys {
+			b.Record(sim.Duration(v))
+			all.Record(sim.Duration(v))
+		}
+		a.Merge(&b)
+		if a.Count() != all.Count() || a.Mean() != all.Mean() {
+			return false
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			if a.Quantile(q) != all.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Record(10 * sim.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("snapshot Count = %d, want 1", s.Count)
+	}
+	if s.String() == "" {
+		t.Fatal("snapshot String() empty")
+	}
+}
+
+func TestQuantileClampsRange(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	h.Record(200)
+	if h.Quantile(-0.5) != h.Quantile(0) {
+		t.Fatal("q<0 should clamp to 0")
+	}
+	if h.Quantile(1.5) != h.Quantile(1) {
+		t.Fatal("q>1 should clamp to 1")
+	}
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"daredevil/internal/sim"
+)
+
+// Counter accumulates events and bytes over the whole run; Rate helpers turn
+// the totals into IOPS / MB/s over an interval.
+type Counter struct {
+	Ops   uint64
+	Bytes int64
+}
+
+// Add records one completed operation of n bytes.
+func (c *Counter) Add(n int64) {
+	c.Ops++
+	c.Bytes += n
+}
+
+// IOPS reports operations per second over the elapsed interval.
+func (c *Counter) IOPS(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Ops) / elapsed.Seconds()
+}
+
+// MBps reports throughput in MB/s (decimal megabytes) over the interval.
+func (c *Counter) MBps(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) / 1e6 / elapsed.Seconds()
+}
+
+// Reset clears the counter.
+func (c *Counter) Reset() { *c = Counter{} }
+
+// SeriesPoint is one sample of a windowed time series.
+type SeriesPoint struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series collects per-window aggregates over virtual time, producing the
+// fluctuation plots of Figure 8. Values added within one window are folded
+// by the reducer (mean by default).
+type Series struct {
+	Window sim.Duration
+
+	points   []SeriesPoint
+	winStart sim.Time
+	sum      float64
+	n        uint64
+	// SumMode reports window sums instead of window means (used for
+	// throughput series where the per-window total is the point).
+	SumMode bool
+}
+
+// NewSeries returns a series with the given aggregation window.
+func NewSeries(window sim.Duration) *Series {
+	if window <= 0 {
+		panic("stats: non-positive series window")
+	}
+	return &Series{Window: window}
+}
+
+// Add records value v at instant t. Samples must arrive in non-decreasing
+// time order (guaranteed on a single sim engine).
+func (s *Series) Add(t sim.Time, v float64) {
+	s.rollTo(t)
+	s.sum += v
+	s.n++
+}
+
+func (s *Series) rollTo(t sim.Time) {
+	for t >= s.winStart.Add(s.Window) {
+		s.flushWindow()
+		s.winStart = s.winStart.Add(s.Window)
+	}
+}
+
+func (s *Series) flushWindow() {
+	var v float64
+	if s.SumMode {
+		v = s.sum
+	} else if s.n > 0 {
+		v = s.sum / float64(s.n)
+	}
+	s.points = append(s.points, SeriesPoint{At: s.winStart, Value: v})
+	s.sum = 0
+	s.n = 0
+}
+
+// Finish closes the window containing t (if any samples are pending) and
+// returns all points.
+func (s *Series) Finish(t sim.Time) []SeriesPoint {
+	s.rollTo(t)
+	if s.n > 0 {
+		s.flushWindow()
+	}
+	return s.points
+}
+
+// Points returns the completed windows so far.
+func (s *Series) Points() []SeriesPoint { return s.points }
+
+// JainIndex computes Jain's fairness index over per-entity values: 1.0 is
+// perfectly fair, 1/n is maximally unfair. Used to quantify how evenly a
+// stack serves same-class tenants.
+func JainIndex(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// CPUMeter tracks busy time for a set of cores to report utilization, the
+// metric behind the paper's CPU-cost observations (§7.1, Fig. 14).
+type CPUMeter struct {
+	busy []sim.Duration
+}
+
+// NewCPUMeter returns a meter for n cores.
+func NewCPUMeter(n int) *CPUMeter {
+	return &CPUMeter{busy: make([]sim.Duration, n)}
+}
+
+// AddBusy charges d of busy time to core i.
+func (m *CPUMeter) AddBusy(i int, d sim.Duration) {
+	m.busy[i] += d
+}
+
+// Busy reports the accumulated busy time of core i.
+func (m *CPUMeter) Busy(i int) sim.Duration { return m.busy[i] }
+
+// Utilization reports mean utilization across all cores over elapsed time,
+// in [0, 1] (values above 1 are clamped; they indicate modeling slop).
+func (m *CPUMeter) Utilization(elapsed sim.Duration) float64 {
+	if elapsed <= 0 || len(m.busy) == 0 {
+		return 0
+	}
+	var total sim.Duration
+	for _, b := range m.busy {
+		total += b
+	}
+	u := total.Seconds() / (elapsed.Seconds() * float64(len(m.busy)))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset clears accumulated busy time.
+func (m *CPUMeter) Reset() {
+	for i := range m.busy {
+		m.busy[i] = 0
+	}
+}

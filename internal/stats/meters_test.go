@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"testing"
+
+	"daredevil/internal/sim"
+)
+
+func TestCounterRates(t *testing.T) {
+	var c Counter
+	for i := 0; i < 1000; i++ {
+		c.Add(4096)
+	}
+	if c.Ops != 1000 || c.Bytes != 4096000 {
+		t.Fatalf("Ops/Bytes = %d/%d", c.Ops, c.Bytes)
+	}
+	iops := c.IOPS(sim.Second)
+	if iops != 1000 {
+		t.Fatalf("IOPS = %v, want 1000", iops)
+	}
+	mbps := c.MBps(sim.Second)
+	if mbps < 4.09 || mbps > 4.10 {
+		t.Fatalf("MBps = %v, want ≈4.096", mbps)
+	}
+}
+
+func TestCounterZeroElapsed(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	if c.IOPS(0) != 0 || c.MBps(0) != 0 {
+		t.Fatal("zero elapsed must report zero rates")
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	c.Reset()
+	if c.Ops != 0 || c.Bytes != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSeriesMeanWindows(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(10, 2)
+	s.Add(20, 4)
+	s.Add(150, 10)
+	pts := s.Finish(250)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].At != 0 || pts[0].Value != 3 {
+		t.Fatalf("window 0 = %+v, want {0 3}", pts[0])
+	}
+	if pts[1].At != 100 || pts[1].Value != 10 {
+		t.Fatalf("window 1 = %+v, want {100 10}", pts[1])
+	}
+}
+
+func TestSeriesSumMode(t *testing.T) {
+	s := NewSeries(100)
+	s.SumMode = true
+	s.Add(10, 2)
+	s.Add(20, 4)
+	pts := s.Finish(100)
+	if len(pts) != 1 || pts[0].Value != 6 {
+		t.Fatalf("sum-mode points = %+v, want one point of 6", pts)
+	}
+}
+
+func TestSeriesEmptyWindowsMeanZero(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(10, 5)
+	s.Add(350, 7)
+	pts := s.Finish(400)
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4 (empty windows included)", len(pts))
+	}
+	if pts[1].Value != 0 || pts[2].Value != 0 {
+		t.Fatal("empty windows must report 0")
+	}
+}
+
+func TestSeriesPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive window must panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestCPUMeterUtilization(t *testing.T) {
+	m := NewCPUMeter(2)
+	m.AddBusy(0, 500*sim.Millisecond)
+	m.AddBusy(1, 250*sim.Millisecond)
+	u := m.Utilization(sim.Second)
+	if u < 0.374 || u > 0.376 {
+		t.Fatalf("Utilization = %v, want 0.375", u)
+	}
+	if m.Busy(0) != 500*sim.Millisecond {
+		t.Fatalf("Busy(0) = %v", m.Busy(0))
+	}
+}
+
+func TestCPUMeterClampsAboveOne(t *testing.T) {
+	m := NewCPUMeter(1)
+	m.AddBusy(0, 2*sim.Second)
+	if u := m.Utilization(sim.Second); u != 1 {
+		t.Fatalf("Utilization = %v, want clamp to 1", u)
+	}
+}
+
+func TestCPUMeterReset(t *testing.T) {
+	m := NewCPUMeter(1)
+	m.AddBusy(0, sim.Second)
+	m.Reset()
+	if m.Utilization(sim.Second) != 0 {
+		t.Fatal("Reset did not clear busy time")
+	}
+}
+
+func TestCPUMeterZeroElapsed(t *testing.T) {
+	m := NewCPUMeter(1)
+	if m.Utilization(0) != 0 {
+		t.Fatal("zero elapsed must report zero utilization")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Fatal("empty slice must be 0")
+	}
+	if v := JainIndex([]float64{5, 5, 5, 5}); v != 1 {
+		t.Fatalf("equal values: %v, want 1", v)
+	}
+	if v := JainIndex([]float64{1, 0, 0, 0}); v != 0.25 {
+		t.Fatalf("single dominator: %v, want 0.25 (1/n)", v)
+	}
+	if v := JainIndex([]float64{0, 0}); v != 1 {
+		t.Fatalf("all-zero: %v, want 1 (vacuously fair)", v)
+	}
+	mixed := JainIndex([]float64{10, 8, 12, 9})
+	if mixed <= 0.9 || mixed > 1 {
+		t.Fatalf("near-equal values: %v, want in (0.9, 1]", mixed)
+	}
+}

@@ -1,0 +1,145 @@
+// Package trace captures per-request path timelines — issue, submission
+// (with lock wait), controller fetch, CQE post, delivery — for debugging
+// and for ddsim's -trace flag. A Collector samples completed requests and
+// renders them as a phase-delta table, which makes head-of-line blocking
+// directly visible: a blocked request shows its time parked in the NSQ
+// between submit and fetch.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"daredevil/internal/block"
+	"daredevil/internal/sim"
+)
+
+// Record is one completed request's timeline.
+type Record struct {
+	ID     uint64
+	Tenant string
+	Class  block.Class
+	Prio   block.Prio
+	Op     block.OpKind
+	Size   int64
+	NSQ    int
+
+	Issue    sim.Time
+	Submit   sim.Time
+	Fetch    sim.Time
+	CQEPost  sim.Time
+	Complete sim.Time
+
+	LockWait  sim.Duration
+	CrossCore bool
+}
+
+// Phases returns the per-stage durations: CPU+routing (issue→submit),
+// in-NSQ (submit→fetch), device (fetch→CQE), delivery (CQE→complete).
+func (r Record) Phases() (cpu, inQueue, device, delivery sim.Duration) {
+	return r.Submit.Sub(r.Issue), r.Fetch.Sub(r.Submit),
+		r.CQEPost.Sub(r.Fetch), r.Complete.Sub(r.CQEPost)
+}
+
+// Total is the end-to-end latency.
+func (r Record) Total() sim.Duration { return r.Complete.Sub(r.Issue) }
+
+// Collector samples completed requests up to a capacity.
+type Collector struct {
+	// SampleEvery keeps every Nth observation (1 = all). Zero acts as 1.
+	SampleEvery int
+
+	capacity int
+	seen     uint64
+	records  []Record
+}
+
+// NewCollector keeps at most capacity sampled records.
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Collector{capacity: capacity, SampleEvery: 1}
+}
+
+// Observe records the completed request if the sample and capacity admit
+// it. Call it from a completion callback.
+func (c *Collector) Observe(rq *block.Request) {
+	c.seen++
+	every := c.SampleEvery
+	if every <= 0 {
+		every = 1
+	}
+	if (c.seen-1)%uint64(every) != 0 || len(c.records) >= c.capacity {
+		return
+	}
+	rec := Record{
+		ID: rq.ID, Class: block.ClassBE, Prio: rq.Prio, Op: rq.Op,
+		Size: rq.Size, NSQ: rq.NSQ,
+		Issue: rq.IssueTime, Submit: rq.SubmitTime, Fetch: rq.FetchTime,
+		CQEPost: rq.CQEPostTime, Complete: rq.CompleteTime,
+		LockWait: rq.LockWait, CrossCore: rq.CrossCore,
+	}
+	if rq.Tenant != nil {
+		rec.Tenant = rq.Tenant.Name
+		rec.Class = rq.Tenant.Class
+	}
+	c.records = append(c.records, rec)
+}
+
+// Records returns the sampled records.
+func (c *Collector) Records() []Record { return c.records }
+
+// Seen reports all observations, sampled or not.
+func (c *Collector) Seen() uint64 { return c.seen }
+
+// Full reports whether the capacity is exhausted.
+func (c *Collector) Full() bool { return len(c.records) >= c.capacity }
+
+// WriteTable renders the sampled timelines with per-phase deltas.
+func (c *Collector) WriteTable(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "req\ttenant\tclass\top\tsize\tNSQ\tcpu+route\tin-NSQ\tdevice\tdelivery\ttotal\txcore")
+	for _, r := range c.records {
+		cpu, inQ, dev, del := r.Phases()
+		x := ""
+		if r.CrossCore {
+			x = "yes"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%d\t%d\t%v\t%v\t%v\t%v\t%v\t%s\n",
+			r.ID, r.Tenant, r.Class, r.Op, r.Size, r.NSQ,
+			cpu, inQ, dev, del, r.Total(), x)
+	}
+	tw.Flush()
+}
+
+// Summary aggregates the sampled records' phase means.
+type Summary struct {
+	N        int
+	CPU      sim.Duration
+	InQueue  sim.Duration
+	Device   sim.Duration
+	Delivery sim.Duration
+}
+
+// Summarize computes phase means over the sample.
+func (c *Collector) Summarize() Summary {
+	s := Summary{N: len(c.records)}
+	if s.N == 0 {
+		return s
+	}
+	for _, r := range c.records {
+		cpu, inQ, dev, del := r.Phases()
+		s.CPU += cpu
+		s.InQueue += inQ
+		s.Device += dev
+		s.Delivery += del
+	}
+	n := sim.Duration(s.N)
+	s.CPU /= n
+	s.InQueue /= n
+	s.Device /= n
+	s.Delivery /= n
+	return s
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"daredevil/internal/block"
+)
+
+func req(id uint64, name string) *block.Request {
+	return &block.Request{
+		ID:     id,
+		Tenant: &block.Tenant{Name: name, Class: block.ClassRT},
+		Size:   4096, NSQ: 3,
+		IssueTime: 100, SubmitTime: 110, FetchTime: 150,
+		CQEPostTime: 400, CompleteTime: 420,
+		LockWait: 2, CrossCore: true,
+	}
+}
+
+func TestObserveAndPhases(t *testing.T) {
+	c := NewCollector(8)
+	c.Observe(req(1, "web"))
+	recs := c.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	cpu, inQ, dev, del := recs[0].Phases()
+	if cpu != 10 || inQ != 40 || dev != 250 || del != 20 {
+		t.Fatalf("phases = %v %v %v %v", cpu, inQ, dev, del)
+	}
+	if recs[0].Total() != 320 {
+		t.Fatalf("total = %v", recs[0].Total())
+	}
+	if recs[0].Tenant != "web" || !recs[0].CrossCore {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 10; i++ {
+		c.Observe(req(uint64(i), "x"))
+	}
+	if len(c.Records()) != 3 {
+		t.Fatalf("records = %d, want cap 3", len(c.Records()))
+	}
+	if c.Seen() != 10 {
+		t.Fatalf("seen = %d", c.Seen())
+	}
+	if !c.Full() {
+		t.Fatal("collector should report full")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	c := NewCollector(100)
+	c.SampleEvery = 4
+	for i := 0; i < 16; i++ {
+		c.Observe(req(uint64(i), "x"))
+	}
+	if len(c.Records()) != 4 {
+		t.Fatalf("records = %d, want 4 (every 4th of 16)", len(c.Records()))
+	}
+	if c.Records()[1].ID != 4 {
+		t.Fatalf("second sample ID = %d, want 4", c.Records()[1].ID)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	c := NewCollector(4)
+	c.Observe(req(7, "web"))
+	var buf bytes.Buffer
+	c.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"req", "in-NSQ", "web", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := NewCollector(4)
+	c.Observe(req(1, "a"))
+	c.Observe(req(2, "b"))
+	s := c.Summarize()
+	if s.N != 2 || s.CPU != 10 || s.InQueue != 40 || s.Device != 250 || s.Delivery != 20 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := NewCollector(1).Summarize()
+	if empty.N != 0 || empty.CPU != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestNewCollectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	NewCollector(0)
+}
+
+func TestNilTenantSafe(t *testing.T) {
+	c := NewCollector(1)
+	r := req(1, "x")
+	r.Tenant = nil
+	c.Observe(r)
+	if c.Records()[0].Tenant != "" {
+		t.Fatal("nil tenant should leave name empty")
+	}
+}

@@ -1,0 +1,205 @@
+package virtio
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/core"
+	"daredevil/internal/cpus"
+	"daredevil/internal/nvme"
+	"daredevil/internal/sim"
+	"daredevil/internal/stackbase"
+)
+
+func newHost(t *testing.T) (*sim.Engine, *cpus.Pool, block.Stack) {
+	t.Helper()
+	eng := sim.New()
+	pool := cpus.NewPool(eng, 4, cpus.Config{})
+	cfg := nvme.DefaultConfig()
+	dev := nvme.New(eng, pool, cfg)
+	stack := core.New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev}, core.DefaultConfig())
+	return eng, pool, stack
+}
+
+func guestReq(id uint64, guest *block.Tenant, size int64, op block.OpKind,
+	now sim.Time, done func(*block.Request)) *block.Request {
+	return &block.Request{ID: id, Tenant: guest, Size: size, Op: op,
+		IssueTime: now, NSQ: -1, OnComplete: done}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig(GuestMixed, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultConfig(GuestMixed, 0).Validate(); err == nil {
+		t.Fatal("zero VQs must be invalid")
+	}
+	if err := DefaultConfig(GuestDecoupled, 1).Validate(); err == nil {
+		t.Fatal("decoupled mode with 1 VQ must be invalid")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if GuestMixed.String() != "guest-mixed" || GuestDecoupled.String() != "guest-decoupled" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestDecoupledVQClasses(t *testing.T) {
+	eng, pool, stack := newHost(t)
+	_ = eng
+	vm := New(eng, pool, stack, DefaultConfig(GuestDecoupled, 4))
+	if vm.NumVQs() != 4 {
+		t.Fatalf("NumVQs = %d", vm.NumVQs())
+	}
+	for i := 0; i < 2; i++ {
+		if vm.VQClass(i) != block.ClassRT {
+			t.Fatalf("VQ %d class = %v, want RT (first half is the L group)", i, vm.VQClass(i))
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if vm.VQClass(i) != block.ClassBE {
+			t.Fatalf("VQ %d class = %v, want BE", i, vm.VQClass(i))
+		}
+	}
+}
+
+func TestMixedVQClassesAreOpaque(t *testing.T) {
+	eng, pool, stack := newHost(t)
+	vm := New(eng, pool, stack, DefaultConfig(GuestMixed, 4))
+	for i := 0; i < 4; i++ {
+		if vm.VQClass(i) != block.ClassBE {
+			t.Fatalf("VQ %d class = %v; a mixed guest is opaque to the host", i, vm.VQClass(i))
+		}
+	}
+}
+
+func TestGuestRequestCompletes(t *testing.T) {
+	eng, pool, stack := newHost(t)
+	vm := New(eng, pool, stack, DefaultConfig(GuestDecoupled, 4))
+	guest := &block.Tenant{ID: 1, Core: 0, Class: block.ClassRT}
+	done := false
+	rq := guestReq(1, guest, 4096, block.OpRead, eng.Now(), func(r *block.Request) { done = true })
+	vm.Submit(rq)
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	if !done {
+		t.Fatal("guest request never completed")
+	}
+	if rq.Latency() <= 0 || rq.NSQ < 0 {
+		t.Fatalf("guest request not annotated: lat=%v nsq=%d", rq.Latency(), rq.NSQ)
+	}
+	if vm.Forwarded != 1 {
+		t.Fatalf("Forwarded = %d", vm.Forwarded)
+	}
+}
+
+func TestDecoupledRoutesByGuestClass(t *testing.T) {
+	eng, pool, stack := newHost(t)
+	vm := New(eng, pool, stack, DefaultConfig(GuestDecoupled, 4))
+	l := &block.Tenant{ID: 1, Core: 0, Class: block.ClassRT}
+	tt := &block.Tenant{ID: 2, Core: 0, Class: block.ClassBE}
+	lq := vm.route(l, &block.Request{})
+	tq := vm.route(tt, &block.Request{})
+	if lq.proxy.Class != block.ClassRT {
+		t.Fatal("guest L-request routed to a non-RT VQ")
+	}
+	if tq.proxy.Class != block.ClassBE {
+		t.Fatal("guest T-request routed to a non-BE VQ")
+	}
+	// Outlier requests from guest T-tenants use the L group (§8.1 keeps
+	// the same troute semantics in the guest).
+	oq := vm.route(tt, &block.Request{Flags: block.FlagSync})
+	if oq.proxy.Class != block.ClassRT {
+		t.Fatal("guest outlier not routed to the L VQ group")
+	}
+	_ = eng
+}
+
+func TestMixedRoutesByVCPU(t *testing.T) {
+	eng, pool, stack := newHost(t)
+	vm := New(eng, pool, stack, DefaultConfig(GuestMixed, 4))
+	l := &block.Tenant{ID: 1, Core: 2, Class: block.ClassRT}
+	tt := &block.Tenant{ID: 2, Core: 2, Class: block.ClassBE}
+	if vm.route(l, &block.Request{}).id != vm.route(tt, &block.Request{}).id {
+		t.Fatal("mixed mode must co-locate same-vCPU tenants in one VQ")
+	}
+	_ = eng
+}
+
+func TestVQOrderingFIFO(t *testing.T) {
+	eng, pool, stack := newHost(t)
+	vm := New(eng, pool, stack, DefaultConfig(GuestDecoupled, 2))
+	guest := &block.Tenant{ID: 1, Core: 0, Class: block.ClassRT}
+	var order []uint64
+	for i := 0; i < 5; i++ {
+		id := uint64(i)
+		rq := guestReq(id, guest, 4096, block.OpRead, eng.Now(), func(r *block.Request) {
+			order = append(order, r.ID)
+		})
+		rq.Offset = int64(i) * 4096
+		vm.Submit(rq)
+	}
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if len(order) != 5 {
+		t.Fatalf("completed %d/5", len(order))
+	}
+}
+
+func TestEndToEndSLAConsistency(t *testing.T) {
+	// The §8.1 payoff: with a decoupled guest on a Daredevil host, guest
+	// L-requests land in high-group NSQs while guest T-requests land in the
+	// low group — separation survives virtualization.
+	eng := sim.New()
+	pool := cpus.NewPool(eng, 4, cpus.Config{})
+	devCfg := nvme.DefaultConfig()
+	dev := nvme.New(eng, pool, devCfg)
+	stack := core.New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev}, core.DefaultConfig())
+	vm := New(eng, pool, stack, DefaultConfig(GuestDecoupled, 4))
+	half := dev.NumNCQ() / 2
+
+	l := &block.Tenant{ID: 1, Core: 0, Class: block.ClassRT}
+	tt := &block.Tenant{ID: 2, Core: 1, Class: block.ClassBE}
+	var wrong int
+	for i := 0; i < 10; i++ {
+		lrq := guestReq(uint64(i), l, 4096, block.OpRead, eng.Now(), func(r *block.Request) {
+			if dev.NSQ(r.NSQ).NCQ().ID >= half {
+				wrong++
+			}
+		})
+		vm.Submit(lrq)
+		trq := guestReq(uint64(100+i), tt, 131072, block.OpWrite, eng.Now(), func(r *block.Request) {
+			if dev.NSQ(r.NSQ).NCQ().ID < half {
+				wrong++
+			}
+		})
+		vm.Submit(trq)
+	}
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if wrong != 0 {
+		t.Fatalf("%d guest requests landed in the wrong host NQGroup", wrong)
+	}
+}
+
+func TestMixedGuestLosesSeparation(t *testing.T) {
+	// Counterpart: a mixed guest is opaque, so even a Daredevil host puts
+	// everything in the low group — guest L-requests included.
+	eng := sim.New()
+	pool := cpus.NewPool(eng, 4, cpus.Config{})
+	dev := nvme.New(eng, pool, nvme.DefaultConfig())
+	stack := core.New(stackbase.Env{Eng: eng, Pool: pool, Dev: dev}, core.DefaultConfig())
+	vm := New(eng, pool, stack, DefaultConfig(GuestMixed, 4))
+	half := dev.NumNCQ() / 2
+
+	l := &block.Tenant{ID: 1, Core: 0, Class: block.ClassRT}
+	highGroup := 0
+	rq := guestReq(1, l, 4096, block.OpRead, eng.Now(), func(r *block.Request) {
+		if dev.NSQ(r.NSQ).NCQ().ID < half {
+			highGroup++
+		}
+	})
+	vm.Submit(rq)
+	eng.RunUntil(sim.Time(sim.Second))
+	if highGroup != 0 {
+		t.Fatal("mixed guest's L-request reached the high group; the host should not see guest SLAs")
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"math"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/sim"
+	"daredevil/internal/stats"
+)
+
+// expGap draws an exponentially distributed duration with the given mean —
+// Poisson arrivals for open-loop workloads.
+func expGap(rng *sim.Rand, mean sim.Duration) sim.Duration {
+	u := rng.Float64()
+	if u >= 1 {
+		u = 0.9999999
+	}
+	d := sim.Duration(-float64(mean) * math.Log(1-u))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// CheckpointConfig describes a deep-learning trainer that periodically
+// checkpoints model state — the throughput-oriented tenant the paper's
+// introduction motivates ("deep learning training workloads that
+// periodically checkpoint model states").
+type CheckpointConfig struct {
+	Name      string
+	Core      int
+	Namespace int
+	// Size is the checkpoint size in bytes, written as ChunkSize requests
+	// with QD outstanding.
+	Size      int64
+	ChunkSize int64
+	QD        int
+	// Every is the checkpoint period, measured start-to-start. If a
+	// checkpoint overruns the period, the next starts immediately.
+	Every      sim.Duration
+	SubmitCost sim.Duration
+	Seed       uint64
+}
+
+// DefaultCheckpointConfig returns a trainer writing 64 MiB every 500 ms.
+func DefaultCheckpointConfig(name string, core int) CheckpointConfig {
+	return CheckpointConfig{
+		Name: name, Core: core,
+		Size: 64 << 20, ChunkSize: 131072, QD: 8,
+		Every:      500 * sim.Millisecond,
+		SubmitCost: 16 * sim.Microsecond,
+		Seed:       uint64(core)*7541 + 101,
+	}
+}
+
+// Checkpointer is the running trainer tenant (best-effort ionice: its
+// writes are bulk T-requests).
+type Checkpointer struct {
+	Cfg    CheckpointConfig
+	Tenant *block.Tenant
+
+	// Durations records wall time per completed checkpoint.
+	Durations stats.Histogram
+	// Completed counts finished checkpoints.
+	Completed uint64
+
+	eng     *sim.Engine
+	pool    *cpus.Pool
+	stack   block.Stack
+	nextID  uint64
+	cursor  int64
+	stopped bool
+}
+
+// NewCheckpointer builds the trainer with the given tenant ID.
+func NewCheckpointer(id int, cfg CheckpointConfig) *Checkpointer {
+	if cfg.Size <= 0 || cfg.ChunkSize <= 0 || cfg.QD <= 0 || cfg.Every <= 0 {
+		panic("workload: checkpointer needs positive size, chunk, QD, and period")
+	}
+	return &Checkpointer{
+		Cfg: cfg,
+		Tenant: &block.Tenant{
+			ID: id, Name: cfg.Name, Class: block.ClassBE,
+			Core: cfg.Core, Namespace: cfg.Namespace,
+		},
+	}
+}
+
+// Start registers the tenant and schedules the first checkpoint one period
+// out.
+func (c *Checkpointer) Start(eng *sim.Engine, pool *cpus.Pool, stack block.Stack) {
+	c.eng, c.pool, c.stack = eng, pool, stack
+	stack.Register(c.Tenant)
+	eng.After(c.Cfg.Every, c.begin)
+}
+
+// Stop ceases new checkpoints; an in-flight one drains.
+func (c *Checkpointer) Stop() { c.stopped = true }
+
+// ResetStats clears the duration histogram and counter.
+func (c *Checkpointer) ResetStats() {
+	c.Durations.Reset()
+	c.Completed = 0
+}
+
+func (c *Checkpointer) begin() {
+	if c.stopped {
+		return
+	}
+	start := c.eng.Now()
+	chunks := int((c.Cfg.Size + c.Cfg.ChunkSize - 1) / c.Cfg.ChunkSize)
+	issued, done := 0, 0
+	var issue func()
+	finish := func() {
+		c.Durations.Record(c.eng.Now().Sub(start))
+		c.Completed++
+		// Keep the start-to-start period; if we overran, go again at once.
+		elapsed := c.eng.Now().Sub(start)
+		wait := c.Cfg.Every - elapsed
+		if wait < 0 {
+			wait = 0
+		}
+		c.eng.After(wait, c.begin)
+	}
+	issue = func() {
+		if issued >= chunks {
+			return
+		}
+		issued++
+		off := c.cursor
+		c.cursor += c.Cfg.ChunkSize
+		if c.cursor >= 4<<30 {
+			c.cursor = 0
+		}
+		c.nextID++
+		rq := &block.Request{
+			ID: c.nextID, Tenant: c.Tenant, Namespace: c.Tenant.Namespace,
+			Offset: off, Size: c.Cfg.ChunkSize, Op: block.OpWrite,
+			IssueTime: c.eng.Now(), NSQ: -1,
+		}
+		rq.OnComplete = func(r *block.Request) {
+			done++
+			if done == chunks {
+				finish()
+				return
+			}
+			issue()
+		}
+		c.pool.Core(c.Tenant.Core).Submit(cpus.Work{
+			Cost: c.Cfg.SubmitCost, Owner: c.Tenant.ID,
+			Fn: func() sim.Duration { return c.stack.Submit(rq) },
+		})
+	}
+	for i := 0; i < c.Cfg.QD && i < chunks; i++ {
+		issue()
+	}
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+
+	"daredevil/internal/sim"
+)
+
+func TestExpGapPositiveAndMean(t *testing.T) {
+	rng := sim.NewRand(5)
+	var sum sim.Duration
+	const n = 50000
+	mean := sim.Millisecond
+	for i := 0; i < n; i++ {
+		g := expGap(rng, mean)
+		if g <= 0 {
+			t.Fatalf("gap %v not positive", g)
+		}
+		sum += g
+	}
+	avg := float64(sum) / n
+	if avg < 0.95*float64(mean) || avg > 1.05*float64(mean) {
+		t.Fatalf("mean gap %v, want ≈%v", sim.Duration(avg), mean)
+	}
+}
+
+func TestOpenLoopArrivalsIndependentOfCompletions(t *testing.T) {
+	// With a huge service delay, a closed loop stalls at IODepth; an open
+	// loop keeps issuing.
+	eng, pool, fs := newFakeWorld(t, 100*sim.Millisecond)
+	cfg := DefaultLTenant("web", 0)
+	cfg.Arrival = 100 * sim.Microsecond
+	j := NewJob(1, cfg)
+	j.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(20 * sim.Millisecond))
+	// ~200 arrivals expected despite zero completions so far.
+	if j.Issued() < 100 {
+		t.Fatalf("open loop issued only %d requests", j.Issued())
+	}
+	if j.Done.Ops != 0 {
+		t.Fatalf("no completion should have landed yet, got %d", j.Done.Ops)
+	}
+}
+
+func TestOpenLoopStops(t *testing.T) {
+	eng, pool, fs := newFakeWorld(t, 50*sim.Microsecond)
+	cfg := DefaultLTenant("web", 0)
+	cfg.Arrival = 50 * sim.Microsecond
+	j := NewJob(1, cfg)
+	j.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(5 * sim.Millisecond))
+	j.Stop()
+	eng.Run() // must terminate: arrival loop disarms
+	if j.Done.Ops == 0 {
+		t.Fatal("no completions")
+	}
+}
+
+func TestOpenLoopRateMatchesArrival(t *testing.T) {
+	eng, pool, fs := newFakeWorld(t, 10*sim.Microsecond)
+	cfg := DefaultLTenant("web", 0)
+	cfg.Arrival = 200 * sim.Microsecond // 5k req/s
+	j := NewJob(1, cfg)
+	j.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	// Expect ~1000 issues ±20%.
+	if j.Issued() < 800 || j.Issued() > 1200 {
+		t.Fatalf("issued %d, want ≈1000", j.Issued())
+	}
+}
+
+func TestCheckpointerWritesFullCheckpoint(t *testing.T) {
+	eng, pool, fs := newFakeWorld(t, 100*sim.Microsecond)
+	cfg := DefaultCheckpointConfig("trainer", 0)
+	cfg.Size = 1 << 20 // 8 chunks of 128KB
+	cfg.Every = 10 * sim.Millisecond
+	ck := NewCheckpointer(1, cfg)
+	ck.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(15 * sim.Millisecond))
+	ck.Stop()
+	eng.Run()
+	if ck.Completed == 0 {
+		t.Fatal("no checkpoint completed")
+	}
+	wantChunks := int(cfg.Size / cfg.ChunkSize)
+	if len(fs.submitted) < wantChunks {
+		t.Fatalf("submitted %d chunks, want >= %d", len(fs.submitted), wantChunks)
+	}
+	var bytes int64
+	for _, rq := range fs.submitted[:wantChunks] {
+		bytes += rq.Size
+	}
+	if bytes != cfg.Size {
+		t.Fatalf("first checkpoint wrote %d bytes, want %d", bytes, cfg.Size)
+	}
+	if ck.Durations.Count() == 0 || ck.Durations.Mean() <= 0 {
+		t.Fatal("checkpoint duration not recorded")
+	}
+}
+
+func TestCheckpointerPeriodStartToStart(t *testing.T) {
+	eng, pool, fs := newFakeWorld(t, 10*sim.Microsecond)
+	cfg := DefaultCheckpointConfig("trainer", 0)
+	cfg.Size = 256 * 1024
+	cfg.Every = 5 * sim.Millisecond
+	ck := NewCheckpointer(1, cfg)
+	ck.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(26 * sim.Millisecond))
+	ck.Stop()
+	eng.Run()
+	// Starts at 5,10,15,20,25ms → 5 checkpoints (fast service).
+	if ck.Completed < 4 || ck.Completed > 6 {
+		t.Fatalf("completed %d checkpoints in 26ms at 5ms period", ck.Completed)
+	}
+}
+
+func TestCheckpointerQDBound(t *testing.T) {
+	eng, pool, fs := newFakeWorld(t, 10*sim.Millisecond) // slow service
+	cfg := DefaultCheckpointConfig("trainer", 0)
+	cfg.Size = 4 << 20
+	cfg.QD = 3
+	ck := NewCheckpointer(1, cfg)
+	ck.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(sim.Duration(cfg.Every) + 5*sim.Millisecond))
+	inflight := 0
+	for _, rq := range fs.submitted {
+		if rq.CompleteTime == 0 {
+			inflight++
+		}
+	}
+	if inflight > cfg.QD {
+		t.Fatalf("in-flight chunks %d exceed QD %d", inflight, cfg.QD)
+	}
+	ck.Stop()
+	eng.Run()
+}
+
+func TestCheckpointerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config must panic")
+		}
+	}()
+	NewCheckpointer(1, CheckpointConfig{})
+}
+
+func TestCheckpointerResetStats(t *testing.T) {
+	eng, pool, fs := newFakeWorld(t, 10*sim.Microsecond)
+	cfg := DefaultCheckpointConfig("trainer", 0)
+	cfg.Size = 256 * 1024
+	cfg.Every = 2 * sim.Millisecond
+	ck := NewCheckpointer(1, cfg)
+	ck.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+	ck.ResetStats()
+	if ck.Durations.Count() != 0 || ck.Completed != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+	ck.Stop()
+	eng.Run()
+}

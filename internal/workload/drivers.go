@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"daredevil/internal/block"
+	"daredevil/internal/sim"
+)
+
+// Migrator repeatedly moves random tenants to random cores — the §7.5
+// interleaving that forces every NQ to be accessed from multiple cores
+// (Fig. 13's cross-core overhead setup).
+type Migrator struct {
+	// Moves counts performed migrations.
+	Moves uint64
+
+	eng     *sim.Engine
+	stack   block.Stack
+	tenants []*block.Tenant
+	cores   int
+	every   sim.Duration
+	until   sim.Time
+	rng     *sim.Rand
+}
+
+// StartMigrator begins migrating every interval until the deadline.
+func StartMigrator(eng *sim.Engine, stack block.Stack, tenants []*block.Tenant,
+	cores int, every sim.Duration, until sim.Time, seed uint64) *Migrator {
+	if every <= 0 {
+		panic("workload: migrator needs a positive interval")
+	}
+	m := &Migrator{
+		eng: eng, stack: stack, tenants: tenants, cores: cores,
+		every: every, until: until, rng: sim.NewRand(seed),
+	}
+	eng.After(every, m.tick)
+	return m
+}
+
+func (m *Migrator) tick() {
+	if m.eng.Now() >= m.until || len(m.tenants) == 0 {
+		return
+	}
+	t := m.tenants[m.rng.Intn(len(m.tenants))]
+	m.stack.MigrateTenant(t, m.rng.Intn(m.cores))
+	m.Moves++
+	m.eng.After(m.every, m.tick)
+}
+
+// IoniceUpdater re-sets tenants' ionice values at a fixed interval — the
+// §7.5 base-priority update storm (Fig. 14): every update triggers a
+// default-NSQ re-scheduling in Daredevil.
+type IoniceUpdater struct {
+	// Updates counts performed updates.
+	Updates uint64
+
+	eng     *sim.Engine
+	stack   block.Stack
+	tenants []*block.Tenant
+	every   sim.Duration
+	until   sim.Time
+}
+
+// StartIoniceUpdater begins re-setting every tenant's ionice value once per
+// interval until the deadline.
+func StartIoniceUpdater(eng *sim.Engine, stack block.Stack,
+	tenants []*block.Tenant, every sim.Duration, until sim.Time) *IoniceUpdater {
+	if every <= 0 {
+		panic("workload: ionice updater needs a positive interval")
+	}
+	u := &IoniceUpdater{eng: eng, stack: stack, tenants: tenants, every: every, until: until}
+	eng.After(every, u.tick)
+	return u
+}
+
+func (u *IoniceUpdater) tick() {
+	if u.eng.Now() >= u.until || len(u.tenants) == 0 {
+		return
+	}
+	for _, t := range u.tenants {
+		u.stack.SetIonice(t, t.Class) // re-assert the class; re-scheduling still fires
+		u.Updates++
+	}
+	u.eng.After(u.every, u.tick)
+}

@@ -1,0 +1,300 @@
+// Package workload provides the load generators of the evaluation: FIO-like
+// tenant jobs (4KB qd=1 L-tenants, 128KB qd=32 T-tenants, §7.1), a Zipfian
+// key generator, a RocksDB-like KV store driven by YCSB mixes, a
+// Filebench-Mailserver model (§7.4), and the migration / ionice-update
+// drivers behind the §7.5 overhead analysis.
+package workload
+
+import (
+	"fmt"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/sim"
+	"daredevil/internal/stats"
+	"daredevil/internal/trace"
+)
+
+// Pattern selects the access pattern of a FIO job.
+type Pattern uint8
+
+// Access patterns.
+const (
+	Random Pattern = iota
+	Sequential
+)
+
+// FIOConfig describes one FIO-like tenant job.
+type FIOConfig struct {
+	Name  string
+	Class block.Class
+	// BS is the block size per request (4KB for L, 128KB for T in §7.1).
+	BS int64
+	// IODepth is the number of requests kept in flight (libaio-style
+	// closed loop: 1 for L, 32 for T).
+	IODepth int
+	// Arrival, when positive, switches the job to an open loop: requests
+	// arrive with exponentially distributed gaps of this mean,
+	// independent of completions — an interactive service rather than a
+	// saturating benchmark. IODepth is ignored.
+	Arrival sim.Duration
+	// ReadPct is the percentage of reads (100 = read-only).
+	ReadPct int
+	Pattern Pattern
+	// Namespace and Core place the tenant.
+	Namespace int
+	Core      int
+	// Span is the working-set size in bytes (default 1 GiB).
+	Span int64
+	// OffsetBase is where the job's working set starts within its
+	// namespace. Zero lets NewJob derive a per-job region (distinct jobs
+	// target distinct files, as FIO jobs do), staggered by one flash
+	// interleave unit so streams do not phase-align on the same dies.
+	OffsetBase int64
+	// Flags are applied to every request (FlagSync to model O_SYNC jobs).
+	Flags block.Flags
+	// OutlierEvery, when positive, marks every Nth request REQ_SYNC — the
+	// outlier L-requests of §5.2.
+	OutlierEvery int
+	// SubmitCost is the syscall + block-layer CPU cost per submission.
+	SubmitCost sim.Duration
+	// WakeupCost is the completion-to-reissue CPU cost.
+	WakeupCost sim.Duration
+	Seed       uint64
+}
+
+// DefaultLTenant returns the paper's L-tenant job shape: 4KB random
+// requests at I/O depth 1 with real-time ionice.
+func DefaultLTenant(name string, core int) FIOConfig {
+	return FIOConfig{
+		Name: name, Class: block.ClassRT,
+		BS: 4096, IODepth: 1, ReadPct: 100, Pattern: Random,
+		Core: core, Span: 1 << 30,
+		SubmitCost: 2 * sim.Microsecond, WakeupCost: 1 * sim.Microsecond,
+		Seed: uint64(core)*7919 + 13,
+	}
+}
+
+// DefaultTTenant returns the paper's T-tenant job shape: 128KB requests at
+// I/O depth 32 with best-effort ionice.
+func DefaultTTenant(name string, core int) FIOConfig {
+	return FIOConfig{
+		Name: name, Class: block.ClassBE,
+		BS: 131072, IODepth: 32, ReadPct: 0, Pattern: Sequential,
+		Core: core, Span: 1 << 30,
+		SubmitCost: 16 * sim.Microsecond, WakeupCost: 1 * sim.Microsecond,
+		Seed: uint64(core)*104729 + 41,
+	}
+}
+
+// Job is a running FIO-like tenant.
+type Job struct {
+	Cfg    FIOConfig
+	Tenant *block.Tenant
+
+	// Lat is the end-to-end latency histogram since the last ResetStats.
+	Lat stats.Histogram
+	// SyncLat is the latency of REQ_SYNC-flagged requests only — the
+	// outlier L-requests when OutlierEvery is set.
+	SyncLat stats.Histogram
+	// Done counts completed operations since the last ResetStats.
+	Done stats.Counter
+
+	// Optional per-window series (Fig. 8); enable before Start.
+	LatSeries  *stats.Series
+	TputSeries *stats.Series
+
+	// Optional component histograms (§7.5 overhead decomposition, Fig. 13);
+	// enable with EnableComponents before Start.
+	SubWait   *stats.Histogram // submission-side NSQ lock contention
+	CompDelay *stats.Histogram // CQE-post to delivery
+	CrossCore uint64           // completions delivered via another core's IRQ
+
+	// Tracer, when set before Start, samples completed requests' path
+	// timelines (ddsim -trace).
+	Tracer *trace.Collector
+
+	eng   *sim.Engine
+	pool  *cpus.Pool
+	stack block.Stack
+	rng   *sim.Rand
+
+	nextID  uint64
+	seqOff  int64
+	issued  uint64
+	stopped bool
+	started bool
+}
+
+// NewJob builds a job for the given tenant ID.
+func NewJob(id int, cfg FIOConfig) *Job {
+	if cfg.BS <= 0 || cfg.IODepth <= 0 {
+		panic(fmt.Sprintf("workload: job %q needs positive BS and IODepth", cfg.Name))
+	}
+	if cfg.Span <= 0 {
+		cfg.Span = 1 << 30
+	}
+	if cfg.OffsetBase == 0 {
+		cfg.OffsetBase = int64(id)*cfg.Span + int64(id)*16*1024
+	}
+	return &Job{
+		Cfg: cfg,
+		Tenant: &block.Tenant{
+			ID: id, Name: cfg.Name, Class: cfg.Class,
+			Core: cfg.Core, Namespace: cfg.Namespace,
+		},
+		rng: sim.NewRand(cfg.Seed + uint64(id)*2654435761),
+	}
+}
+
+// EnableSeries attaches latency (window mean, ms) and throughput (window
+// sum, bytes) time series with the given window.
+func (j *Job) EnableSeries(window sim.Duration) {
+	j.LatSeries = stats.NewSeries(window)
+	j.TputSeries = stats.NewSeries(window)
+	j.TputSeries.SumMode = true
+}
+
+// EnableComponents attaches the §7.5 overhead-component histograms.
+func (j *Job) EnableComponents() {
+	j.SubWait = &stats.Histogram{}
+	j.CompDelay = &stats.Histogram{}
+}
+
+// Start registers the tenant with the stack and fills the I/O depth.
+// Calling Start twice panics.
+func (j *Job) Start(eng *sim.Engine, pool *cpus.Pool, stack block.Stack) {
+	if j.started {
+		panic("workload: job started twice")
+	}
+	j.started = true
+	j.eng, j.pool, j.stack = eng, pool, stack
+	stack.Register(j.Tenant)
+	if j.Cfg.Arrival > 0 {
+		j.scheduleArrival()
+		return
+	}
+	for i := 0; i < j.Cfg.IODepth; i++ {
+		j.scheduleIssue(j.Cfg.SubmitCost)
+	}
+}
+
+// scheduleArrival drives the open loop: Poisson arrivals with the
+// configured mean gap.
+func (j *Job) scheduleArrival() {
+	if j.stopped {
+		return
+	}
+	j.eng.After(expGap(j.rng, j.Cfg.Arrival), func() {
+		if j.stopped {
+			return
+		}
+		j.scheduleIssue(j.Cfg.SubmitCost)
+		j.scheduleArrival()
+	})
+}
+
+// Stop ceases issuing new requests; in-flight requests drain naturally.
+func (j *Job) Stop() { j.stopped = true }
+
+// Stopped reports whether the job has been stopped.
+func (j *Job) Stopped() bool { return j.stopped }
+
+// ResetStats clears measurement state (harness calls this after warmup).
+func (j *Job) ResetStats() {
+	j.Lat.Reset()
+	j.SyncLat.Reset()
+	j.Done.Reset()
+	if j.SubWait != nil {
+		j.SubWait.Reset()
+		j.CompDelay.Reset()
+		j.CrossCore = 0
+	}
+}
+
+// scheduleIssue queues the CPU work of building and submitting one request
+// on the tenant's core.
+func (j *Job) scheduleIssue(cost sim.Duration) {
+	if j.stopped {
+		return
+	}
+	j.pool.Core(j.Tenant.Core).Submit(cpus.Work{
+		Cost:  cost,
+		Owner: j.Tenant.ID,
+		Fn: func() sim.Duration {
+			if j.stopped {
+				return 0
+			}
+			return j.stack.Submit(j.buildRequest())
+		},
+	})
+}
+
+func (j *Job) buildRequest() *block.Request {
+	j.nextID++
+	j.issued++
+	var off int64
+	blocks := j.Cfg.Span / j.Cfg.BS
+	if blocks <= 0 {
+		blocks = 1
+	}
+	if j.Cfg.Pattern == Random {
+		off = j.Cfg.OffsetBase + j.rng.Int63n(blocks)*j.Cfg.BS
+	} else {
+		off = j.Cfg.OffsetBase + j.seqOff
+		j.seqOff += j.Cfg.BS
+		if j.seqOff+j.Cfg.BS > j.Cfg.Span {
+			j.seqOff = 0
+		}
+	}
+	op := block.OpWrite
+	if j.Cfg.ReadPct >= 100 || (j.Cfg.ReadPct > 0 && j.rng.Intn(100) < j.Cfg.ReadPct) {
+		op = block.OpRead
+	}
+	flags := j.Cfg.Flags
+	if j.Cfg.OutlierEvery > 0 && j.issued%uint64(j.Cfg.OutlierEvery) == 0 {
+		flags |= block.FlagSync
+	}
+	rq := &block.Request{
+		ID: j.nextID, Tenant: j.Tenant, Namespace: j.Tenant.Namespace,
+		Offset: off, Size: j.Cfg.BS, Op: op, Flags: flags,
+		IssueTime: j.eng.Now(), NSQ: -1,
+	}
+	rq.OnComplete = j.onComplete
+	return rq
+}
+
+// onComplete runs in ISR context: record, then reissue from the tenant's
+// core (keeping IODepth outstanding).
+func (j *Job) onComplete(r *block.Request) {
+	now := j.eng.Now()
+	lat := r.Latency()
+	j.Lat.Record(lat)
+	if r.Flags.Sync() {
+		j.SyncLat.Record(lat)
+	}
+	j.Done.Add(r.Size)
+	if j.LatSeries != nil {
+		j.LatSeries.Add(now, lat.Milliseconds())
+	}
+	if j.TputSeries != nil {
+		j.TputSeries.Add(now, float64(r.Size))
+	}
+	if j.SubWait != nil {
+		j.SubWait.Record(r.LockWait)
+		j.CompDelay.Record(r.CompletionDelay())
+		if r.CrossCore {
+			j.CrossCore++
+		}
+	}
+	if j.Tracer != nil {
+		j.Tracer.Observe(r)
+	}
+	if j.Cfg.Arrival > 0 {
+		return // open loop: arrivals are completion-independent
+	}
+	j.scheduleIssue(j.Cfg.WakeupCost + j.Cfg.SubmitCost)
+}
+
+// Issued reports requests issued since Start.
+func (j *Job) Issued() uint64 { return j.issued }

@@ -1,0 +1,350 @@
+package workload
+
+import (
+	"fmt"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/sim"
+	"daredevil/internal/stats"
+)
+
+// OpType labels application operations for per-type latency reporting
+// (Fig. 12 reports e.g. YCSB-A updates and Mailserver fsync separately).
+type OpType string
+
+// Application operation types.
+const (
+	OpGet    OpType = "read"
+	OpUpdate OpType = "update"
+	OpInsert OpType = "insert"
+	OpScan   OpType = "scan"
+	OpRMW    OpType = "rmw"
+	OpFsync  OpType = "fsync"
+	OpDelete OpType = "delete"
+	OpCache  OpType = "cache"
+)
+
+// KVConfig describes the RocksDB-like store (§7.4): an LSM KV with a block
+// cache in front of reads, a WAL on the write path, and background
+// flush/compaction traffic — the paper's observation being that only
+// operations that reach the storage stack benefit from Daredevil.
+type KVConfig struct {
+	Name      string
+	Core      int
+	Namespace int
+	// Keys is the key-space size; values are ValueSize bytes.
+	Keys      int64
+	ValueSize int64
+	BlockSize int64
+	// CacheHit is the block-cache hit probability for reads/scans
+	// (YCSB-B/E are ~95% CPU-centric per the paper's analysis).
+	CacheHit float64
+	// OpCPU is the CPU cost of one operation's application work.
+	OpCPU sim.Duration
+	// FlushEveryOps triggers a background memtable flush after this many
+	// writes; the flush writes FlushBytes in 128KB chunks.
+	FlushEveryOps int
+	FlushBytes    int64
+	// CompactEvery triggers compaction after this many flushes, reading
+	// and rewriting CompactBytes.
+	CompactEvery int
+	CompactBytes int64
+	// ScanBlocks is the number of data blocks a scan touches.
+	ScanBlocks int
+	SubmitCost sim.Duration
+	WakeupCost sim.Duration
+	Seed       uint64
+}
+
+// DefaultKVConfig returns a laptop-scale RocksDB-like configuration.
+func DefaultKVConfig(name string, core int) KVConfig {
+	return KVConfig{
+		Name: name, Core: core,
+		Keys: 1 << 20, ValueSize: 1024, BlockSize: 4096,
+		CacheHit: 0.95, OpCPU: 4 * sim.Microsecond,
+		FlushEveryOps: 2048, FlushBytes: 4 << 20,
+		CompactEvery: 4, CompactBytes: 16 << 20,
+		ScanBlocks: 16,
+		SubmitCost: 2 * sim.Microsecond, WakeupCost: 1 * sim.Microsecond,
+		Seed: uint64(core)*31337 + 7,
+	}
+}
+
+// KV is the running store. The foreground thread and the background
+// flush/compaction thread are separate tenants sharing the process's ionice
+// class — Daredevil's multi-threaded tenant handling (§6) sees each
+// task_struct individually.
+type KV struct {
+	Cfg      KVConfig
+	Tenant   *block.Tenant
+	BGTenant *block.Tenant
+
+	// OpLat records per-operation-type end-to-end latency.
+	OpLat map[OpType]*stats.Histogram
+
+	eng   *sim.Engine
+	pool  *cpus.Pool
+	stack block.Stack
+	rng   *sim.Rand
+
+	nextID       uint64
+	writesToGo   int
+	flushesToGo  int
+	bgActive     bool
+	bgQueue      []bgTask
+	dataBase     int64 // byte offset of the data region
+	writeCursor  int64
+	FlushCount   uint64
+	CompactCount uint64
+}
+
+type bgTask struct {
+	read, write int64
+}
+
+// NewKV builds the store with tenant IDs id (foreground) and id+1
+// (background).
+func NewKV(id int, cfg KVConfig) *KV {
+	if cfg.Keys <= 0 || cfg.BlockSize <= 0 {
+		panic(fmt.Sprintf("workload: kv %q needs positive Keys and BlockSize", cfg.Name))
+	}
+	kv := &KV{
+		Cfg: cfg,
+		Tenant: &block.Tenant{
+			ID: id, Name: cfg.Name, Class: block.ClassRT,
+			Core: cfg.Core, Namespace: cfg.Namespace,
+		},
+		BGTenant: &block.Tenant{
+			ID: id + 1, Name: cfg.Name + "-bg", Class: block.ClassRT,
+			Core: cfg.Core, Namespace: cfg.Namespace,
+		},
+		OpLat:       make(map[OpType]*stats.Histogram),
+		writesToGo:  cfg.FlushEveryOps,
+		flushesToGo: cfg.CompactEvery,
+		rng:         sim.NewRand(cfg.Seed + uint64(id)),
+		dataBase:    1 << 28,
+	}
+	for _, t := range []OpType{OpGet, OpUpdate, OpInsert, OpScan, OpRMW} {
+		kv.OpLat[t] = &stats.Histogram{}
+	}
+	return kv
+}
+
+// Start registers both threads with the stack.
+func (kv *KV) Start(eng *sim.Engine, pool *cpus.Pool, stack block.Stack) {
+	kv.eng, kv.pool, kv.stack = eng, pool, stack
+	stack.Register(kv.Tenant)
+	stack.Register(kv.BGTenant)
+}
+
+// ResetStats clears the per-op histograms.
+func (kv *KV) ResetStats() {
+	for _, h := range kv.OpLat {
+		h.Reset()
+	}
+}
+
+func (kv *KV) blockOf(key int64) int64 {
+	perBlock := kv.Cfg.BlockSize / kv.Cfg.ValueSize
+	if perBlock <= 0 {
+		perBlock = 1
+	}
+	return (key / perBlock) * kv.Cfg.BlockSize
+}
+
+// exec queues op CPU work on the foreground core, then runs fn.
+func (kv *KV) exec(cost sim.Duration, fn func() sim.Duration) {
+	kv.pool.Core(kv.Tenant.Core).Submit(cpus.Work{
+		Cost: cost, Owner: kv.Tenant.ID, Fn: fn,
+	})
+}
+
+func (kv *KV) newReq(t *block.Tenant, off, size int64, op block.OpKind, fl block.Flags, done func()) *block.Request {
+	kv.nextID++
+	return &block.Request{
+		ID: kv.nextID, Tenant: t, Namespace: t.Namespace,
+		Offset: off, Size: size, Op: op, Flags: fl,
+		IssueTime: kv.eng.Now(), NSQ: -1,
+		OnComplete: func(*block.Request) {
+			if done != nil {
+				done()
+			}
+		},
+	}
+}
+
+// record stores the latency of an operation that started at start.
+func (kv *KV) record(t OpType, start sim.Time) {
+	kv.OpLat[t].Record(kv.eng.Now().Sub(start))
+}
+
+// Get reads one key: block-cache hit costs CPU only; a miss reads one data
+// block from the SSD. done fires when the value is available.
+func (kv *KV) Get(key int64, done func()) {
+	start := kv.eng.Now()
+	kv.exec(kv.Cfg.OpCPU, func() sim.Duration {
+		if kv.rng.Float64() < kv.Cfg.CacheHit {
+			kv.record(OpGet, start)
+			if done != nil {
+				done()
+			}
+			return 0
+		}
+		rq := kv.newReq(kv.Tenant, kv.dataBase+kv.blockOf(key), kv.Cfg.BlockSize,
+			block.OpRead, block.FlagSync, func() {
+				kv.record(OpGet, start)
+				if done != nil {
+					done()
+				}
+			})
+		return kv.stack.Submit(rq)
+	})
+}
+
+// put implements Update/Insert: WAL append (synchronous write) + memtable
+// insert; periodically triggers a background flush. Latency is measured
+// from start (RMW passes the start of its read phase).
+func (kv *KV) put(t OpType, start sim.Time, done func()) {
+	kv.exec(kv.Cfg.OpCPU, func() sim.Duration {
+		wal := kv.newReq(kv.Tenant, kv.walOffset(), kv.Cfg.BlockSize,
+			block.OpWrite, block.FlagSync|block.FlagMeta, func() {
+				kv.record(t, start)
+				if done != nil {
+					done()
+				}
+			})
+		kv.writesToGo--
+		if kv.writesToGo <= 0 {
+			kv.writesToGo = kv.Cfg.FlushEveryOps
+			kv.scheduleFlush()
+		}
+		return kv.stack.Submit(wal)
+	})
+}
+
+// Update writes an existing key.
+func (kv *KV) Update(key int64, done func()) { kv.put(OpUpdate, kv.eng.Now(), done) }
+
+// Insert writes a new key.
+func (kv *KV) Insert(key int64, done func()) { kv.put(OpInsert, kv.eng.Now(), done) }
+
+// Scan reads a range of ScanBlocks data blocks, each subject to the block
+// cache; misses are read concurrently.
+func (kv *KV) Scan(key int64, done func()) {
+	start := kv.eng.Now()
+	kv.exec(kv.Cfg.OpCPU*sim.Duration(1+kv.Cfg.ScanBlocks/4), func() sim.Duration {
+		misses := 0
+		for i := 0; i < kv.Cfg.ScanBlocks; i++ {
+			if kv.rng.Float64() >= kv.Cfg.CacheHit {
+				misses++
+			}
+		}
+		if misses == 0 {
+			kv.record(OpScan, start)
+			if done != nil {
+				done()
+			}
+			return 0
+		}
+		remaining := misses
+		var overhead sim.Duration
+		for i := 0; i < misses; i++ {
+			off := kv.dataBase + kv.blockOf(key) + int64(i)*kv.Cfg.BlockSize
+			rq := kv.newReq(kv.Tenant, off, kv.Cfg.BlockSize, block.OpRead,
+				block.FlagSync, func() {
+					remaining--
+					if remaining == 0 {
+						kv.record(OpScan, start)
+						if done != nil {
+							done()
+						}
+					}
+				})
+			overhead += kv.stack.Submit(rq)
+		}
+		return overhead
+	})
+}
+
+// RMW performs read-modify-write (YCSB-F): the recorded latency spans the
+// read and the write phases.
+func (kv *KV) RMW(key int64, done func()) {
+	start := kv.eng.Now()
+	kv.Get(key, func() {
+		kv.put(OpRMW, start, done)
+	})
+}
+
+func (kv *KV) walOffset() int64 {
+	kv.writeCursor += kv.Cfg.BlockSize
+	if kv.writeCursor >= 1<<26 {
+		kv.writeCursor = 0
+	}
+	return kv.writeCursor
+}
+
+// scheduleFlush queues a memtable flush on the background thread;
+// compaction piggybacks every CompactEvery flushes.
+func (kv *KV) scheduleFlush() {
+	task := bgTask{write: kv.Cfg.FlushBytes}
+	kv.flushesToGo--
+	if kv.flushesToGo <= 0 {
+		kv.flushesToGo = kv.Cfg.CompactEvery
+		task.read = kv.Cfg.CompactBytes
+		task.write += kv.Cfg.CompactBytes
+		kv.CompactCount++
+	}
+	kv.FlushCount++
+	kv.bgQueue = append(kv.bgQueue, task)
+	kv.pumpBG()
+}
+
+// pumpBG drives background I/O: one 128KB chunk outstanding at a time per
+// task, reads before writes for compaction.
+func (kv *KV) pumpBG() {
+	if kv.bgActive || len(kv.bgQueue) == 0 {
+		return
+	}
+	kv.bgActive = true
+	task := kv.bgQueue[0]
+	kv.bgQueue = kv.bgQueue[1:]
+	kv.runBG(task, func() {
+		kv.bgActive = false
+		kv.pumpBG()
+	})
+}
+
+func (kv *KV) runBG(task bgTask, done func()) {
+	const chunk = 131072
+	if task.read > 0 {
+		sz := int64(chunk)
+		if sz > task.read {
+			sz = task.read
+		}
+		task.read -= sz
+		kv.bgIO(sz, block.OpRead, func() { kv.runBG(task, done) })
+		return
+	}
+	if task.write > 0 {
+		sz := int64(chunk)
+		if sz > task.write {
+			sz = task.write
+		}
+		task.write -= sz
+		kv.bgIO(sz, block.OpWrite, func() { kv.runBG(task, done) })
+		return
+	}
+	done()
+}
+
+func (kv *KV) bgIO(size int64, op block.OpKind, done func()) {
+	kv.pool.Core(kv.BGTenant.Core).Submit(cpus.Work{
+		Cost: kv.Cfg.SubmitCost, Owner: kv.BGTenant.ID,
+		Fn: func() sim.Duration {
+			off := kv.dataBase + (1 << 27) + kv.writeCursor
+			rq := kv.newReq(kv.BGTenant, off, size, op, 0, done)
+			return kv.stack.Submit(rq)
+		},
+	})
+}

@@ -1,0 +1,376 @@
+package workload
+
+import (
+	"testing"
+
+	"daredevil/internal/block"
+	"daredevil/internal/sim"
+)
+
+func newKVWorld(t *testing.T, cacheHit float64) (*sim.Engine, *fakeStack, *KV) {
+	t.Helper()
+	eng, pool, fs := newFakeWorld(t, 100*sim.Microsecond)
+	cfg := DefaultKVConfig("kv", 0)
+	cfg.CacheHit = cacheHit
+	kv := NewKV(10, cfg)
+	kv.Start(eng, pool, fs)
+	return eng, fs, kv
+}
+
+func TestKVGetCacheHitNoIO(t *testing.T) {
+	eng, fs, kv := newKVWorld(t, 1.0)
+	done := false
+	kv.Get(1, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("get never completed")
+	}
+	if len(fs.submitted) != 0 {
+		t.Fatalf("cache hit issued %d I/Os, want 0", len(fs.submitted))
+	}
+	if kv.OpLat[OpGet].Count() != 1 {
+		t.Fatal("get latency not recorded")
+	}
+}
+
+func TestKVGetMissReadsBlock(t *testing.T) {
+	eng, fs, kv := newKVWorld(t, 0.0)
+	kv.Get(1, nil)
+	eng.Run()
+	if len(fs.submitted) != 1 {
+		t.Fatalf("miss issued %d I/Os, want 1", len(fs.submitted))
+	}
+	rq := fs.submitted[0]
+	if rq.Op != block.OpRead || rq.Size != kv.Cfg.BlockSize || !rq.Flags.Sync() {
+		t.Fatalf("miss request wrong: %+v", rq)
+	}
+}
+
+func TestKVUpdateWritesWAL(t *testing.T) {
+	eng, fs, kv := newKVWorld(t, 1.0)
+	done := false
+	kv.Update(1, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("update never completed")
+	}
+	if len(fs.submitted) != 1 {
+		t.Fatalf("update issued %d I/Os, want 1 WAL write", len(fs.submitted))
+	}
+	wal := fs.submitted[0]
+	if wal.Op != block.OpWrite || !wal.Flags.Sync() || !wal.Flags.Meta() {
+		t.Fatalf("WAL write flags wrong: %+v", wal)
+	}
+	if kv.OpLat[OpUpdate].Count() != 1 {
+		t.Fatal("update latency not recorded")
+	}
+	if kv.OpLat[OpUpdate].Mean() < 100*sim.Microsecond {
+		t.Fatal("update latency must include the WAL write")
+	}
+}
+
+func TestKVFlushTriggersBackgroundIO(t *testing.T) {
+	eng, fs, kv := newKVWorld(t, 1.0)
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= kv.Cfg.FlushEveryOps {
+			return
+		}
+		kv.Update(int64(i), func() { issue(i + 1) })
+	}
+	issue(0)
+	eng.Run()
+	if kv.FlushCount != 1 {
+		t.Fatalf("FlushCount = %d, want 1 after %d updates", kv.FlushCount, kv.Cfg.FlushEveryOps)
+	}
+	bg := 0
+	for _, rq := range fs.submitted {
+		if rq.Tenant == kv.BGTenant {
+			bg++
+		}
+	}
+	wantChunks := int(kv.Cfg.FlushBytes / 131072)
+	if bg != wantChunks {
+		t.Fatalf("background chunks = %d, want %d", bg, wantChunks)
+	}
+}
+
+func TestKVCompactionEveryNFlushes(t *testing.T) {
+	eng, _, kv := newKVWorld(t, 1.0)
+	total := kv.Cfg.FlushEveryOps * kv.Cfg.CompactEvery
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= total {
+			return
+		}
+		kv.Update(int64(i), func() { issue(i + 1) })
+	}
+	issue(0)
+	eng.Run()
+	if kv.FlushCount != uint64(kv.Cfg.CompactEvery) {
+		t.Fatalf("FlushCount = %d, want %d", kv.FlushCount, kv.Cfg.CompactEvery)
+	}
+	if kv.CompactCount != 1 {
+		t.Fatalf("CompactCount = %d, want 1", kv.CompactCount)
+	}
+}
+
+func TestKVScanReadsMisses(t *testing.T) {
+	eng, fs, kv := newKVWorld(t, 0.0)
+	done := false
+	kv.Scan(0, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("scan never completed")
+	}
+	if len(fs.submitted) != kv.Cfg.ScanBlocks {
+		t.Fatalf("scan issued %d reads, want %d (all misses)", len(fs.submitted), kv.Cfg.ScanBlocks)
+	}
+}
+
+func TestKVScanAllCachedNoIO(t *testing.T) {
+	eng, fs, kv := newKVWorld(t, 1.0)
+	kv.Scan(0, nil)
+	eng.Run()
+	if len(fs.submitted) != 0 {
+		t.Fatal("fully cached scan must not issue I/O")
+	}
+	if kv.OpLat[OpScan].Count() != 1 {
+		t.Fatal("scan latency not recorded")
+	}
+}
+
+func TestKVRMWSpansReadAndWrite(t *testing.T) {
+	eng, fs, kv := newKVWorld(t, 0.0)
+	done := false
+	kv.RMW(1, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("rmw never completed")
+	}
+	// miss read + WAL write
+	if len(fs.submitted) != 2 {
+		t.Fatalf("rmw issued %d I/Os, want 2", len(fs.submitted))
+	}
+	if kv.OpLat[OpRMW].Count() != 1 || kv.OpLat[OpGet].Count() != 1 {
+		t.Fatal("rmw must record both the read and the composite op")
+	}
+	if kv.OpLat[OpRMW].Mean() <= kv.OpLat[OpGet].Mean() {
+		t.Fatal("rmw latency must exceed its read phase")
+	}
+}
+
+func TestKVResetStats(t *testing.T) {
+	eng, _, kv := newKVWorld(t, 1.0)
+	kv.Get(1, nil)
+	eng.Run()
+	kv.ResetStats()
+	if kv.OpLat[OpGet].Count() != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestKVThreadsAreSeparateTenants(t *testing.T) {
+	_, fs, kv := newKVWorld(t, 1.0)
+	if len(fs.registered) != 2 {
+		t.Fatalf("registered %d tenants, want 2 (fg + bg thread)", len(fs.registered))
+	}
+	if kv.Tenant.ID == kv.BGTenant.ID {
+		t.Fatal("threads must have distinct tenant IDs")
+	}
+	if kv.Tenant.Class != kv.BGTenant.Class {
+		t.Fatal("threads inherit the process ionice class")
+	}
+}
+
+func TestNewKVValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero keys must panic")
+		}
+	}()
+	NewKV(1, KVConfig{Name: "bad", BlockSize: 4096})
+}
+
+func TestYCSBMixes(t *testing.T) {
+	for _, kind := range []YCSBKind{YCSBA, YCSBB, YCSBE, YCSBF} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			eng, _, kv := newKVWorld(t, 0.9)
+			y := NewYCSB(kind, kv, 7)
+			y.Start(eng)
+			eng.RunUntil(sim.Time(200 * sim.Millisecond))
+			y.Stop()
+			eng.Run()
+			if y.Ops < 100 {
+				t.Fatalf("YCSB-%s completed only %d ops", kind, y.Ops)
+			}
+			switch kind {
+			case YCSBA, YCSBB:
+				if kv.OpLat[OpGet].Count() == 0 || kv.OpLat[OpUpdate].Count() == 0 {
+					t.Fatal("A/B must mix reads and updates")
+				}
+			case YCSBE:
+				if kv.OpLat[OpScan].Count() == 0 || kv.OpLat[OpInsert].Count() == 0 {
+					t.Fatal("E must mix scans and inserts")
+				}
+			case YCSBF:
+				if kv.OpLat[OpGet].Count() == 0 || kv.OpLat[OpRMW].Count() == 0 {
+					t.Fatal("F must mix reads and RMWs")
+				}
+			}
+		})
+	}
+}
+
+func TestYCSBReadHeavyRatio(t *testing.T) {
+	eng, _, kv := newKVWorld(t, 0.9)
+	y := NewYCSB(YCSBB, kv, 11)
+	y.Start(eng)
+	eng.RunUntil(sim.Time(300 * sim.Millisecond))
+	y.Stop()
+	eng.Run()
+	reads := kv.OpLat[OpGet].Count()
+	updates := kv.OpLat[OpUpdate].Count()
+	frac := float64(reads) / float64(reads+updates)
+	if frac < 0.9 || frac > 0.99 {
+		t.Fatalf("YCSB-B read fraction %v, want ≈0.95", frac)
+	}
+}
+
+func TestYCSBUnknownKindPanics(t *testing.T) {
+	_, _, kv := newKVWorld(t, 0.9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind must panic")
+		}
+	}()
+	NewYCSB(YCSBKind("Z"), kv, 1)
+}
+
+func TestMailOpsAndRatios(t *testing.T) {
+	eng, pool, fs := newFakeWorld(t, 100*sim.Microsecond)
+	m := NewMail(1, DefaultMailConfig("mail", 0))
+	m.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(500 * sim.Millisecond))
+	m.Stop()
+	eng.Run()
+	cacheOps := m.OpLat[OpCache].Count()
+	fsyncs := m.OpLat[OpFsync].Count()
+	deletes := m.OpLat[OpDelete].Count()
+	total := cacheOps + fsyncs + deletes
+	if total < 200 {
+		t.Fatalf("only %d mail ops completed", total)
+	}
+	frac := float64(cacheOps) / float64(total)
+	if frac < 0.7 || frac > 0.85 {
+		t.Fatalf("cache-op fraction %v, want ≈0.77", frac)
+	}
+	if fsyncs == 0 || deletes == 0 {
+		t.Fatal("fsync and delete must both occur")
+	}
+}
+
+func TestMailFsyncIssuesDataAndJournal(t *testing.T) {
+	eng, pool, fs := newFakeWorld(t, 50*sim.Microsecond)
+	cfg := DefaultMailConfig("mail", 0)
+	cfg.CacheFrac = 0 // only storage ops
+	m := NewMail(1, cfg)
+	m.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+	m.Stop()
+	eng.Run()
+	var data, journal, meta int
+	for _, rq := range fs.submitted {
+		switch {
+		case rq.Size == cfg.FileSize && rq.Flags.Sync() && !rq.Flags.Meta():
+			data++
+		case rq.Size == 4096 && rq.Flags.Meta():
+			journal++
+		default:
+			meta++
+		}
+	}
+	if data == 0 || journal == 0 {
+		t.Fatalf("fsync traffic wrong: data=%d journal=%d other=%d", data, journal, meta)
+	}
+	if m.OpLat[OpFsync].Count() == 0 || m.OpLat[OpFsync].Mean() < 50*sim.Microsecond {
+		t.Fatal("fsync latency must include the writes")
+	}
+}
+
+func TestMailResetStats(t *testing.T) {
+	eng, pool, fs := newFakeWorld(t, 50*sim.Microsecond)
+	m := NewMail(1, DefaultMailConfig("mail", 0))
+	m.Start(eng, pool, fs)
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+	m.ResetStats()
+	for op, h := range m.OpLat {
+		if h.Count() != 0 {
+			t.Fatalf("%s not cleared", op)
+		}
+	}
+	m.Stop()
+}
+
+func TestMigratorMovesTenants(t *testing.T) {
+	eng, _, fs := newFakeWorld(t, 50*sim.Microsecond)
+	tenants := []*block.Tenant{{ID: 1, Core: 0}, {ID: 2, Core: 1}}
+	mg := StartMigrator(eng, fs, tenants, 4, sim.Millisecond, sim.Time(50*sim.Millisecond), 7)
+	eng.Run()
+	if mg.Moves == 0 {
+		t.Fatal("migrator never moved a tenant")
+	}
+	if fs.migrations != int(mg.Moves) {
+		t.Fatalf("stack saw %d migrations, migrator counted %d", fs.migrations, mg.Moves)
+	}
+	if mg.Moves > 55 {
+		t.Fatalf("migrator moved %d times in 50 ticks", mg.Moves)
+	}
+}
+
+func TestMigratorStopsAtDeadline(t *testing.T) {
+	eng, _, fs := newFakeWorld(t, 50*sim.Microsecond)
+	tenants := []*block.Tenant{{ID: 1, Core: 0}}
+	StartMigrator(eng, fs, tenants, 2, sim.Millisecond, sim.Time(5*sim.Millisecond), 7)
+	eng.Run() // must terminate
+	if eng.Now() > sim.Time(10*sim.Millisecond) {
+		t.Fatalf("migrator ran past its deadline: now=%v", eng.Now())
+	}
+}
+
+func TestIoniceUpdaterHitsAllTenants(t *testing.T) {
+	eng, _, fs := newFakeWorld(t, 50*sim.Microsecond)
+	tenants := []*block.Tenant{
+		{ID: 1, Core: 0, Class: block.ClassRT},
+		{ID: 2, Core: 1, Class: block.ClassBE},
+	}
+	u := StartIoniceUpdater(eng, fs, tenants, sim.Millisecond, sim.Time(10*sim.Millisecond))
+	eng.Run()
+	if u.Updates == 0 || u.Updates%2 != 0 {
+		t.Fatalf("Updates = %d, want a positive multiple of len(tenants)", u.Updates)
+	}
+	if fs.ionice != int(u.Updates) {
+		t.Fatalf("stack saw %d updates, updater counted %d", fs.ionice, u.Updates)
+	}
+}
+
+func TestDriverPanics(t *testing.T) {
+	eng, _, fs := newFakeWorld(t, 50*sim.Microsecond)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("migrator zero interval must panic")
+			}
+		}()
+		StartMigrator(eng, fs, nil, 2, 0, 0, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("updater zero interval must panic")
+			}
+		}()
+		StartIoniceUpdater(eng, fs, nil, 0, 0)
+	}()
+}

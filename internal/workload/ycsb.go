@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+
+	"daredevil/internal/block"
+	"daredevil/internal/cpus"
+	"daredevil/internal/sim"
+	"daredevil/internal/stats"
+)
+
+// YCSBKind selects the workload mix (the paper evaluates A, B, E, F on
+// RocksDB, §7.4).
+type YCSBKind string
+
+// YCSB workload types.
+const (
+	// YCSBA is 50% reads / 50% updates (update heavy).
+	YCSBA YCSBKind = "A"
+	// YCSBB is 95% reads / 5% updates (read mostly).
+	YCSBB YCSBKind = "B"
+	// YCSBE is 95% scans / 5% inserts (short ranges).
+	YCSBE YCSBKind = "E"
+	// YCSBF is 50% reads / 50% read-modify-writes.
+	YCSBF YCSBKind = "F"
+)
+
+// YCSB drives a KV store with the selected mix under Zipfian key selection,
+// closed loop (one outstanding operation, like one YCSB client thread).
+type YCSB struct {
+	Kind YCSBKind
+	KV   *KV
+
+	zipf    *Zipf
+	rng     *sim.Rand
+	eng     *sim.Engine
+	stopped bool
+
+	// Ops counts completed operations.
+	Ops uint64
+}
+
+// NewYCSB builds a driver over kv.
+func NewYCSB(kind YCSBKind, kv *KV, seed uint64) *YCSB {
+	switch kind {
+	case YCSBA, YCSBB, YCSBE, YCSBF:
+	default:
+		panic(fmt.Sprintf("workload: unknown YCSB kind %q", kind))
+	}
+	rng := sim.NewRand(seed)
+	return &YCSB{Kind: kind, KV: kv, rng: rng, zipf: NewZipf(rng.Fork(), kv.Cfg.Keys, YCSBTheta)}
+}
+
+// Start begins issuing operations (call after KV.Start).
+func (y *YCSB) Start(eng *sim.Engine) {
+	y.eng = eng
+	y.next()
+}
+
+// Stop ceases issuing; the in-flight operation drains.
+func (y *YCSB) Stop() { y.stopped = true }
+
+func (y *YCSB) next() {
+	if y.stopped {
+		return
+	}
+	key := y.zipf.Scrambled()
+	cont := func() {
+		y.Ops++
+		y.next()
+	}
+	p := y.rng.Intn(100)
+	switch y.Kind {
+	case YCSBA:
+		if p < 50 {
+			y.KV.Get(key, cont)
+		} else {
+			y.KV.Update(key, cont)
+		}
+	case YCSBB:
+		if p < 95 {
+			y.KV.Get(key, cont)
+		} else {
+			y.KV.Update(key, cont)
+		}
+	case YCSBE:
+		if p < 95 {
+			y.KV.Scan(key, cont)
+		} else {
+			y.KV.Insert(key, cont)
+		}
+	default: // YCSBF
+		if p < 50 {
+			y.KV.Get(key, cont)
+		} else {
+			y.KV.RMW(key, cont)
+		}
+	}
+}
+
+// MailConfig describes the Filebench Mailserver model (§7.4): ~77% of
+// operations hit the page cache (CPU only); the rest — fsync and delete —
+// interact directly with the SSD through the ext4 journal.
+type MailConfig struct {
+	Name      string
+	Core      int
+	Namespace int
+	// FileSize is the average mail file size (16KB in the paper).
+	FileSize int64
+	// CacheFrac is the fraction of operations served by the page cache.
+	CacheFrac float64
+	// OpCPU is the application+VFS CPU cost per operation.
+	OpCPU      sim.Duration
+	SubmitCost sim.Duration
+	Seed       uint64
+}
+
+// DefaultMailConfig returns the paper-shaped Mailserver configuration.
+func DefaultMailConfig(name string, core int) MailConfig {
+	return MailConfig{
+		Name: name, Core: core,
+		FileSize:   16 * 1024,
+		CacheFrac:  0.77,
+		OpCPU:      3 * sim.Microsecond,
+		SubmitCost: 2 * sim.Microsecond,
+		Seed:       uint64(core)*1299709 + 3,
+	}
+}
+
+// Mail is the running mailserver workload. Its process is an L-tenant
+// (interactive mail operations expect prompt service).
+type Mail struct {
+	Cfg    MailConfig
+	Tenant *block.Tenant
+	// OpLat records latency per operation type (OpCache, OpFsync,
+	// OpDelete).
+	OpLat map[OpType]*stats.Histogram
+
+	eng     *sim.Engine
+	pool    *cpus.Pool
+	stack   block.Stack
+	rng     *sim.Rand
+	nextID  uint64
+	cursor  int64
+	stopped bool
+
+	// Ops counts completed operations.
+	Ops uint64
+}
+
+// NewMail builds the workload with the given tenant ID.
+func NewMail(id int, cfg MailConfig) *Mail {
+	m := &Mail{
+		Cfg: cfg,
+		Tenant: &block.Tenant{
+			ID: id, Name: cfg.Name, Class: block.ClassRT,
+			Core: cfg.Core, Namespace: cfg.Namespace,
+		},
+		OpLat: make(map[OpType]*stats.Histogram),
+		rng:   sim.NewRand(cfg.Seed + uint64(id)),
+	}
+	for _, t := range []OpType{OpCache, OpFsync, OpDelete} {
+		m.OpLat[t] = &stats.Histogram{}
+	}
+	return m
+}
+
+// Start registers the tenant and begins the closed-loop operation stream.
+func (m *Mail) Start(eng *sim.Engine, pool *cpus.Pool, stack block.Stack) {
+	m.eng, m.pool, m.stack = eng, pool, stack
+	stack.Register(m.Tenant)
+	m.next()
+}
+
+// Stop ceases issuing; the in-flight operation drains.
+func (m *Mail) Stop() { m.stopped = true }
+
+// ResetStats clears the per-op histograms.
+func (m *Mail) ResetStats() {
+	for _, h := range m.OpLat {
+		h.Reset()
+	}
+}
+
+func (m *Mail) next() {
+	if m.stopped {
+		return
+	}
+	start := m.eng.Now()
+	cont := func(t OpType) func() {
+		return func() {
+			m.OpLat[t].Record(m.eng.Now().Sub(start))
+			m.Ops++
+			m.next()
+		}
+	}
+	r := m.rng.Float64()
+	switch {
+	case r < m.Cfg.CacheFrac:
+		// Page-cache operation: read mail, append to mailbox — CPU only.
+		m.exec(m.Cfg.OpCPU, func() sim.Duration {
+			cont(OpCache)()
+			return 0
+		})
+	case r < m.Cfg.CacheFrac+(1-m.Cfg.CacheFrac)*0.6:
+		m.fsync(cont(OpFsync))
+	default:
+		m.delete(cont(OpDelete))
+	}
+}
+
+func (m *Mail) exec(cost sim.Duration, fn func() sim.Duration) {
+	m.pool.Core(m.Tenant.Core).Submit(cpus.Work{
+		Cost: cost, Owner: m.Tenant.ID, Fn: fn,
+	})
+}
+
+func (m *Mail) newReq(off, size int64, op block.OpKind, fl block.Flags, done func()) *block.Request {
+	m.nextID++
+	return &block.Request{
+		ID: m.nextID, Tenant: m.Tenant, Namespace: m.Tenant.Namespace,
+		Offset: off, Size: size, Op: op, Flags: fl,
+		IssueTime: m.eng.Now(), NSQ: -1,
+		OnComplete: func(*block.Request) {
+			if done != nil {
+				done()
+			}
+		},
+	}
+}
+
+func (m *Mail) bump(size int64) int64 {
+	off := m.cursor
+	m.cursor += size
+	if m.cursor >= 1<<30 {
+		m.cursor = 0
+	}
+	return off
+}
+
+// fsync flushes a mail file: the data pages plus a journal commit record
+// (synchronous metadata write), completing when both are durable.
+func (m *Mail) fsync(done func()) {
+	m.exec(m.Cfg.OpCPU+m.Cfg.SubmitCost, func() sim.Duration {
+		remaining := 2
+		sub := func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		}
+		data := m.newReq(m.bump(m.Cfg.FileSize), m.Cfg.FileSize,
+			block.OpWrite, block.FlagSync, sub)
+		journal := m.newReq(m.bump(4096), 4096,
+			block.OpWrite, block.FlagSync|block.FlagMeta, sub)
+		return m.stack.Submit(data) + m.stack.Submit(journal)
+	})
+}
+
+// delete removes a mail file: directory and inode metadata updates through
+// the journal.
+func (m *Mail) delete(done func()) {
+	m.exec(m.Cfg.OpCPU+m.Cfg.SubmitCost, func() sim.Duration {
+		meta := m.newReq(m.bump(4096), 4096,
+			block.OpWrite, block.FlagSync|block.FlagMeta, done)
+		return m.stack.Submit(meta)
+	})
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math"
+	"sync"
+
+	"daredevil/internal/sim"
+)
+
+// Zipf generates Zipfian-distributed keys in [0, n) with the YCSB
+// convention (scrambled hot-spot at low ranks, theta = 0.99 by default).
+type Zipf struct {
+	n     int64
+	theta float64
+
+	alpha, zetan, eta, zeta2 float64
+	rng                      *sim.Rand
+}
+
+// YCSBTheta is the Zipfian constant YCSB uses.
+const YCSBTheta = 0.99
+
+// NewZipf builds a generator over [0, n). Initialization is O(n); keep key
+// spaces at laptop scale (the harness uses <= 1M keys).
+func NewZipf(rng *sim.Rand, n int64, theta float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf needs a positive key space")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("workload: Zipf theta must be in (0,1)")
+	}
+	z := &Zipf{n: n, theta: theta, rng: rng}
+	z.zetan = zetaStatic(n, theta)
+	z.zeta2 = zetaStatic(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zetaCache memoizes the O(n) harmonic sums; YCSB key spaces are reused
+// across clients and experiments. Guarded for users who build generators
+// from multiple goroutines (each simulation itself is single-threaded).
+var (
+	zetaMu    sync.Mutex
+	zetaCache = map[[2]float64]float64{}
+)
+
+func zetaStatic(n int64, theta float64) float64 {
+	key := [2]float64{float64(n), theta}
+	zetaMu.Lock()
+	if v, ok := zetaCache[key]; ok {
+		zetaMu.Unlock()
+		return v
+	}
+	zetaMu.Unlock()
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	zetaMu.Lock()
+	zetaCache[key] = sum
+	zetaMu.Unlock()
+	return sum
+}
+
+// Next draws the next key (rank order: 0 is the hottest key).
+func (z *Zipf) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Scrambled returns the next key scattered across the key space via a
+// Fibonacci hash, as YCSB's scrambled Zipfian does, so hot keys are not
+// physically adjacent.
+func (z *Zipf) Scrambled() int64 {
+	k := z.Next()
+	return int64((uint64(k) * 0x9E3779B97F4A7C15) % uint64(z.n))
+}

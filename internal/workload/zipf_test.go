@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"daredevil/internal/sim"
+)
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(sim.NewRand(1), 1000, YCSBTheta)
+	for i := 0; i < 100000; i++ {
+		k := z.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of [0,1000)", k)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(sim.NewRand(2), 10000, YCSBTheta)
+	counts := map[int64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must be by far the hottest key (~10% of draws at theta=.99).
+	if counts[0] < n/20 {
+		t.Fatalf("rank-0 frequency %d too low for Zipfian", counts[0])
+	}
+	if counts[0] <= counts[100] {
+		t.Fatal("rank 0 must be hotter than rank 100")
+	}
+	// The head dominates: top-10 ranks take a large share.
+	head := 0
+	for k := int64(0); k < 10; k++ {
+		head += counts[k]
+	}
+	if float64(head)/n < 0.2 {
+		t.Fatalf("top-10 share %v too small for theta=0.99", float64(head)/n)
+	}
+}
+
+func TestZipfScrambledBounds(t *testing.T) {
+	z := NewZipf(sim.NewRand(3), 4096, YCSBTheta)
+	seen := map[int64]bool{}
+	for i := 0; i < 50000; i++ {
+		k := z.Scrambled()
+		if k < 0 || k >= 4096 {
+			t.Fatalf("scrambled key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("scrambling produced only %d distinct keys", len(seen))
+	}
+}
+
+func TestZipfScrambledSpreadsHotKeys(t *testing.T) {
+	z := NewZipf(sim.NewRand(4), 1<<16, YCSBTheta)
+	counts := map[int64]int{}
+	for i := 0; i < 100000; i++ {
+		counts[z.Scrambled()]++
+	}
+	// Find the two hottest scrambled keys; they must not be adjacent.
+	var k1, k2 int64 = -1, -1
+	for k, c := range counts {
+		if k1 < 0 || c > counts[k1] {
+			k2 = k1
+			k1 = k
+		} else if k2 < 0 || c > counts[k2] {
+			k2 = k
+		}
+	}
+	d := k1 - k2
+	if d < 0 {
+		d = -d
+	}
+	if d <= 1 {
+		t.Fatalf("hottest scrambled keys adjacent (%d, %d)", k1, k2)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero n":      func() { NewZipf(sim.NewRand(1), 0, YCSBTheta) },
+		"theta 0":     func() { NewZipf(sim.NewRand(1), 10, 0) },
+		"theta 1":     func() { NewZipf(sim.NewRand(1), 10, 1) },
+		"theta large": func() { NewZipf(sim.NewRand(1), 10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(sim.NewRand(9), 1000, YCSBTheta)
+	b := NewZipf(sim.NewRand(9), 1000, YCSBTheta)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("zipf diverged at draw %d", i)
+		}
+	}
+}

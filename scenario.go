@@ -1,0 +1,208 @@
+package daredevil
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"daredevil/internal/workload"
+)
+
+// Scenario is a declarative multi-tenant experiment, loadable from JSON
+// (ddsim -config). Example:
+//
+//	{
+//	  "machine": "svm", "cores": 4, "stack": "daredevil",
+//	  "namespaces": 1, "warmupMs": 100, "measureMs": 400,
+//	  "jobs": [
+//	    {"name": "db",     "class": "L", "count": 4},
+//	    {"name": "backup", "class": "T", "count": 16, "outlierEvery": 8}
+//	  ]
+//	}
+//
+// Job fields omit to the paper's defaults for the class (4KB rand qd=1 for
+// L, 128KB qd=32 streaming writes for T).
+type Scenario struct {
+	// Machine is "svm" (default) or "wsm".
+	Machine string `json:"machine"`
+	// Cores applies to the svm machine (default 4).
+	Cores int `json:"cores"`
+	// Stack names the storage stack (default "daredevil").
+	Stack string `json:"stack"`
+	// Namespaces divides the SSD (default 1).
+	Namespaces int `json:"namespaces"`
+	// WarmupMs and MeasureMs set the windows in virtual milliseconds
+	// (defaults 100/400).
+	WarmupMs  int `json:"warmupMs"`
+	MeasureMs int `json:"measureMs"`
+
+	Jobs []ScenarioJob `json:"jobs"`
+}
+
+// ScenarioJob describes one group of identical tenants.
+type ScenarioJob struct {
+	Name  string `json:"name"`
+	Class string `json:"class"` // "L" or "T"
+	Count int    `json:"count"`
+
+	// Optional overrides (zero = class default).
+	BS           int64  `json:"bs"`
+	IODepth      int    `json:"iodepth"`
+	ReadPct      *int   `json:"readPct"`
+	Pattern      string `json:"pattern"` // "random" or "sequential"
+	Core         *int   `json:"core"`
+	Namespace    int    `json:"namespace"`
+	OutlierEvery int    `json:"outlierEvery"`
+	// ArrivalUs switches the job to an open loop with this mean
+	// inter-arrival time in microseconds.
+	ArrivalUs int64 `json:"arrivalUs"`
+	SpanMB    int64 `json:"spanMB"`
+}
+
+// ParseScenario decodes and validates a JSON scenario.
+func ParseScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return sc, fmt.Errorf("daredevil: invalid scenario JSON: %w", err)
+	}
+	if err := sc.validate(); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
+func (sc Scenario) validate() error {
+	switch sc.Machine {
+	case "", "svm", "wsm":
+	default:
+		return fmt.Errorf("daredevil: unknown machine %q (want svm or wsm)", sc.Machine)
+	}
+	if sc.Cores < 0 || sc.Namespaces < 0 || sc.WarmupMs < 0 || sc.MeasureMs < 0 {
+		return fmt.Errorf("daredevil: negative scenario parameter")
+	}
+	if sc.Stack != "" {
+		if _, err := stackKindOf(sc.Stack); err != nil {
+			return err
+		}
+	}
+	if len(sc.Jobs) == 0 {
+		return fmt.Errorf("daredevil: scenario has no jobs")
+	}
+	for i, j := range sc.Jobs {
+		switch j.Class {
+		case "L", "T":
+		default:
+			return fmt.Errorf("daredevil: job %d (%q): class must be \"L\" or \"T\"", i, j.Name)
+		}
+		if j.Count <= 0 {
+			return fmt.Errorf("daredevil: job %d (%q): count must be positive", i, j.Name)
+		}
+		switch j.Pattern {
+		case "", "random", "sequential":
+		default:
+			return fmt.Errorf("daredevil: job %d (%q): unknown pattern %q", i, j.Name, j.Pattern)
+		}
+		if j.BS < 0 || j.IODepth < 0 || j.OutlierEvery < 0 || j.ArrivalUs < 0 || j.SpanMB < 0 {
+			return fmt.Errorf("daredevil: job %d (%q): negative parameter", i, j.Name)
+		}
+		ns := max(sc.Namespaces, 1)
+		if j.Namespace < 0 || j.Namespace >= ns {
+			return fmt.Errorf("daredevil: job %d (%q): namespace %d out of [0,%d)", i, j.Name, j.Namespace, ns)
+		}
+	}
+	return nil
+}
+
+func stackKindOf(name string) (StackKind, error) {
+	for _, k := range []StackKind{
+		StackVanilla, StackBlkSwitch, StackStaticPart,
+		StackDareBase, StackDareSched, StackDaredevil,
+	} {
+		if string(k) == name {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("daredevil: unknown stack %q", name)
+}
+
+// Build constructs the Simulation and the run windows described by the
+// scenario.
+func (sc Scenario) Build() (*Simulation, Duration, Duration, error) {
+	if err := sc.validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	var m Machine
+	if sc.Machine == "wsm" {
+		m = WorkstationMachine()
+	} else {
+		cores := sc.Cores
+		if cores == 0 {
+			cores = 4
+		}
+		m = ServerMachine(cores)
+	}
+	kind := StackDaredevil
+	if sc.Stack != "" {
+		kind, _ = stackKindOf(sc.Stack)
+	}
+	sim := NewSimulation(m, kind)
+	if sc.Namespaces > 1 {
+		sim.CreateNamespaces(sc.Namespaces)
+	}
+	tenantIdx := 0
+	for _, j := range sc.Jobs {
+		for i := 0; i < j.Count; i++ {
+			core := tenantIdx % m.Cores
+			if j.Core != nil {
+				core = *j.Core % m.Cores
+			}
+			var cfg JobConfig
+			if j.Class == "L" {
+				cfg = workload.DefaultLTenant(j.Name, core)
+			} else {
+				cfg = workload.DefaultTTenant(j.Name, core)
+			}
+			if j.BS > 0 {
+				cfg.BS = j.BS
+			}
+			if j.IODepth > 0 {
+				cfg.IODepth = j.IODepth
+			}
+			if j.ReadPct != nil {
+				cfg.ReadPct = *j.ReadPct
+			}
+			switch j.Pattern {
+			case "random":
+				cfg.Pattern = workload.Random
+			case "sequential":
+				cfg.Pattern = workload.Sequential
+			}
+			cfg.Namespace = j.Namespace
+			cfg.OutlierEvery = j.OutlierEvery
+			if j.ArrivalUs > 0 {
+				cfg.Arrival = Duration(j.ArrivalUs) * Microsecond
+			}
+			if j.SpanMB > 0 {
+				cfg.Span = j.SpanMB << 20
+			}
+			cfg.Seed += uint64(tenantIdx) * 9176
+			sim.AddJob(cfg)
+			tenantIdx++
+		}
+	}
+	warm := Duration(sc.WarmupMs) * Millisecond
+	if warm == 0 {
+		warm = 100 * Millisecond
+	}
+	measure := Duration(sc.MeasureMs) * Millisecond
+	if measure == 0 {
+		measure = 400 * Millisecond
+	}
+	return sim, warm, measure, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
