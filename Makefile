@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench figures svg json examples vet fmt cover clean
+.PHONY: all build test test-short race bench figures svg json examples vet fmt cover clean
 
 all: build test
 
@@ -14,6 +14,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The simulator is single-goroutine by design; -race proves it (and the
+# tests around it) stay that way.
+race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -36,6 +41,7 @@ examples:
 	$(GO) run ./examples/outliers
 	$(GO) run ./examples/virtio
 	$(GO) run ./examples/webapp
+	$(GO) run ./examples/aged
 
 vet:
 	$(GO) vet ./...

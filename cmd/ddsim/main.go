@@ -31,6 +31,9 @@ func main() {
 	config := flag.String("config", "", "run a JSON scenario file instead of the flag-built mix")
 	seed := flag.Uint64("seed", 0, "shift every tenant's random stream (0 = default streams)")
 	errorRate := flag.Float64("error-rate", 0, "inject per-command media errors with this probability (controller retries up to 3x)")
+	useFTL := flag.Bool("ftl", false, "run on an aged device with the page-mapped FTL (garbage collection, wear leveling)")
+	opPct := flag.Float64("op", 7, "FTL over-provisioning percent (with -ftl)")
+	trimEvery := flag.Int("trim", 0, "replace every Nth T-tenant request with an NVMe Deallocate (TRIM); 0 disables")
 	flag.Parse()
 
 	if *config != "" {
@@ -49,6 +52,15 @@ func main() {
 	}
 	if *errorRate > 0 {
 		m.NVMe.MediaErrorRate = *errorRate
+	}
+	if *useFTL {
+		fcfg := daredevil.DefaultFTLConfig()
+		fcfg.OPPct = *opPct
+		if err := fcfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(2)
+		}
+		m.FTL = &fcfg
 	}
 	kind, err := parseStack(*stack)
 	if err != nil {
@@ -72,6 +84,13 @@ func main() {
 		for i := 0; i < *nT; i++ {
 			sim.AddTTenantsNS(1, i%*namespaces)
 		}
+	} else if *trimEvery > 0 {
+		sim.AddLTenants(*nL)
+		for i := 0; i < *nT; i++ {
+			cfg := daredevil.DefaultTTenantConfig("fio-T", i%m.Cores)
+			cfg.TrimEvery = *trimEvery
+			sim.AddJob(cfg)
+		}
 	} else {
 		sim.AddLTenants(*nL)
 		sim.AddTTenants(*nT)
@@ -87,6 +106,7 @@ func main() {
 		res.TTenantLatency.Mean, res.TTenantLatency.P99,
 		res.TThroughputMBps, res.TTenantLatency.Count)
 	fmt.Printf("  CPU utilization: %.1f%%\n", 100*res.CPUUtilization)
+	printFTL(res)
 	if *breakdown {
 		fmt.Printf("  L path components: lock-wait avg=%v p99=%v | completion-delay avg=%v p99=%v | cross-core %.0f%%\n",
 			res.LSubmissionWait.Mean, res.LSubmissionWait.P99,
@@ -128,6 +148,7 @@ func runConfig(path string, breakdown bool, traceN int) error {
 		res.TTenantLatency.Mean, res.TTenantLatency.P99,
 		res.TThroughputMBps, res.TTenantLatency.Count)
 	fmt.Printf("  CPU utilization: %.1f%%\n", 100*res.CPUUtilization)
+	printFTL(res)
 	if breakdown {
 		fmt.Printf("  L path components: lock-wait avg=%v | completion-delay avg=%v | cross-core %.0f%%\n",
 			res.LSubmissionWait.Mean, res.LCompletionDelay.Mean, 100*res.LCrossCoreFraction)
@@ -137,6 +158,20 @@ func runConfig(path string, breakdown bool, traceN int) error {
 		sim.WriteTrace(os.Stdout)
 	}
 	return nil
+}
+
+// printFTL reports device-internal GC activity when the run used -ftl (or
+// a scenario with "ftl": true).
+func printFTL(res daredevil.Result) {
+	f := res.FTL
+	if f == nil {
+		return
+	}
+	fmt.Printf("  FTL: WA=%.2f GC runs=%d (moved %d pages, %d erases, %d foreground) trimmed=%d\n",
+		f.WriteAmplification, f.GCRuns, f.GCPagesMoved, f.Erases, f.ForegroundGCs, f.TrimmedPages)
+	if f.GCPauses.Count > 0 {
+		fmt.Printf("  GC pauses: avg=%v p99=%v max=%v\n", f.GCPauses.Mean, f.GCPauses.P99, f.GCPauses.Max)
+	}
 }
 
 func parseStack(s string) (daredevil.StackKind, error) {

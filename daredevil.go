@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"daredevil/internal/block"
+	"daredevil/internal/ftl"
 	"daredevil/internal/harness"
 	"daredevil/internal/sim"
 	"daredevil/internal/stats"
@@ -84,6 +85,17 @@ func ServerMachine(cores int) Machine { return harness.SVM(cores) }
 // SSD: 128 NSQs over 24 NCQs, 8 cores).
 func WorkstationMachine() Machine { return harness.WSM() }
 
+// FTLConfig configures the optional page-mapped flash translation layer
+// (garbage collection, wear leveling, TRIM). Assign one to Machine.FTL to
+// run on an aged device; leave it nil for the default effective-latency
+// flash model. Both modes are deterministic.
+type FTLConfig = ftl.Config
+
+// DefaultFTLConfig returns the paper-scale aged-device shape: a 4GiB
+// device (128 dies x 128 blocks x 64 pages), 7% over-provisioning, greedy
+// victim selection, preconditioned full and scrambled.
+func DefaultFTLConfig() FTLConfig { return ftl.DefaultConfig() }
+
 // LatencySnapshot summarizes a latency distribution.
 type LatencySnapshot = stats.Snapshot
 
@@ -108,6 +120,28 @@ type Result struct {
 	LSubmissionWait    LatencySnapshot
 	LCompletionDelay   LatencySnapshot
 	LCrossCoreFraction float64
+
+	// FTL reports device-internal activity over the window when the
+	// machine ran with Machine.FTL set; nil otherwise.
+	FTL *FTLResult
+}
+
+// FTLResult summarizes the translation layer's work during a measurement
+// window.
+type FTLResult struct {
+	// WriteAmplification is flash pages written per host page written.
+	WriteAmplification float64
+	// GCRuns counts collected victim blocks; GCPagesMoved the valid pages
+	// relocated; Erases the block erases.
+	GCRuns       uint64
+	GCPagesMoved uint64
+	Erases       uint64
+	// ForegroundGCs counts host writes that stalled for inline collection.
+	ForegroundGCs uint64
+	// TrimmedPages counts pages invalidated by NVMe Deallocate.
+	TrimmedPages uint64
+	// GCPauses is the distribution of per-victim collection times.
+	GCPauses LatencySnapshot
 }
 
 // JobConfig customizes a tenant workload (see DefaultLTenantConfig /
@@ -332,6 +366,9 @@ func (s *Simulation) Run(warmup, measure Duration) Result {
 	for _, a := range s.apps {
 		a.reset()
 	}
+	if s.env.FTL != nil {
+		s.env.FTL.ResetStats()
+	}
 	s.env.Eng.RunUntil(sim.Time(warmup + measure))
 	r := s.mix.Collect(measure)
 	res := Result{
@@ -356,6 +393,18 @@ func (s *Simulation) Run(warmup, measure Duration) Result {
 			res.LCrossCoreFraction = float64(cross) / float64(total)
 		}
 	}
+	if s.env.FTL != nil {
+		st := s.env.FTL.Stats()
+		res.FTL = &FTLResult{
+			WriteAmplification: st.WriteAmplification(),
+			GCRuns:             st.GCRuns,
+			GCPagesMoved:       st.GCPagesMoved,
+			Erases:             st.Erases,
+			ForegroundGCs:      st.ForegroundGCs,
+			TrimmedPages:       st.TrimmedPages,
+			GCPauses:           s.env.FTL.GCPauses.Snapshot(),
+		}
+	}
 	return res
 }
 
@@ -370,11 +419,12 @@ var (
 
 // ExperimentNames lists the reproducible paper artifacts plus the
 // extension experiments (Kyber baseline, WRR arbitration, polled
-// completion, §8.1 virtio).
+// completion, §8.1 virtio, aged-device GC).
 func ExperimentNames() []string {
 	return []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14",
-		"ext-sched", "ext-wrr", "ext-poll", "ext-virtio", "ext-webapp"}
+		"ext-sched", "ext-wrr", "ext-poll", "ext-virtio", "ext-webapp",
+		"ext-gc"}
 }
 
 // RunExperimentJSON regenerates one paper table/figure and returns its
@@ -422,6 +472,8 @@ func runExperimentResult(name string, sc Scale) (any, error) {
 		return harness.RunExtVirtio(sc), nil
 	case "ext-webapp":
 		return harness.RunExtWebapp(sc), nil
+	case "ext-gc":
+		return harness.RunExtGC(sc), nil
 	}
 	return nil, fmt.Errorf("daredevil: unknown experiment %q", name)
 }
@@ -461,6 +513,8 @@ func RunExperiment(w io.Writer, name string, sc Scale) error {
 		harness.RunExtVirtio(sc).WriteText(w)
 	case "ext-webapp":
 		harness.RunExtWebapp(sc).WriteText(w)
+	case "ext-gc":
+		harness.RunExtGC(sc).WriteText(w)
 	default:
 		return fmt.Errorf("daredevil: unknown experiment %q", name)
 	}

@@ -2,6 +2,10 @@ package daredevil
 
 import (
 	"testing"
+
+	"daredevil/internal/flash"
+	"daredevil/internal/ftl"
+	"daredevil/internal/sim"
 )
 
 // FuzzParseScenario ensures scenario parsing never panics and that every
@@ -12,6 +16,8 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add([]byte(`{"namespaces":3,"jobs":[{"name":"a","class":"L","count":1,"namespace":2}]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"jobs":[{"name":"x","class":"L","count":1,"arrivalUs":100,"bs":8192}]}`))
+	f.Add([]byte(`{"ftl":true,"opPct":15,"scramblePct":10,"jobs":[{"name":"t","class":"T","count":1,"trimEvery":4}]}`))
+	f.Add([]byte(`{"opPct":15,"jobs":[{"name":"t","class":"T","count":1}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc, err := ParseScenario(data)
 		if err != nil {
@@ -20,6 +26,79 @@ func FuzzParseScenario(f *testing.F) {
 		// Accepted scenarios must build.
 		if _, _, _, err := sc.Build(); err != nil {
 			t.Fatalf("accepted scenario failed to build: %v\n%s", err, data)
+		}
+	})
+}
+
+// FuzzFTLMapping drives a small FTL-backed device with a fuzz-chosen
+// interleaving of writes, TRIMs, and reads, letting the background GC chains
+// run between operations, and asserts the mapping-table invariants (L2P/P2L
+// consistency, per-block valid counts, free-list integrity) after every step.
+// The input tape is consumed in 3-byte records: opcode, then a 16-bit
+// logical-page selector; the opcode's high bits size multi-page ranges so
+// TRIMs and writes cross block boundaries.
+func FuzzFTLMapping(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 0, 1, 2, 0, 2})
+	f.Add([]byte{0, 0x12, 0x34, 0x41, 0x12, 0x34, 0x80, 0x12, 0x34})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x00, 0x00, 0xff, 0x41, 0x00, 0xff})
+	seq := make([]byte, 0, 192)
+	for i := 0; i < 64; i++ {
+		seq = append(seq, byte(i%3)<<6, byte(i>>8), byte(i))
+	}
+	f.Add(seq)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxOps = 512
+		if len(data) > 3*maxOps {
+			data = data[:3*maxOps]
+		}
+		eng := sim.New()
+		fcfg := ftl.Config{
+			PagesPerBlock:   16,
+			BlocksPerDie:    16,
+			OPPct:           30,
+			GCBatchPages:    4,
+			PreconditionPct: 100,
+			ScramblePct:     30,
+			Seed:            7,
+		}
+		d := ftl.New(eng, flash.New(flash.Config{
+			Channels:        4,
+			ChipsPerChannel: 2,
+			PageSize:        4096,
+			ReadLatency:     70 * sim.Microsecond,
+			ProgramLatency:  420 * sim.Microsecond,
+			XferLatency:     3 * sim.Microsecond,
+			EraseLatency:    2 * sim.Millisecond,
+		}), fcfg)
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("invariants broken after preconditioning: %v", err)
+		}
+		pageSize := int64(4096)
+		for len(data) >= 3 {
+			op, hi, lo := data[0], data[1], data[2]
+			data = data[3:]
+			lp := (int64(hi)<<8 | int64(lo)) % d.LogicalPages()
+			pages := int64(op>>4)%4 + 1 // 1..4 pages per operation
+			off, size := lp*pageSize, pages*pageSize
+			switch op % 3 {
+			case 0:
+				d.SubmitIO(eng.Now(), off, size, flash.Program)
+			case 1:
+				d.Trim(off, size)
+			case 2:
+				d.SubmitIO(eng.Now(), off, size, flash.Read)
+			}
+			eng.Run() // drain GC chains and deferred trim wake-ups
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("invariants broken after op %d (lp=%d pages=%d): %v",
+					op%3, lp, pages, err)
+			}
+		}
+		// The device must stay conservative: mapped pages never exceed the
+		// logical space, free blocks never exceed physical blocks.
+		if d.ValidPages() > d.LogicalPages() {
+			t.Fatalf("%d valid pages exceed logical capacity %d",
+				d.ValidPages(), d.LogicalPages())
 		}
 	})
 }

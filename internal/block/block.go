@@ -85,6 +85,9 @@ const (
 	FlagSync Flags = 1 << iota
 	// FlagMeta marks filesystem metadata requests (REQ_META).
 	FlagMeta
+	// FlagDiscard marks deallocation requests (REQ_OP_DISCARD): the range
+	// carries no data and becomes an NVMe Deallocate the FTL unmaps.
+	FlagDiscard
 )
 
 // Sync reports whether FlagSync is set.
@@ -92,6 +95,9 @@ func (f Flags) Sync() bool { return f&FlagSync != 0 }
 
 // Meta reports whether FlagMeta is set.
 func (f Flags) Meta() bool { return f&FlagMeta != 0 }
+
+// Discard reports whether FlagDiscard is set.
+func (f Flags) Discard() bool { return f&FlagDiscard != 0 }
 
 // Outlier reports whether the flags mark an outlier L-request when issued
 // from a T-tenant (synchronous or metadata, i.e. REQ_HIPRIO-worthy).

@@ -7,8 +7,11 @@
 //
 // The model is an effective-latency one: ProgramLatency folds multi-plane
 // programming and SLC caching into a single per-page service time tuned so
-// aggregate bandwidth lands near an enterprise NVMe SSD. It deliberately
-// omits GC and wear-leveling (see DESIGN.md).
+// aggregate bandwidth lands near an enterprise NVMe SSD. Garbage collection
+// and wear-leveling live one layer up in internal/ftl, which places
+// operations onto specific dies via SubmitAtDie; with the FTL disabled
+// (the default) this package's static-interleave/round-robin placement is
+// the whole media model and GC is absent (see DESIGN.md).
 package flash
 
 import (
@@ -24,6 +27,8 @@ type Op uint8
 const (
 	Read Op = iota
 	Program
+	// Erase resets a whole block; only the FTL issues it (internal/ftl GC).
+	Erase
 )
 
 // Config describes the flash geometry and timing.
@@ -41,6 +46,10 @@ type Config struct {
 	ProgramLatency sim.Duration
 	// XferLatency is the channel-bus transfer time per page.
 	XferLatency sim.Duration
+	// EraseLatency is the block-erase time (tBERS), used by the FTL's GC.
+	// It occupies a die atomically — the ms-scale internal pause behind
+	// GC-induced tail latency.
+	EraseLatency sim.Duration
 	// InterleaveBytes is the striping granularity: this many contiguous
 	// bytes stay on one die before the mapping moves to the next channel.
 	// Large requests therefore occupy size/InterleaveBytes dies — sustained
@@ -61,6 +70,7 @@ func DefaultConfig() Config {
 		ReadLatency:     70 * sim.Microsecond,
 		ProgramLatency:  420 * sim.Microsecond,
 		XferLatency:     3 * sim.Microsecond,
+		EraseLatency:    2 * sim.Millisecond,
 		InterleaveBytes: 16 * 1024,
 	}
 }
@@ -78,6 +88,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("flash: media latencies must be positive")
 	case c.XferLatency < 0:
 		return fmt.Errorf("flash: XferLatency must be non-negative")
+	case c.EraseLatency < 0:
+		return fmt.Errorf("flash: EraseLatency must be non-negative")
 	case c.InterleaveBytes < 0:
 		return fmt.Errorf("flash: InterleaveBytes must be non-negative")
 	case c.InterleaveBytes > 0 && c.InterleaveBytes%c.PageSize != 0:
@@ -91,6 +103,7 @@ func (c Config) Validate() error {
 type Stats struct {
 	PagesRead    uint64
 	PagesWritten uint64
+	Erases       uint64
 }
 
 // Device is the media backend. All scheduling is expressed through FIFO
@@ -192,6 +205,36 @@ func (d *Device) SubmitPage(now sim.Time, page int64, op Op) sim.Time {
 		xferDone := busGrant.Add(d.cfg.XferLatency)
 		grant, _ := die.Acquire(xferDone, d.cfg.ProgramLatency)
 		return grant.Add(d.cfg.ProgramLatency)
+	default:
+		panic(fmt.Sprintf("flash: unknown op %d", op))
+	}
+}
+
+// SubmitAtDie services one operation on an explicitly chosen die at instant
+// now and returns its completion instant. This is the FTL's entry point:
+// placement is the FTL's mapping decision, not the static interleave. Reads
+// occupy the die then the channel bus; programs the bus then the die; erases
+// the die alone (no data crosses the bus).
+func (d *Device) SubmitAtDie(now sim.Time, dieIdx int, op Op) sim.Time {
+	die := &d.chips[dieIdx]
+	bus := &d.channels[dieIdx/d.cfg.ChipsPerChannel]
+	switch op {
+	case Read:
+		d.stats.PagesRead++
+		grant, _ := die.Acquire(now, d.cfg.ReadLatency)
+		mediaDone := grant.Add(d.cfg.ReadLatency)
+		busGrant, _ := bus.Acquire(mediaDone, d.cfg.XferLatency)
+		return busGrant.Add(d.cfg.XferLatency)
+	case Program:
+		d.stats.PagesWritten++
+		busGrant, _ := bus.Acquire(now, d.cfg.XferLatency)
+		xferDone := busGrant.Add(d.cfg.XferLatency)
+		grant, _ := die.Acquire(xferDone, d.cfg.ProgramLatency)
+		return grant.Add(d.cfg.ProgramLatency)
+	case Erase:
+		d.stats.Erases++
+		grant, _ := die.Acquire(now, d.cfg.EraseLatency)
+		return grant.Add(d.cfg.EraseLatency)
 	default:
 		panic(fmt.Sprintf("flash: unknown op %d", op))
 	}

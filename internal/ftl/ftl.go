@@ -1,0 +1,863 @@
+// Package ftl is a page-mapped flash translation layer between the NVMe
+// controller (internal/nvme) and the raw media (internal/flash). It owns the
+// logical→physical page mapping, allocates host and relocation writes into
+// per-die blocks, reclaims invalid pages with background garbage collection,
+// levels wear across blocks, and honors NVMe Deallocate (TRIM).
+//
+// The point of the layer is *device-internal interference* (paper §8.1):
+// GC relocation reads/programs and block erases are issued into the same
+// per-die FIFOs as foreground I/O, so a victim block being collected delays
+// every tenant whose pages live on that die — exactly the ms-scale internal
+// contention that keeps even perfectly NQ-separated L-requests from reaching
+// µs latencies. With the FTL disabled the simulator falls back to the
+// effective-latency flash model (today's default path, bit-identical).
+//
+// Determinism: the FTL keeps no wall-clock or map-iteration state; identical
+// configurations and request streams produce identical mappings, GC
+// schedules, and statistics.
+package ftl
+
+import (
+	"fmt"
+
+	"daredevil/internal/flash"
+	"daredevil/internal/sim"
+	"daredevil/internal/stats"
+)
+
+// Policy selects the GC victim-selection policy.
+type Policy uint8
+
+// Victim-selection policies.
+const (
+	// Greedy picks the block with the fewest valid pages — optimal for
+	// uniform overwrite traffic.
+	Greedy Policy = iota
+	// CostBenefit weighs invalidity against block age ((1-u)/(1+u) · age),
+	// preferring cold, mostly-invalid blocks — better under skew.
+	CostBenefit
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == CostBenefit {
+		return "cost-benefit"
+	}
+	return "greedy"
+}
+
+// Config describes the FTL geometry and policies. The die count and page
+// size come from the flash device the FTL is layered on.
+type Config struct {
+	// PagesPerBlock is the erase-block size in pages.
+	PagesPerBlock int
+	// BlocksPerDie is the number of erase blocks per die.
+	BlocksPerDie int
+	// OPPct is the over-provisioned share of physical capacity in percent
+	// (7, 15, 28 in the ext-gc sweep). Logical capacity is
+	// physical · (100-OPPct)/100.
+	OPPct float64
+	// Policy selects GC victim selection (default Greedy).
+	Policy Policy
+	// GCLowWater starts background GC on a die when its free-block count
+	// drops below this; GCHighWater stops it. They are a small, fixed
+	// clean-block reserve (defaults 2 and 3): over-provisioned capacity
+	// beyond it lives as invalid pages spread across data blocks, which is
+	// what makes more OP lower write amplification.
+	GCLowWater  int
+	GCHighWater int
+	// GCBatchPages bounds relocation pages moved per GC step, so foreground
+	// I/O interleaves with collection instead of stalling for a whole
+	// victim (default 8).
+	GCBatchPages int
+	// PreconditionPct maps this share of the logical space (sequentially,
+	// at zero simulated cost) before the run — the paper's pre-conditioned
+	// "aged" device. 100 models a full drive in steady state.
+	PreconditionPct int
+	// ScramblePct overwrites this share of the preconditioned pages once
+	// (accounting only), fragmenting block validity the way a history of
+	// random writes would.
+	ScramblePct int
+	// Seed drives the scramble stream.
+	Seed uint64
+}
+
+// DefaultConfig returns a small, GC-active geometry: with the default flash
+// shape (128 dies) it yields a 4 GiB physical device whose per-die
+// clean-block reserve (2-3 of 128 blocks) stays well under the smallest OP
+// setting, so over-provisioning differences show up as data-block
+// invalidity — the aged-device regime the ext-gc experiment probes.
+func DefaultConfig() Config {
+	return Config{
+		PagesPerBlock:   64,
+		BlocksPerDie:    128,
+		OPPct:           7,
+		Policy:          Greedy,
+		GCBatchPages:    8,
+		PreconditionPct: 100,
+		ScramblePct:     30,
+		Seed:            0x0f7c,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.PagesPerBlock <= 0:
+		return fmt.Errorf("ftl: PagesPerBlock = %d, must be positive", c.PagesPerBlock)
+	case c.BlocksPerDie < 3:
+		return fmt.Errorf("ftl: BlocksPerDie = %d, need at least 3 (active + GC reserve + data)", c.BlocksPerDie)
+	case c.OPPct < 2 || c.OPPct > 90:
+		return fmt.Errorf("ftl: OPPct = %v out of [2,90]", c.OPPct)
+	case c.GCLowWater < 0 || c.GCHighWater < 0:
+		return fmt.Errorf("ftl: negative GC watermark")
+	case c.GCHighWater > 0 && c.GCLowWater > 0 && c.GCHighWater <= c.GCLowWater:
+		return fmt.Errorf("ftl: GCHighWater (%d) must exceed GCLowWater (%d)", c.GCHighWater, c.GCLowWater)
+	case c.GCBatchPages < 0:
+		return fmt.Errorf("ftl: negative GCBatchPages")
+	case c.PreconditionPct < 0 || c.PreconditionPct > 100:
+		return fmt.Errorf("ftl: PreconditionPct = %d out of [0,100]", c.PreconditionPct)
+	case c.ScramblePct < 0 || c.ScramblePct > 100:
+		return fmt.Errorf("ftl: ScramblePct = %d out of [0,100]", c.ScramblePct)
+	}
+	return nil
+}
+
+// Stats accumulates FTL activity since the last ResetStats.
+type Stats struct {
+	// HostPagesWritten counts pages programmed on behalf of host writes;
+	// FlashPagesWritten additionally counts GC relocation programs. Their
+	// ratio is the write amplification.
+	HostPagesWritten  uint64
+	FlashPagesWritten uint64
+	// HostPagesRead counts host page reads (mapped or unmapped).
+	HostPagesRead uint64
+	// GCRuns counts collected victim blocks; GCPagesMoved the pages
+	// relocated out of them.
+	GCRuns       uint64
+	GCPagesMoved uint64
+	// Erases counts block erases.
+	Erases uint64
+	// TrimmedPages counts pages invalidated by Deallocate.
+	TrimmedPages uint64
+	// ForegroundGCs counts writes that stalled for an inline (foreground)
+	// collection because no die had host-allocatable space — the write
+	// cliff of a device out of clean blocks.
+	ForegroundGCs uint64
+}
+
+// WriteAmplification reports FlashPagesWritten / HostPagesWritten (1.0 when
+// no host write happened).
+func (s Stats) WriteAmplification() float64 {
+	if s.HostPagesWritten == 0 {
+		return 1
+	}
+	return float64(s.FlashPagesWritten) / float64(s.HostPagesWritten)
+}
+
+// blockMeta is the per-erase-block bookkeeping.
+type blockMeta struct {
+	valid     int      // mapped pages in the block
+	erases    uint32   // lifetime erase count (wear)
+	lastWrite sim.Time // most recent program (cost-benefit age)
+	free      bool     // sitting in the die's free list
+}
+
+// dieState is the per-die allocation and GC state.
+//
+// GC on a die is a chain of *rounds*, one victim block per round. A round
+// relocates the victim's valid pages (in GCBatchPages steps, so foreground
+// I/O interleaves in the die FIFO) and ends with the erase.
+//
+// Host and GC write into separate active blocks (hot/cold stream
+// separation): mixing freshly overwritten host data with relocated cold
+// data would spread invalidity evenly and inflate write amplification.
+// The streams also carry the invariant that makes every GC round
+// completable: a round needs at most one new destination block (a victim
+// has at most PagesPerBlock-1 valid pages, and the host never writes into
+// the GC stream), and whenever GC must open one, a free block exists —
+// host writes need two free blocks to open their own, so only GC itself
+// can take the last.
+type dieState struct {
+	free     []int // free block indexes (die-local)
+	active   int   // open block host programs append into (-1 none)
+	writePtr int   // next page slot in the host active block
+	gcActive int   // open block GC relocations append into (-1 none)
+	gcPtr    int   // next page slot in the GC active block
+
+	gcOn     bool     // a GC round chain is running on this die
+	gcVictim int      // victim block of the in-progress round (-1 between rounds)
+	gcScan   int      // next victim page slot to examine
+	gcStart  sim.Time // round start, for the pause histogram
+	gcGen    uint64   // invalidates scheduled GC continuations after a takeover
+}
+
+// Device is the flash translation layer over one media device.
+type Device struct {
+	cfg   Config
+	eng   *sim.Engine
+	media *flash.Device
+
+	pageSize  int64
+	ppb       int
+	numDies   int
+	physPages int64
+	logPages  int64
+	lowWater  int
+	highWater int
+
+	l2p    []int32 // logical page → physical page (-1 unmapped)
+	p2l    []int32 // physical page → logical page (-1 invalid or free)
+	blocks []blockMeta
+	dies   []dieState
+
+	allocRR int // host-allocation die cursor
+	// aging suppresses GC wake-ups while preconditioning remaps pages
+	// (preconditioning is pure accounting; real GC would touch the media).
+	aging bool
+
+	st Stats
+	// GCPauses is the distribution of per-victim collection times (first
+	// relocation to erase completion) — the GC pause a colocated tenant can
+	// observe on that die.
+	GCPauses stats.Histogram
+}
+
+// New builds an FTL over media, pre-conditions it per the configuration, and
+// resets statistics so measurements start from the aged state. It panics on
+// invalid configuration (construction-time misconfiguration is a programming
+// error), including a media configuration without a positive EraseLatency.
+func New(eng *sim.Engine, media *flash.Device, cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if media.Config().EraseLatency <= 0 {
+		panic("ftl: media EraseLatency must be positive for an FTL-managed device")
+	}
+	if cfg.GCBatchPages == 0 {
+		cfg.GCBatchPages = 8
+	}
+	d := &Device{
+		cfg:      cfg,
+		eng:      eng,
+		media:    media,
+		pageSize: media.Config().PageSize,
+		ppb:      cfg.PagesPerBlock,
+		numDies:  media.NumChips(),
+	}
+	d.physPages = int64(d.numDies) * int64(cfg.BlocksPerDie) * int64(d.ppb)
+	d.logPages = d.physPages * int64((100-cfg.OPPct)*100) / 10000
+	if d.logPages <= 0 {
+		panic("ftl: zero logical capacity")
+	}
+	// Watermarks default to a fixed clean-block reserve. Keeping it small
+	// and OP-independent is deliberate: clean blocks held free are spare
+	// capacity that can't serve as data-block invalidity, so a reserve that
+	// scaled with OP would eat exactly the slack that is supposed to make
+	// GC cheaper.
+	d.lowWater = cfg.GCLowWater
+	if d.lowWater == 0 {
+		d.lowWater = 2
+	}
+	d.highWater = cfg.GCHighWater
+	if d.highWater == 0 {
+		d.highWater = d.lowWater + 1
+	}
+
+	d.l2p = make([]int32, d.logPages)
+	d.p2l = make([]int32, d.physPages)
+	for i := range d.l2p {
+		d.l2p[i] = -1
+	}
+	for i := range d.p2l {
+		d.p2l[i] = -1
+	}
+	d.blocks = make([]blockMeta, d.numDies*cfg.BlocksPerDie)
+	d.dies = make([]dieState, d.numDies)
+	for i := range d.dies {
+		die := &d.dies[i]
+		die.active = -1
+		die.gcActive = -1
+		die.gcVictim = -1
+		die.free = make([]int, cfg.BlocksPerDie)
+		for b := range die.free {
+			die.free[b] = b
+			d.blocks[i*cfg.BlocksPerDie+b].free = true
+		}
+	}
+	d.aging = true
+	d.precondition()
+	d.aging = false
+	d.ResetStats()
+	return d
+}
+
+// Config returns the FTL configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns accumulated counters.
+func (d *Device) Stats() Stats { return d.st }
+
+// ResetStats clears counters and the GC-pause histogram (mapping state is
+// untouched); the harness calls this after warmup.
+func (d *Device) ResetStats() {
+	d.st = Stats{}
+	d.GCPauses.Reset()
+}
+
+// LogicalPages reports the logical capacity in pages.
+func (d *Device) LogicalPages() int64 { return d.logPages }
+
+// PhysicalPages reports the physical capacity in pages.
+func (d *Device) PhysicalPages() int64 { return d.physPages }
+
+// ValidPages reports currently mapped pages.
+func (d *Device) ValidPages() int64 {
+	var n int64
+	for i := range d.blocks {
+		n += int64(d.blocks[i].valid)
+	}
+	return n
+}
+
+// FreeBlocks reports free (erased, unallocated) blocks across all dies.
+func (d *Device) FreeBlocks() int {
+	var n int
+	for i := range d.dies {
+		n += len(d.dies[i].free)
+	}
+	return n
+}
+
+// EraseCounts reports the minimum and maximum lifetime erase count across
+// blocks — the wear spread the leveling keeps tight.
+func (d *Device) EraseCounts() (min, max uint32) {
+	min = d.blocks[0].erases
+	for i := range d.blocks {
+		if d.blocks[i].erases < min {
+			min = d.blocks[i].erases
+		}
+		if d.blocks[i].erases > max {
+			max = d.blocks[i].erases
+		}
+	}
+	return min, max
+}
+
+// logicalPage folds an absolute byte offset into the FTL's logical page
+// space (the NVMe address space is far larger than the simulated media; the
+// fold keeps any working set resident, like a span-limited fio file).
+func (d *Device) logicalPage(abs int64) int64 {
+	lp := (abs / d.pageSize) % d.logPages
+	if lp < 0 {
+		lp += d.logPages
+	}
+	return lp
+}
+
+// dieOfBlock / blockBase index helpers.
+func (d *Device) dieOfPhys(pp int32) int {
+	return int(int64(pp) / (int64(d.cfg.BlocksPerDie) * int64(d.ppb)))
+}
+
+func (d *Device) blockOfPhys(pp int32) int {
+	return int(int64(pp) / int64(d.ppb))
+}
+
+func (d *Device) blockBase(die, blk int) int64 {
+	return (int64(die)*int64(d.cfg.BlocksPerDie) + int64(blk)) * int64(d.ppb)
+}
+
+// SubmitIO services the byte range [offset, offset+size) at instant now,
+// page by page through the mapping, and returns the completion instant of
+// the final page. Reads of unmapped pages fall back to the media's static
+// placement (the pre-FTL read path); writes allocate, remap, and may
+// trigger GC.
+func (d *Device) SubmitIO(now sim.Time, offset, size int64, op flash.Op) sim.Time {
+	n := d.media.Pages(offset, size)
+	if n == 0 {
+		return now
+	}
+	firstAbs := offset / d.pageSize
+	done := now
+	for i := int64(0); i < int64(n); i++ {
+		lp := d.logicalPage((firstAbs + i) * d.pageSize)
+		var t sim.Time
+		if op == flash.Read {
+			t = d.readPage(now, lp, firstAbs+i)
+		} else {
+			t = d.writePage(now, lp)
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// readPage services one logical page read.
+func (d *Device) readPage(now sim.Time, lp, absPage int64) sim.Time {
+	d.st.HostPagesRead++
+	if pp := d.l2p[lp]; pp >= 0 {
+		return d.media.SubmitAtDie(now, d.dieOfPhys(pp), flash.Read)
+	}
+	// Unmapped (never-written) page: static interleave placement, as in the
+	// FTL-less model.
+	return d.media.SubmitPage(now, absPage, flash.Read)
+}
+
+// writePage services one logical page program: pick a die, allocate a
+// physical page, remap, and issue the program into that die's FIFO.
+func (d *Device) writePage(now sim.Time, lp int64) sim.Time {
+	die := d.pickDie()
+	if die < 0 {
+		die = d.foregroundGC(now)
+	}
+	pp := d.allocPage(die, now, false)
+	d.remap(lp, pp)
+	d.st.HostPagesWritten++
+	d.st.FlashPagesWritten++
+	t := d.media.SubmitAtDie(now, die, flash.Program)
+	d.maybeGC(die)
+	return t
+}
+
+// Trim deallocates the byte range: every mapped page in it becomes invalid
+// in its physical block without any media work — the NVMe Deallocate (TRIM)
+// semantics that let GC skip dead data. Dies that gained invalidity get
+// their GC woken on a deferred event, not inline: the Deallocate itself
+// completes without touching the media.
+func (d *Device) Trim(offset, size int64) int {
+	n := d.media.Pages(offset, size)
+	trimmed := 0
+	firstAbs := offset / d.pageSize
+	var woken []int
+	for i := int64(0); i < int64(n); i++ {
+		lp := d.logicalPage((firstAbs + i) * d.pageSize)
+		if pp := d.l2p[lp]; pp >= 0 {
+			die := d.dieOfPhys(pp)
+			d.unmapPhys(pp)
+			d.l2p[lp] = -1
+			trimmed++
+			seen := false
+			for _, w := range woken {
+				if w == die {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				woken = append(woken, die)
+			}
+		}
+	}
+	for _, die := range woken {
+		die := die
+		d.eng.At(d.eng.Now(), func() { d.maybeGC(die) })
+	}
+	d.st.TrimmedPages += uint64(trimmed)
+	return trimmed
+}
+
+// pickDie round-robins over dies, returning the first that can absorb a
+// host write (room in the active block, or a spare free block beyond the GC
+// reserve), or -1 when the device is out of clean space everywhere.
+func (d *Device) pickDie() int {
+	for i := 1; i <= d.numDies; i++ {
+		idx := (d.allocRR + i) % d.numDies
+		if d.hostCanAlloc(idx) {
+			d.allocRR = idx
+			return idx
+		}
+	}
+	return -1
+}
+
+// hostCanAlloc reports whether a host write can allocate on the die without
+// endangering GC's destination space: room in the host active block, or two
+// free blocks (one to open, one left as the GC reserve).
+func (d *Device) hostCanAlloc(die int) bool {
+	ds := &d.dies[die]
+	if ds.active >= 0 && ds.writePtr < d.ppb {
+		return true
+	}
+	return len(ds.free) >= 2
+}
+
+// allocPage hands out the next physical page on the die in the host or GC
+// write stream, opening a new active block from the free list when the
+// stream's current one fills. GC relocation (gc=true) may take the last
+// free block; host writes may not (callers check hostCanAlloc first).
+func (d *Device) allocPage(die int, now sim.Time, gc bool) int32 {
+	ds := &d.dies[die]
+	active, ptr := &ds.active, &ds.writePtr
+	if gc {
+		active, ptr = &ds.gcActive, &ds.gcPtr
+	}
+	if *active < 0 || *ptr >= d.ppb {
+		if len(ds.free) == 0 {
+			panic("ftl: allocation with no free block (reserve invariant broken)")
+		}
+		if !gc && len(ds.free) < 2 {
+			panic("ftl: host allocation would consume the GC reserve")
+		}
+		*active = d.openBlock(die)
+		*ptr = 0
+	}
+	pp := int32(d.blockBase(die, *active) + int64(*ptr))
+	*ptr++
+	d.blocks[d.blockOfPhys(pp)].lastWrite = now
+	return pp
+}
+
+// openBlock pops the least-erased free block of the die (dynamic wear
+// leveling: cold free blocks absorb new writes first).
+func (d *Device) openBlock(die int) int {
+	ds := &d.dies[die]
+	base := die * d.cfg.BlocksPerDie
+	pick := 0
+	for i := 1; i < len(ds.free); i++ {
+		if d.blocks[base+ds.free[i]].erases < d.blocks[base+ds.free[pick]].erases {
+			pick = i
+		}
+	}
+	blk := ds.free[pick]
+	ds.free = append(ds.free[:pick], ds.free[pick+1:]...)
+	d.blocks[base+blk].free = false
+	return blk
+}
+
+// remap points lp at pp, invalidating any previous mapping. Invalidation is
+// what creates reclaimable space, so it also wakes GC on the die that lost
+// the page: a die too full to accept host writes is never a write
+// destination, and without this kick nothing would ever restart its chain —
+// overwrites landing elsewhere would starve it frozen at the reserve.
+func (d *Device) remap(lp int64, pp int32) {
+	if old := d.l2p[lp]; old >= 0 {
+		d.unmapPhys(old)
+		if !d.aging {
+			d.maybeGC(d.dieOfPhys(old))
+		}
+	}
+	d.l2p[lp] = pp
+	d.p2l[pp] = int32(lp)
+	d.blocks[d.blockOfPhys(pp)].valid++
+}
+
+// unmapPhys invalidates one physical page.
+func (d *Device) unmapPhys(pp int32) {
+	d.p2l[pp] = -1
+	d.blocks[d.blockOfPhys(pp)].valid--
+}
+
+// maybeGC starts a GC round chain on the die when its free pool falls below
+// the low watermark.
+func (d *Device) maybeGC(die int) {
+	ds := &d.dies[die]
+	if ds.gcOn || len(ds.free) >= d.lowWater {
+		return
+	}
+	ds.gcOn = true
+	d.gcBeginRound(die)
+}
+
+// gcBeginRound opens the next round on the die (or stops the chain at the
+// high watermark / when nothing is reclaimable).
+func (d *Device) gcBeginRound(die int) {
+	ds := &d.dies[die]
+	if len(ds.free) >= d.highWater {
+		ds.gcOn = false
+		return
+	}
+	victim := d.selectVictim(die)
+	if victim < 0 {
+		ds.gcOn = false
+		return
+	}
+	ds.gcVictim = victim
+	ds.gcScan = 0
+	ds.gcStart = d.eng.Now()
+	d.gcStep(die)
+}
+
+// gcStep relocates up to GCBatchPages valid pages of the round's victim —
+// the reads/programs enter the die FIFO now, and the next step is scheduled
+// at their completion, so foreground I/O arriving in between interleaves
+// instead of stalling behind the whole victim. The final step erases the
+// victim and chains the next round. Scheduled continuations carry the die's
+// GC generation: a foreground takeover (gcFinishRound from a stalled write)
+// bumps it, voiding them.
+func (d *Device) gcStep(die int) {
+	ds := &d.dies[die]
+	victim := ds.gcVictim
+	batchDone := d.relocate(die, victim, d.cfg.GCBatchPages)
+	if ds.gcScan < d.ppb {
+		gen := ds.gcGen
+		d.eng.At(batchDone, func() {
+			if ds.gcGen == gen && ds.gcVictim == victim {
+				d.gcStep(die)
+			}
+		})
+		return
+	}
+	d.gcFinishRound(die)
+}
+
+// relocate moves up to limit valid pages of the victim block (from the
+// round's scan cursor) to freshly allocated pages on the same die, issuing
+// the read/program work into the die FIFO. It advances the cursor and
+// returns the completion instant of the last program (now if none moved).
+func (d *Device) relocate(die, victim, limit int) sim.Time {
+	ds := &d.dies[die]
+	now := d.eng.Now()
+	base := d.blockBase(die, victim)
+	moved := 0
+	batchDone := now
+	i := ds.gcScan
+	for ; i < d.ppb && moved < limit; i++ {
+		pp := int32(base + int64(i))
+		lp := d.p2l[pp]
+		if lp < 0 {
+			continue
+		}
+		d.media.SubmitAtDie(now, die, flash.Read)
+		dest := d.allocPage(die, now, true)
+		d.unmapPhys(pp)
+		d.l2p[lp] = dest
+		d.p2l[dest] = lp
+		d.blocks[d.blockOfPhys(dest)].valid++
+		if t := d.media.SubmitAtDie(now, die, flash.Program); t > batchDone {
+			batchDone = t
+		}
+		d.st.GCPagesMoved++
+		d.st.FlashPagesWritten++
+		moved++
+	}
+	ds.gcScan = i
+	return batchDone
+}
+
+// gcFinishRound erases the fully relocated victim, records the round's
+// pause, and chains the next round at erase completion. It bumps the GC
+// generation so any continuation the incremental path still has scheduled
+// becomes a no-op.
+func (d *Device) gcFinishRound(die int) {
+	ds := &d.dies[die]
+	eraseDone := d.eraseBlock(die, ds.gcVictim)
+	d.GCPauses.Record(eraseDone.Sub(ds.gcStart))
+	d.st.GCRuns++
+	ds.gcVictim = -1
+	ds.gcGen++
+	gen := ds.gcGen
+	d.eng.At(eraseDone, func() {
+		if ds.gcGen == gen && ds.gcOn && ds.gcVictim < 0 {
+			d.gcBeginRound(die)
+		}
+	})
+}
+
+// eraseBlock issues the erase into the die FIFO (it lands after the
+// relocation ops already queued there) and returns the block to the free
+// list. Accounting frees it immediately; any later program allocated from
+// it is FIFO-ordered after the erase on the same die, so virtual time stays
+// correct.
+func (d *Device) eraseBlock(die, victim int) sim.Time {
+	ds := &d.dies[die]
+	meta := &d.blocks[die*d.cfg.BlocksPerDie+victim]
+	if meta.valid != 0 {
+		panic("ftl: erasing a block with valid pages")
+	}
+	eraseDone := d.media.SubmitAtDie(d.eng.Now(), die, flash.Erase)
+	meta.erases++
+	meta.free = true
+	ds.free = append(ds.free, victim)
+	d.st.Erases++
+	return eraseDone
+}
+
+// selectVictim picks the die's next GC victim per the configured policy,
+// skipping the active block, free blocks, a victim already under
+// collection, and fully valid blocks (nothing to reclaim). Returns -1 when
+// no block qualifies.
+func (d *Device) selectVictim(die int) int {
+	ds := &d.dies[die]
+	base := die * d.cfg.BlocksPerDie
+	best := -1
+	var bestScore float64
+	now := d.eng.Now()
+	for b := 0; b < d.cfg.BlocksPerDie; b++ {
+		meta := &d.blocks[base+b]
+		if meta.free || b == ds.active || b == ds.gcActive || b == ds.gcVictim ||
+			meta.valid >= d.ppb {
+			continue
+		}
+		var score float64
+		u := float64(meta.valid) / float64(d.ppb)
+		if d.cfg.Policy == CostBenefit {
+			age := float64(now.Sub(meta.lastWrite)) + 1
+			score = (1 - u) / (1 + u) * age
+		} else {
+			score = 1 - u // greedy: fewest valid pages
+		}
+		// Wear-aware tie-break: prefer the less-worn block.
+		if best < 0 || score > bestScore ||
+			(score == bestScore && meta.erases < d.blocks[base+best].erases) {
+			best, bestScore = b, score
+		}
+	}
+	return best
+}
+
+// foregroundGC is the write-cliff path: no die can host-allocate, so the
+// write stalls while the FTL completes GC rounds synchronously (their
+// relocations and erases enter the die FIFO ahead of the stalled program).
+// Each completed round frees one block net of at most one opened
+// destination, so the free pool reaches the host threshold after at most a
+// couple of rounds unless the die has nothing reclaimable — then the next
+// die is tried. Returns the die that now has space.
+func (d *Device) foregroundGC(now sim.Time) int {
+	d.st.ForegroundGCs++
+	for i := 1; i <= d.numDies; i++ {
+		die := (d.allocRR + i) % d.numDies
+		ds := &d.dies[die]
+		// Collect until the host can allocate; 2*BlocksPerDie rounds is an
+		// unreachable backstop (each round erases a block).
+		for r := 0; !d.hostCanAlloc(die) && r < 2*d.cfg.BlocksPerDie; r++ {
+			if ds.gcVictim >= 0 {
+				// A round is mid-flight: finish it in place of its scheduled
+				// continuations (gcFinishRound voids them via the generation).
+				d.relocate(die, ds.gcVictim, d.ppb)
+				d.gcFinishRound(die)
+				continue
+			}
+			victim := d.selectVictim(die)
+			if victim < 0 {
+				break // everything on the die is fully valid
+			}
+			ds.gcOn = true
+			ds.gcVictim = victim
+			ds.gcScan = 0
+			ds.gcStart = now
+			d.relocate(die, victim, d.ppb)
+			d.gcFinishRound(die)
+		}
+		if d.hostCanAlloc(die) {
+			d.allocRR = die
+			return die
+		}
+	}
+	panic("ftl: no die reclaimable under write pressure (logical capacity exceeds physical?)")
+}
+
+// precondition ages the device: map PreconditionPct of the logical space
+// sequentially, then overwrite ScramblePct of those pages in a
+// deterministic pseudo-random order to fragment block validity. It runs in
+// pure accounting (no media work, no events) — preconditioning happens
+// "before" the simulation starts, as the paper pre-conditions the disk
+// before each experiment. ScramblePct is an upper bound: scrambling stops
+// once the clean spare is consumed, leaving the invalidity it created
+// spread across the data blocks. (Compacting with an accounting GC instead
+// would hand over a device whose every block is fully valid — a state
+// where the first real GC rounds are pathologically expensive and nothing
+// like a steady-state aged drive.)
+func (d *Device) precondition() {
+	fill := d.logPages * int64(d.cfg.PreconditionPct) / 100
+	for lp := int64(0); lp < fill; lp++ {
+		if !d.preWrite(lp) {
+			break // out of clean space; the filled prefix stands
+		}
+	}
+	if d.cfg.ScramblePct > 0 && fill > 0 {
+		rng := sim.NewRand(d.cfg.Seed + 0xa9ed)
+		n := fill * int64(d.cfg.ScramblePct) / 100
+		for i := int64(0); i < n; i++ {
+			if !d.preWrite(rng.Int63n(fill)) {
+				break
+			}
+		}
+	}
+}
+
+// preWrite maps one logical page during preconditioning. It is stricter
+// than the runtime path: each die keeps a full high-water free pool, so the
+// aged device starts with no die already inside the GC-trigger zone —
+// otherwise every die would fire a synchronized GC wave at t=0 and the
+// opening of every experiment would measure that artifact. Reports false
+// when no die can absorb another write under that constraint.
+func (d *Device) preWrite(lp int64) bool {
+	for i := 1; i <= d.numDies; i++ {
+		die := (d.allocRR + i) % d.numDies
+		ds := &d.dies[die]
+		if (ds.active >= 0 && ds.writePtr < d.ppb) || len(ds.free) > d.highWater {
+			d.allocRR = die
+			d.remap(lp, d.allocPage(die, 0, false))
+			return true
+		}
+	}
+	return false
+}
+
+// CheckInvariants verifies the mapping-table invariants the fuzzer asserts:
+// L2P/P2L are mutually consistent (no physical page mapped twice), per-block
+// valid counts match the reverse map, free blocks are empty, and no die's
+// free pool is negative or over capacity.
+func (d *Device) CheckInvariants() error {
+	mappedL := 0
+	for lp, pp := range d.l2p {
+		if pp < 0 {
+			continue
+		}
+		mappedL++
+		if int64(pp) >= d.physPages {
+			return fmt.Errorf("l2p[%d] = %d beyond physical space", lp, pp)
+		}
+		if d.p2l[pp] != int32(lp) {
+			return fmt.Errorf("l2p[%d] = %d but p2l[%d] = %d", lp, pp, pp, d.p2l[pp])
+		}
+	}
+	mappedP := 0
+	validByBlock := make([]int, len(d.blocks))
+	for pp, lp := range d.p2l {
+		if lp < 0 {
+			continue
+		}
+		mappedP++
+		if int64(lp) >= d.logPages {
+			return fmt.Errorf("p2l[%d] = %d beyond logical space", pp, lp)
+		}
+		if d.l2p[lp] != int32(pp) {
+			return fmt.Errorf("p2l[%d] = %d but l2p[%d] = %d (physical page mapped twice?)", pp, lp, lp, d.l2p[lp])
+		}
+		validByBlock[d.blockOfPhys(int32(pp))]++
+	}
+	if mappedL != mappedP {
+		return fmt.Errorf("%d logical mappings vs %d physical (aliasing)", mappedL, mappedP)
+	}
+	for b := range d.blocks {
+		if d.blocks[b].valid != validByBlock[b] {
+			return fmt.Errorf("block %d: valid count %d, reverse map says %d", b, d.blocks[b].valid, validByBlock[b])
+		}
+		if d.blocks[b].valid < 0 {
+			return fmt.Errorf("block %d: negative valid count %d", b, d.blocks[b].valid)
+		}
+		if d.blocks[b].free && d.blocks[b].valid != 0 {
+			return fmt.Errorf("free block %d holds %d valid pages", b, d.blocks[b].valid)
+		}
+	}
+	for i := range d.dies {
+		if len(d.dies[i].free) < 0 || len(d.dies[i].free) > d.cfg.BlocksPerDie {
+			return fmt.Errorf("die %d: free pool size %d out of range", i, len(d.dies[i].free))
+		}
+		seen := make(map[int]bool, len(d.dies[i].free))
+		for _, b := range d.dies[i].free {
+			if seen[b] {
+				return fmt.Errorf("die %d: block %d in free pool twice", i, b)
+			}
+			seen[b] = true
+			if !d.blocks[i*d.cfg.BlocksPerDie+b].free {
+				return fmt.Errorf("die %d: block %d in free pool but not marked free", i, b)
+			}
+		}
+	}
+	return nil
+}

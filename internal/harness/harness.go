@@ -12,6 +12,7 @@ import (
 	"daredevil/internal/block"
 	"daredevil/internal/core"
 	"daredevil/internal/cpus"
+	"daredevil/internal/ftl"
 	"daredevil/internal/nvme"
 	"daredevil/internal/sim"
 	"daredevil/internal/stackbase"
@@ -42,6 +43,11 @@ type Machine struct {
 	Name  string
 	Cores int
 	NVMe  nvme.Config
+	// FTL, when non-nil, layers a page-mapped translation layer with
+	// garbage collection between the controller and the media (an aged
+	// device). Nil keeps today's effective-latency flash model; both modes
+	// are deterministic.
+	FTL *ftl.Config
 }
 
 // SVM returns the server machine testbed (§7): the experiments use a 4-core
@@ -72,6 +78,8 @@ type Env struct {
 	Pool    *cpus.Pool
 	Dev     *nvme.Device
 	Stack   block.Stack
+	// FTL is the attached translation layer when Machine.FTL was set.
+	FTL *ftl.Device
 }
 
 // NewEnv constructs the simulated machine and the requested stack.
@@ -80,6 +88,10 @@ func NewEnv(m Machine, kind StackKind) *Env {
 	pool := cpus.NewPool(eng, m.Cores, cpus.DefaultConfig())
 	dev := nvme.New(eng, pool, m.NVMe)
 	e := &Env{Machine: m, Kind: kind, Eng: eng, Pool: pool, Dev: dev}
+	if m.FTL != nil {
+		e.FTL = ftl.New(eng, dev.Media(), *m.FTL)
+		dev.AttachFTL(e.FTL)
+	}
 	e.Stack = buildStack(kind, stackbase.Env{Eng: eng, Pool: pool, Dev: dev})
 	return e
 }

@@ -241,6 +241,7 @@ type Device struct {
 	ncqs       []*NCQ
 	namespaces []Namespace
 	media      *flash.Device
+	ftl        FTL
 
 	// controller state
 	rr        int
@@ -285,6 +286,26 @@ func (d *Device) Config() Config { return d.cfg }
 
 // Media exposes the flash backend (read-only use intended).
 func (d *Device) Media() *flash.Device { return d.media }
+
+// FTL is the optional flash translation layer (internal/ftl) between the
+// controller and the media. When attached, all data commands flow through
+// its mapping and Deallocate commands reach its Trim; when absent the
+// controller drives the media's static placement directly and Deallocate
+// is a no-op.
+type FTL interface {
+	// SubmitIO services the byte range through the mapping table and
+	// returns the completion instant of the last page.
+	SubmitIO(now sim.Time, offset, size int64, op flash.Op) sim.Time
+	// Trim deallocates the byte range, returning the number of pages
+	// invalidated.
+	Trim(offset, size int64) int
+}
+
+// AttachFTL interposes f on the media path. Pass nil to detach.
+func (d *Device) AttachFTL(f FTL) { d.ftl = f }
+
+// FTL returns the attached translation layer, or nil.
+func (d *Device) FTL() FTL { return d.ftl }
 
 // NumNSQ reports the NSQ count.
 func (d *Device) NumNSQ() int { return len(d.nsqs) }
@@ -345,6 +366,9 @@ func (d *Device) Enqueue(now sim.Time, nsqID int, rq *block.Request, ring bool) 
 	pages := d.media.Pages(d.resolve(rq.Namespace, rq.Offset), rq.Size)
 	if pages == 0 {
 		pages = 1 // zero-length requests still occupy an entry
+	}
+	if rq.Flags.Discard() {
+		pages = 1 // Deallocate carries a range list, not data pages
 	}
 	cmd := &command{rq: rq, nsq: q, pages: pages}
 	q.entries = append(q.entries, cmd)
@@ -432,7 +456,20 @@ func (d *Device) dispatchToFlash(cmd *command) {
 	if size <= 0 {
 		size = 1
 	}
-	done := d.media.SubmitIO(d.eng.Now(), abs, size, op)
+	var done sim.Time
+	switch {
+	case rq.Flags.Discard():
+		// Deallocate updates the mapping table only — no media work. Without
+		// an FTL there is no mapping to trim; the command still completes.
+		if d.ftl != nil {
+			d.ftl.Trim(abs, size)
+		}
+		done = d.eng.Now()
+	case d.ftl != nil:
+		done = d.ftl.SubmitIO(d.eng.Now(), abs, size, op)
+	default:
+		done = d.media.SubmitIO(d.eng.Now(), abs, size, op)
+	}
 	d.eng.At(done.Add(d.cfg.CQEPostCost), func() {
 		if d.cfg.MediaErrorRate > 0 && d.errRNG.Bool(d.cfg.MediaErrorRate) {
 			d.MediaErrors++

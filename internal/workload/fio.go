@@ -56,6 +56,11 @@ type FIOConfig struct {
 	// OutlierEvery, when positive, marks every Nth request REQ_SYNC — the
 	// outlier L-requests of §5.2.
 	OutlierEvery int
+	// TrimEvery, when positive, replaces every Nth request with an NVMe
+	// Deallocate (TRIM) covering 4 blocks at a cursor sweeping the span —
+	// a periodic fstrim-style hole punch telling the FTL which pages are
+	// dead. Zero disables trimming.
+	TrimEvery int
 	// SubmitCost is the syscall + block-layer CPU cost per submission.
 	SubmitCost sim.Duration
 	// WakeupCost is the completion-to-reissue CPU cost.
@@ -121,6 +126,7 @@ type Job struct {
 
 	nextID  uint64
 	seqOff  int64
+	trimOff int64
 	issued  uint64
 	stopped bool
 	started bool
@@ -233,6 +239,9 @@ func (j *Job) scheduleIssue(cost sim.Duration) {
 func (j *Job) buildRequest() *block.Request {
 	j.nextID++
 	j.issued++
+	if j.Cfg.TrimEvery > 0 && j.issued%uint64(j.Cfg.TrimEvery) == 0 {
+		return j.buildTrim()
+	}
 	var off int64
 	blocks := j.Cfg.Span / j.Cfg.BS
 	if blocks <= 0 {
@@ -264,9 +273,43 @@ func (j *Job) buildRequest() *block.Request {
 	return rq
 }
 
+// buildTrim builds a Deallocate sweeping the job's span: 4 blocks per trim,
+// advancing a cursor so repeated trims walk the whole working set. The size
+// keeps the trimmed volume a fraction of the written volume (4/TrimEvery
+// blocks per write) — trimming faster than writing would just empty the
+// device.
+func (j *Job) buildTrim() *block.Request {
+	sz := 4 * j.Cfg.BS
+	if sz > j.Cfg.Span {
+		sz = j.Cfg.Span
+	}
+	off := j.Cfg.OffsetBase + j.trimOff
+	j.trimOff += sz
+	if j.trimOff+sz > j.Cfg.Span {
+		j.trimOff = 0
+	}
+	rq := &block.Request{
+		ID: j.nextID, Tenant: j.Tenant, Namespace: j.Tenant.Namespace,
+		Offset: off, Size: sz, Op: block.OpWrite,
+		Flags:     j.Cfg.Flags | block.FlagDiscard,
+		IssueTime: j.eng.Now(), NSQ: -1,
+	}
+	rq.OnComplete = j.onComplete
+	return rq
+}
+
 // onComplete runs in ISR context: record, then reissue from the tenant's
 // core (keeping IODepth outstanding).
 func (j *Job) onComplete(r *block.Request) {
+	if r.Flags.Discard() {
+		// Deallocate moves no data: keep it out of the latency and
+		// throughput accounting and just keep the loop full.
+		if j.Cfg.Arrival > 0 {
+			return
+		}
+		j.scheduleIssue(j.Cfg.WakeupCost + j.Cfg.SubmitCost)
+		return
+	}
 	now := j.eng.Now()
 	lat := r.Latency()
 	j.Lat.Record(lat)

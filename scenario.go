@@ -35,6 +35,20 @@ type Scenario struct {
 	WarmupMs  int `json:"warmupMs"`
 	MeasureMs int `json:"measureMs"`
 
+	// FTL runs the scenario on an aged device with the page-mapped
+	// translation layer (garbage collection, wear leveling, TRIM) between
+	// the controller and the media. The remaining FTL fields only apply
+	// when it is true.
+	FTL bool `json:"ftl"`
+	// OPPct overrides the device's over-provisioning percentage
+	// (default 7).
+	OPPct float64 `json:"opPct"`
+	// PreconditionPct / ScramblePct override how much of the logical space
+	// preconditioning fills and then overwrites (defaults 100/30). Nil
+	// keeps the default; explicit 0 disables that phase.
+	PreconditionPct *int `json:"preconditionPct"`
+	ScramblePct     *int `json:"scramblePct"`
+
 	Jobs []ScenarioJob `json:"jobs"`
 }
 
@@ -56,6 +70,9 @@ type ScenarioJob struct {
 	// inter-arrival time in microseconds.
 	ArrivalUs int64 `json:"arrivalUs"`
 	SpanMB    int64 `json:"spanMB"`
+	// TrimEvery replaces every Nth request with an NVMe Deallocate (TRIM)
+	// sweeping the job's span. Only meaningful on an FTL-backed device.
+	TrimEvery int `json:"trimEvery"`
 }
 
 // ParseScenario decodes and validates a JSON scenario.
@@ -84,6 +101,14 @@ func (sc Scenario) validate() error {
 			return err
 		}
 	}
+	if !sc.FTL && (sc.OPPct != 0 || sc.PreconditionPct != nil || sc.ScramblePct != nil) {
+		return fmt.Errorf("daredevil: opPct/preconditionPct/scramblePct require \"ftl\": true")
+	}
+	if sc.FTL {
+		if err := sc.ftlConfig().Validate(); err != nil {
+			return fmt.Errorf("daredevil: invalid FTL scenario: %w", err)
+		}
+	}
 	if len(sc.Jobs) == 0 {
 		return fmt.Errorf("daredevil: scenario has no jobs")
 	}
@@ -101,7 +126,7 @@ func (sc Scenario) validate() error {
 		default:
 			return fmt.Errorf("daredevil: job %d (%q): unknown pattern %q", i, j.Name, j.Pattern)
 		}
-		if j.BS < 0 || j.IODepth < 0 || j.OutlierEvery < 0 || j.ArrivalUs < 0 || j.SpanMB < 0 {
+		if j.BS < 0 || j.IODepth < 0 || j.OutlierEvery < 0 || j.ArrivalUs < 0 || j.SpanMB < 0 || j.TrimEvery < 0 {
 			return fmt.Errorf("daredevil: job %d (%q): negative parameter", i, j.Name)
 		}
 		ns := max(sc.Namespaces, 1)
@@ -144,6 +169,10 @@ func (sc Scenario) Build() (*Simulation, Duration, Duration, error) {
 	if sc.Stack != "" {
 		kind, _ = stackKindOf(sc.Stack)
 	}
+	if sc.FTL {
+		fcfg := sc.ftlConfig()
+		m.FTL = &fcfg
+	}
 	sim := NewSimulation(m, kind)
 	if sc.Namespaces > 1 {
 		sim.CreateNamespaces(sc.Namespaces)
@@ -184,6 +213,7 @@ func (sc Scenario) Build() (*Simulation, Duration, Duration, error) {
 			if j.SpanMB > 0 {
 				cfg.Span = j.SpanMB << 20
 			}
+			cfg.TrimEvery = j.TrimEvery
 			cfg.Seed += uint64(tenantIdx) * 9176
 			sim.AddJob(cfg)
 			tenantIdx++
@@ -198,6 +228,21 @@ func (sc Scenario) Build() (*Simulation, Duration, Duration, error) {
 		measure = 400 * Millisecond
 	}
 	return sim, warm, measure, nil
+}
+
+// ftlConfig materializes the scenario's FTL fields over the defaults.
+func (sc Scenario) ftlConfig() FTLConfig {
+	cfg := DefaultFTLConfig()
+	if sc.OPPct != 0 {
+		cfg.OPPct = sc.OPPct
+	}
+	if sc.PreconditionPct != nil {
+		cfg.PreconditionPct = *sc.PreconditionPct
+	}
+	if sc.ScramblePct != nil {
+		cfg.ScramblePct = *sc.ScramblePct
+	}
+	return cfg
 }
 
 func max(a, b int) int {
