@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures svg json examples vet fmt cover clean
+.PHONY: all build test test-short race bench bench-all figures svg json examples vet fmt cover clean
 
 all: build test
 
@@ -20,7 +20,13 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
+# Capture the performance baseline: event-core ns/op + allocs/op, the
+# whole-simulator benchmark, and ddbench wall-clock serial vs parallel.
 bench:
+	$(GO) run ./cmd/benchjson -out BENCH_harness.json
+
+# The full benchmark sweep across every package.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper table/figure (plus extensions) at default scale.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ddbench [-quick] [-warmup DUR] [-measure DUR] <experiment>...
+//	ddbench [-quick] [-j N] [-warmup DUR] [-measure DUR] <experiment>...
 //	ddbench all
 //
 // Experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"daredevil/internal/harness"
@@ -30,14 +32,58 @@ var experiments = []string{
 	"ext-gc",
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain returns the exit code instead of calling os.Exit so the
+// deferred profile writers always flush.
+func realMain() int {
 	quick := flag.Bool("quick", false, "use the quick scale (shorter windows)")
 	warmup := flag.Duration("warmup", 0, "override warmup window (e.g. 200ms)")
 	measure := flag.Duration("measure", 0, "override measurement window (e.g. 1s)")
 	svgDir := flag.String("svg", "", "also write <experiment>.svg charts into this directory")
 	jsonDir := flag.String("json", "", "also write machine-readable <experiment>.json results into this directory")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "run up to N experiment cells in parallel (results are identical to -j 1)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "ddbench: -j must be at least 1 (got %d)\n\n", *jobs)
+		usage()
+		return 2
+	}
+	harness.SetParallelism(*jobs)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ddbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ddbench:", err)
+			}
+		}()
+	}
 
 	sc := harness.DefaultScale
 	if *quick {
@@ -53,7 +99,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if len(args) == 1 && args[0] == "all" {
 		args = experiments
@@ -64,15 +110,16 @@ func main() {
 		}
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "ddbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	for _, name := range args {
 		if err := runExport(os.Stdout, name, sc, *svgDir, *jsonDir); err != nil {
 			fmt.Fprintln(os.Stderr, "ddbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // svgWriter is implemented by results that can render a chart.
@@ -183,7 +230,7 @@ func runResult(w io.Writer, name string, sc harness.Scale) (any, error) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `ddbench regenerates the Daredevil paper's tables and figures.
 
-usage: ddbench [-quick] [-warmup DUR] [-measure DUR] <experiment>...
+usage: ddbench [-quick] [-j N] [-warmup DUR] [-measure DUR] <experiment>...
 experiments: %v (or "all")
 `, experiments)
 	flag.PrintDefaults()

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"daredevil"
@@ -19,6 +20,8 @@ import (
 
 func main() {
 	stack := flag.String("stack", "daredevil", "storage stack: vanilla | blk-switch | static-part | dare-base | dare-sched | daredevil")
+	compare := flag.Bool("compare", false, "run the scenario on every stack concurrently and print a comparison (ignores -stack, -breakdown, -trace)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations with -compare")
 	cores := flag.Int("cores", 4, "CPU cores")
 	nL := flag.Int("l", 4, "L-tenants (4KB rand qd=1, real-time ionice)")
 	nT := flag.Int("t", 8, "T-tenants (128KB qd=32, best-effort ionice)")
@@ -35,6 +38,12 @@ func main() {
 	opPct := flag.Float64("op", 7, "FTL over-provisioning percent (with -ftl)")
 	trimEvery := flag.Int("trim", 0, "replace every Nth T-tenant request with an NVMe Deallocate (TRIM); 0 disables")
 	flag.Parse()
+
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "ddsim: -j must be at least 1 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
+	daredevil.SetParallelism(*jobs)
 
 	if *config != "" {
 		if err := runConfig(*config, *breakdown, *traceN); err != nil {
@@ -62,41 +71,53 @@ func main() {
 		}
 		m.FTL = &fcfg
 	}
+	build := func(kind daredevil.StackKind) *daredevil.Simulation {
+		sim := daredevil.NewSimulation(m, kind)
+		sim.SetSeedShift(*seed)
+		if *namespaces > 1 {
+			sim.CreateNamespaces(*namespaces)
+			for i := 0; i < *nL; i++ {
+				sim.AddLTenantsNS(1, i%*namespaces)
+			}
+			for i := 0; i < *nT; i++ {
+				sim.AddTTenantsNS(1, i%*namespaces)
+			}
+		} else if *trimEvery > 0 {
+			sim.AddLTenants(*nL)
+			for i := 0; i < *nT; i++ {
+				cfg := daredevil.DefaultTTenantConfig("fio-T", i%m.Cores)
+				cfg.TrimEvery = *trimEvery
+				sim.AddJob(cfg)
+			}
+		} else {
+			sim.AddLTenants(*nL)
+			sim.AddTTenants(*nT)
+		}
+		return sim
+	}
+	warm := daredevil.Duration(warmup.Nanoseconds())
+	meas := daredevil.Duration(measure.Nanoseconds())
+
+	if *compare {
+		runCompare(build, warm, meas, *nL, *nT, m.Cores, *namespaces, *measure)
+		return
+	}
+
 	kind, err := parseStack(*stack)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(2)
 	}
 
-	sim := daredevil.NewSimulation(m, kind)
-	sim.SetSeedShift(*seed)
+	sim := build(kind)
 	if *breakdown {
 		sim.EnableBreakdown()
 	}
 	if *traceN > 0 {
 		sim.EnableTrace(*traceN, 1)
 	}
-	if *namespaces > 1 {
-		sim.CreateNamespaces(*namespaces)
-		for i := 0; i < *nL; i++ {
-			sim.AddLTenantsNS(1, i%*namespaces)
-		}
-		for i := 0; i < *nT; i++ {
-			sim.AddTTenantsNS(1, i%*namespaces)
-		}
-	} else if *trimEvery > 0 {
-		sim.AddLTenants(*nL)
-		for i := 0; i < *nT; i++ {
-			cfg := daredevil.DefaultTTenantConfig("fio-T", i%m.Cores)
-			cfg.TrimEvery = *trimEvery
-			sim.AddJob(cfg)
-		}
-	} else {
-		sim.AddLTenants(*nL)
-		sim.AddTTenants(*nT)
-	}
 
-	res := sim.Run(daredevil.Duration(warmup.Nanoseconds()), daredevil.Duration(measure.Nanoseconds()))
+	res := sim.Run(warm, meas)
 	fmt.Printf("stack=%s cores=%d L=%d T=%d namespaces=%d (measured %v virtual)\n",
 		sim.StackName(), m.Cores, *nL, *nT, *namespaces, *measure)
 	fmt.Printf("  L-tenants: avg=%v p99=%v p99.9=%v max=%v (%.2f kIOPS, %d ops)\n",
@@ -116,6 +137,33 @@ func main() {
 	if *traceN > 0 {
 		fmt.Println()
 		sim.WriteTrace(os.Stdout)
+	}
+}
+
+// allStacks is the -compare sweep order.
+var allStacks = []daredevil.StackKind{
+	daredevil.StackVanilla, daredevil.StackBlkSwitch, daredevil.StackStaticPart,
+	daredevil.StackDareBase, daredevil.StackDareSched, daredevil.StackDaredevil,
+}
+
+// runCompare runs the flag-built scenario on every stack via the harness
+// worker pool and prints one summary line per stack. Each stack gets its
+// own freshly built simulation, so the concurrent runs cannot interact.
+func runCompare(build func(daredevil.StackKind) *daredevil.Simulation,
+	warm, meas daredevil.Duration, nL, nT, cores, namespaces int, measured time.Duration) {
+	results := daredevil.CompareStacks(allStacks, func(kind daredevil.StackKind) daredevil.Result {
+		return build(kind).Run(warm, meas)
+	})
+	fmt.Printf("comparison: cores=%d L=%d T=%d namespaces=%d -j %d (measured %v virtual)\n",
+		cores, nL, nT, namespaces, daredevil.Parallelism(), measured)
+	fmt.Printf("  %-12s %12s %12s %12s %10s %10s %8s\n",
+		"stack", "L avg", "L p99", "L p99.9", "L kIOPS", "T MB/s", "CPU")
+	for i, kind := range allStacks {
+		r := results[i]
+		fmt.Printf("  %-12s %12v %12v %12v %10.2f %10.0f %7.1f%%\n",
+			string(kind), r.LTenantLatency.Mean, r.LTenantLatency.P99,
+			r.LTenantLatency.P999, r.LTenantKIOPS, r.TThroughputMBps,
+			100*r.CPUUtilization)
 	}
 }
 

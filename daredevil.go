@@ -408,6 +408,23 @@ func (s *Simulation) Run(warmup, measure Duration) Result {
 	return res
 }
 
+// SetParallelism sets how many experiment cells the harness runs
+// concurrently (default GOMAXPROCS). Each cell owns its own engine, so
+// results are identical at any setting. n < 1 panics; CLIs validate user
+// input before calling.
+func SetParallelism(n int) { harness.SetParallelism(n) }
+
+// Parallelism reports the current experiment fan-out.
+func Parallelism() int { return harness.Parallelism() }
+
+// CompareStacks builds and runs one simulation per stack kind on the
+// experiment worker pool and returns the results in kind order. run must
+// build a fresh Simulation per call — cells share nothing, which is what
+// makes the fan-out deterministic.
+func CompareStacks(kinds []StackKind, run func(StackKind) Result) []Result {
+	return harness.RunCells(len(kinds), func(i int) Result { return run(kinds[i]) })
+}
+
 // Scale controls experiment durations for RunExperiment.
 type Scale = harness.Scale
 

@@ -76,6 +76,16 @@ type Core struct {
 	running   bool
 	lastOwner int
 
+	// In-flight work. A core executes one item at a time, so the current
+	// item's state lives here instead of in a per-dispatch closure — the
+	// dispatch path allocates nothing. finishFn/dispatchFn are the two
+	// continuations, bound once at construction.
+	curFn      func() sim.Duration
+	curCost    sim.Duration
+	curIRQ     bool
+	finishFn   func()
+	dispatchFn func()
+
 	// BusyTime accumulates all executed work including context switches
 	// and reported extra time.
 	BusyTime sim.Duration
@@ -98,7 +108,10 @@ func NewPool(eng *sim.Engine, n int, cfg Config) *Pool {
 	}
 	p := &Pool{cfg: cfg}
 	for i := 0; i < n; i++ {
-		p.cores = append(p.cores, &Core{ID: i, eng: eng, cfg: cfg, lastOwner: OwnerNone})
+		c := &Core{ID: i, eng: eng, cfg: cfg, lastOwner: OwnerNone}
+		c.finishFn = c.finish
+		c.dispatchFn = c.dispatch
+		p.cores = append(p.cores, c)
 	}
 	return p
 }
@@ -184,23 +197,31 @@ func (c *Core) dispatch() {
 		}
 		c.lastOwner = w.Owner
 	}
-	c.eng.After(cost, func() {
-		var extra sim.Duration
-		if w.Fn != nil {
-			extra = w.Fn()
-			if extra < 0 {
-				extra = 0
-			}
+	c.curFn, c.curCost, c.curIRQ = w.Fn, cost, isIRQ
+	c.eng.After(cost, c.finishFn)
+}
+
+// finish completes the in-flight item: run its callback, charge any extra
+// busy time it reports, then dispatch the next item. Work submitted from
+// inside the callback only queues (running is still true), so the current
+// item's fields cannot be overwritten before they are read here.
+func (c *Core) finish() {
+	var extra sim.Duration
+	if c.curFn != nil {
+		extra = c.curFn()
+		if extra < 0 {
+			extra = 0
 		}
-		total := cost + extra
-		c.BusyTime += total
-		if isIRQ {
-			c.IRQBusyTime += total
-		}
-		if extra > 0 {
-			c.eng.After(extra, c.dispatch)
-		} else {
-			c.dispatch()
-		}
-	})
+		c.curFn = nil
+	}
+	total := c.curCost + extra
+	c.BusyTime += total
+	if c.curIRQ {
+		c.IRQBusyTime += total
+	}
+	if extra > 0 {
+		c.eng.After(extra, c.dispatchFn)
+	} else {
+		c.dispatch()
+	}
 }

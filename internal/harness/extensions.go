@@ -48,10 +48,13 @@ type ExtSchedResult struct {
 
 // RunExtSchedulers sweeps T-pressure for the three stacks.
 func RunExtSchedulers(sc Scale) ExtSchedResult {
+	kinds := []StackKind{Vanilla, Kyber, DareFull}
+	counts := []int{4, 16, 32}
+	grid := RunMixGrid(SVM(4), kinds, 4, counts, sc)
 	var res ExtSchedResult
-	for _, kind := range []StackKind{Vanilla, Kyber, DareFull} {
-		for _, n := range []int{4, 16, 32} {
-			r := RunMixOnce(SVM(4), kind, 4, n, sc)
+	for ki, kind := range kinds {
+		for ti, n := range counts {
+			r := grid[ki*len(counts)+ti]
 			res.Cells = append(res.Cells, ExtSchedCell{
 				Kind: kind, TCount: n,
 				Tail: r.L.P999, Avg: r.L.Mean, TMBps: r.TMBps, LOps: r.L.Count,

@@ -103,15 +103,23 @@ func RunExtGCCell(kind StackKind, opPct float64, trim bool, sc Scale) ExtGCCell 
 
 // RunExtGC sweeps stacks x over-provisioning x trim on the aged device.
 func RunExtGC(sc Scale) ExtGCResult {
-	var res ExtGCResult
+	type spec struct {
+		kind StackKind
+		op   float64
+		trim bool
+	}
+	var specs []spec
 	for _, kind := range ExtGCStacks {
 		for _, op := range ExtGCOPs {
 			for _, trim := range []bool{false, true} {
-				res.Cells = append(res.Cells, RunExtGCCell(kind, op, trim, sc))
+				specs = append(specs, spec{kind, op, trim})
 			}
 		}
 	}
-	return res
+	return ExtGCResult{Cells: RunCells(len(specs), func(i int) ExtGCCell {
+		s := specs[i]
+		return RunExtGCCell(s.kind, s.op, s.trim, sc)
+	})}
 }
 
 // WriteText renders the sweep.

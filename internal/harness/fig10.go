@@ -62,13 +62,10 @@ func RunMultiNS(kind StackKind, nsCount int, sc Scale) Fig10Cell {
 
 // RunFig10 sweeps namespace counts for the comparison targets.
 func RunFig10(sc Scale) Fig10Result {
-	var res Fig10Result
-	for _, kind := range ComparisonKinds {
-		for _, n := range NamespaceCounts {
-			res.Cells = append(res.Cells, RunMultiNS(kind, n, sc))
-		}
-	}
-	return res
+	nNS := len(NamespaceCounts)
+	return Fig10Result{Cells: RunCells(len(ComparisonKinds)*nNS, func(i int) Fig10Cell {
+		return RunMultiNS(ComparisonKinds[i/nNS], NamespaceCounts[i%nNS], sc)
+	})}
 }
 
 // WriteText renders the panels.

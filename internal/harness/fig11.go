@@ -29,21 +29,37 @@ type Fig11Result struct {
 	MultiNS []Fig11Cell
 }
 
-// RunFig11 runs both ablation sweeps.
+// RunFig11 runs both ablation sweeps as one fanned-out grid.
 func RunFig11(sc Scale) Fig11Result {
-	var res Fig11Result
+	type spec struct {
+		kind  StackKind
+		x     int
+		multi bool
+	}
+	var specs []spec
 	for _, kind := range AblationKinds {
 		for _, n := range TPressureCounts {
-			r := RunMixOnce(SVM(4), kind, 4, n, sc)
-			res.SingleNS = append(res.SingleNS, Fig11Cell{
-				Kind: kind, X: n, Tail: r.L.P999, Avg: r.L.Mean,
-			})
+			specs = append(specs, spec{kind, n, false})
 		}
 		for _, n := range NamespaceCounts {
-			c := RunMultiNS(kind, n, sc)
-			res.MultiNS = append(res.MultiNS, Fig11Cell{
-				Kind: kind, X: n, Tail: c.Tail, Avg: c.Avg,
-			})
+			specs = append(specs, spec{kind, n, true})
+		}
+	}
+	cells := RunCells(len(specs), func(i int) Fig11Cell {
+		s := specs[i]
+		if s.multi {
+			c := RunMultiNS(s.kind, s.x, sc)
+			return Fig11Cell{Kind: s.kind, X: s.x, Tail: c.Tail, Avg: c.Avg}
+		}
+		r := RunMixOnce(SVM(4), s.kind, 4, s.x, sc)
+		return Fig11Cell{Kind: s.kind, X: s.x, Tail: r.L.P999, Avg: r.L.Mean}
+	})
+	var res Fig11Result
+	for i, s := range specs {
+		if s.multi {
+			res.MultiNS = append(res.MultiNS, cells[i])
+		} else {
+			res.SingleNS = append(res.SingleNS, cells[i])
 		}
 	}
 	return res

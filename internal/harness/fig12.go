@@ -35,14 +35,25 @@ var ycsbHeadlineOps = map[workload.YCSBKind][]workload.OpType{
 
 // RunFig12 runs every application on every comparison stack.
 func RunFig12(sc Scale) Fig12Result {
-	var res Fig12Result
+	type spec struct {
+		kind StackKind
+		ycsb workload.YCSBKind
+		mail bool
+	}
+	var specs []spec
 	for _, kind := range ComparisonKinds {
 		for _, ycsbKind := range []workload.YCSBKind{workload.YCSBA, workload.YCSBB, workload.YCSBE, workload.YCSBF} {
-			res.Cells = append(res.Cells, runYCSBCell(kind, ycsbKind, sc))
+			specs = append(specs, spec{kind: kind, ycsb: ycsbKind})
 		}
-		res.Cells = append(res.Cells, runMailCell(kind, sc))
+		specs = append(specs, spec{kind: kind, mail: true})
 	}
-	return res
+	return Fig12Result{Cells: RunCells(len(specs), func(i int) Fig12Cell {
+		s := specs[i]
+		if s.mail {
+			return runMailCell(s.kind, sc)
+		}
+		return runYCSBCell(s.kind, s.ycsb, sc)
+	})}
 }
 
 // withBackgroundT adds the §7.4 background pressure: 8 streaming T-tenants.

@@ -49,17 +49,25 @@ func fig13Machine() Machine {
 // L-tenants, and fixed 12 L-tenants with varying TL-tenants. Daredevil runs
 // are interleaved by randomly migrating tenants across cores.
 func RunFig13(sc Scale) Fig13Result {
-	var res Fig13Result
+	type spec struct {
+		kind    StackKind
+		nL, nTL int
+		fixed   string
+	}
 	counts := []int{4, 8, 12, 16}
+	var specs []spec
 	for _, kind := range []StackKind{Vanilla, DareFull} {
 		for _, n := range counts {
-			res.Cells = append(res.Cells, runFig13Cell(kind, n, 12, "TL", sc))
+			specs = append(specs, spec{kind, n, 12, "TL"})
 		}
 		for _, n := range counts {
-			res.Cells = append(res.Cells, runFig13Cell(kind, 12, n, "L", sc))
+			specs = append(specs, spec{kind, 12, n, "L"})
 		}
 	}
-	return res
+	return Fig13Result{Cells: RunCells(len(specs), func(i int) Fig13Cell {
+		s := specs[i]
+		return runFig13Cell(s.kind, s.nL, s.nTL, s.fixed, sc)
+	})}
 }
 
 func runFig13Cell(kind StackKind, nL, nTL int, fixed string, sc Scale) Fig13Cell {

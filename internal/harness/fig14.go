@@ -34,20 +34,31 @@ var Fig14Intervals = []sim.Duration{
 }
 
 // RunFig14 runs 4 L + 4 T tenants on Daredevil while an updater re-sets
-// ionice values at decreasing intervals.
+// ionice values at decreasing intervals. All cells (the no-update baseline
+// included) fan out together; normalization against the baseline happens
+// after assembly, so the parallel result matches the serial one.
 func RunFig14(sc Scale) Fig14Result {
-	base, _ := runFig14Cell(0, sc)
+	type cell struct {
+		r       MixResult
+		updates uint64
+	}
+	intervals := append([]sim.Duration{0}, Fig14Intervals...)
+	cells := RunCells(len(intervals), func(i int) cell {
+		r, updates := runFig14Cell(intervals[i], sc)
+		return cell{r, updates}
+	})
+	base := cells[0].r
 	res := Fig14Result{Rows: []Fig14Row{{
 		Interval: 0, LIOPSNorm: 1, TMBpsNorm: 1, CPUUtil: base.CPUUtil,
 	}}}
-	for _, iv := range Fig14Intervals {
-		r, updates := runFig14Cell(iv, sc)
-		row := Fig14Row{Interval: iv, CPUUtil: r.CPUUtil, Updates: updates}
+	for i, iv := range Fig14Intervals {
+		c := cells[i+1]
+		row := Fig14Row{Interval: iv, CPUUtil: c.r.CPUUtil, Updates: c.updates}
 		if base.LKIOPS > 0 {
-			row.LIOPSNorm = r.LKIOPS / base.LKIOPS
+			row.LIOPSNorm = c.r.LKIOPS / base.LKIOPS
 		}
 		if base.TMBps > 0 {
-			row.TMBpsNorm = r.TMBps / base.TMBps
+			row.TMBpsNorm = c.r.TMBps / base.TMBps
 		}
 		res.Rows = append(res.Rows, row)
 	}

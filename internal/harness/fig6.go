@@ -44,9 +44,10 @@ func RunFig7(sc Scale) Fig6Result {
 
 func runPressureSweep(m Machine, sc Scale) Fig6Result {
 	res := Fig6Result{Machine: m.Name}
-	for _, kind := range ComparisonKinds {
-		for _, n := range TPressureCounts {
-			r := RunMixOnce(m, kind, 4, n, sc)
+	grid := RunMixGrid(m, ComparisonKinds, 4, TPressureCounts, sc)
+	for ki, kind := range ComparisonKinds {
+		for ti, n := range TPressureCounts {
+			r := grid[ki*len(TPressureCounts)+ti]
 			res.Cells = append(res.Cells, Fig6Cell{
 				Kind: kind, TCount: n,
 				Tail: r.L.P999, Avg: r.L.Mean,

@@ -23,18 +23,23 @@ type Fig9Result struct {
 // RunFig9 measures L-tenant p99.9 with 2, 4, 8 cores under low and high
 // T-pressure on SV-M.
 func RunFig9(sc Scale) Fig9Result {
-	var res Fig9Result
+	type spec struct {
+		cores, n int
+		kind     StackKind
+	}
+	var specs []spec
 	for _, cores := range []int{2, 4, 8} {
 		for _, n := range []int{4, 32} {
 			for _, kind := range ComparisonKinds {
-				r := RunMixOnce(SVM(cores), kind, 4, n, sc)
-				res.Cells = append(res.Cells, Fig9Cell{
-					Kind: kind, Cores: cores, TCount: n, Tail: r.L.P999,
-				})
+				specs = append(specs, spec{cores, n, kind})
 			}
 		}
 	}
-	return res
+	return Fig9Result{Cells: RunCells(len(specs), func(i int) Fig9Cell {
+		s := specs[i]
+		r := RunMixOnce(SVM(s.cores), s.kind, 4, s.n, sc)
+		return Fig9Cell{Kind: s.kind, Cores: s.cores, TCount: s.n, Tail: r.L.P999}
+	})}
 }
 
 // WriteText renders the grid.

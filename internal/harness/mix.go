@@ -145,6 +145,19 @@ func (m *Mix) Collect(measured sim.Duration) MixResult {
 	}
 }
 
+// RunMixGrid runs RunMixOnce for every (kind, tCount) pair on the
+// experiment runner and returns results in kinds-major order: cell
+// (ki, ti) lands at index ki*len(tCounts)+ti. Each cell owns its engine,
+// so the grid fans out over Parallelism() workers with output identical
+// to a serial sweep.
+func RunMixGrid(machine Machine, kinds []StackKind, nL int, tCounts []int, sc Scale) []MixResult {
+	return RunCells(len(kinds)*len(tCounts), func(i int) MixResult {
+		kind := kinds[i/len(tCounts)]
+		n := tCounts[i%len(tCounts)]
+		return RunMixOnce(machine, kind, nL, n, sc)
+	})
+}
+
 // RunMixOnce builds a mix of nL/nT tenants in namespace 0, runs
 // warmup+measure, and aggregates — the basic cell of Figures 6, 7, 9.
 func RunMixOnce(machine Machine, kind StackKind, nL, nT int, sc Scale) MixResult {

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"daredevil/internal/sim"
+)
+
+// tinyScale keeps the determinism experiment fast enough for -race -short.
+var tinyScale = Scale{Warmup: 10 * sim.Millisecond, Measure: 30 * sim.Millisecond}
+
+// TestRunnerParallelMatchesSerial is the regression test the fan-out rests
+// on: a whole experiment run with -j 1 must be deeply equal to the same
+// experiment run with -j 8. Each cell owns its own engine and RNG, so the
+// worker count can only change wall-clock time, never results.
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(Parallelism())
+
+	SetParallelism(1)
+	serial := RunExtGC(tinyScale)
+	SetParallelism(8)
+	parallel := RunExtGC(tinyScale)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("RunExtGC differs between -j 1 and -j 8:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if len(serial.Cells) == 0 {
+		t.Fatal("RunExtGC returned no cells; the comparison is vacuous")
+	}
+}
+
+// TestRunCellsOrderAndCoverage checks the assembly contract: results land
+// at their cell's index regardless of completion order, every cell runs
+// exactly once, and no index is visited twice.
+func TestRunCellsOrderAndCoverage(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	SetParallelism(8)
+
+	const n = 100
+	var runs [n]atomic.Int32
+	got := RunCells(n, func(i int) int {
+		runs[i].Add(1)
+		return i * i
+	})
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d (results must assemble in cell order)", i, v, i*i)
+		}
+		if c := runs[i].Load(); c != 1 {
+			t.Fatalf("cell %d ran %d times, want exactly once", i, c)
+		}
+	}
+}
+
+// TestRunCellsZeroAndSingle covers the degenerate widths.
+func TestRunCellsZeroAndSingle(t *testing.T) {
+	if got := RunCells(0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("RunCells(0) = %v, want empty", got)
+	}
+	if got := RunCells(1, func(i int) string { return "only" }); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("RunCells(1) = %v", got)
+	}
+}
+
+// TestRunnerPanicPropagates checks that a panicking cell reaches the
+// caller instead of killing a worker goroutine (which would crash the
+// process with no stack pointing at the experiment).
+func TestRunnerPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in a cell must propagate to the caller")
+		}
+	}()
+	NewRunner(4).Run(8, func(i int) {
+		if i == 5 {
+			panic("cell blew up")
+		}
+	})
+}
+
+// TestSetParallelismRejectsNonPositive pins the validation panic ddbench's
+// flag handling relies on never reaching.
+func TestSetParallelismRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetParallelism(%d) must panic", n)
+				}
+			}()
+			SetParallelism(n)
+		}()
+	}
+	if Parallelism() < 1 {
+		t.Fatalf("Parallelism() = %d after rejected calls, want unchanged >= 1", Parallelism())
+	}
+}

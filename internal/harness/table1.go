@@ -21,16 +21,16 @@ type Table1Result struct {
 
 // RunTable1 collects the factor vectors from every stack implementation.
 func RunTable1() Table1Result {
-	var res Table1Result
-	for _, kind := range []StackKind{Vanilla, StaticPart, BlkSwitch, DareFull} {
+	kinds := []StackKind{Vanilla, StaticPart, BlkSwitch, DareFull}
+	return Table1Result{Rows: RunCells(len(kinds), func(i int) Table1Row {
+		kind := kinds[i]
 		env := NewEnv(SVM(4), kind)
 		fp, ok := env.Stack.(block.FactorProvider)
 		if !ok {
 			panic(fmt.Sprintf("harness: stack %q does not report factors", kind))
 		}
-		res.Rows = append(res.Rows, Table1Row{Kind: kind, Factors: fp.Factors()})
-	}
-	return res
+		return Table1Row{Kind: kind, Factors: fp.Factors()}
+	})}
 }
 
 func mark(b bool) string {

@@ -128,10 +128,14 @@ type CompletionPolicy struct {
 	CoalesceDelay sim.Duration
 }
 
-// command is an in-flight NVMe command.
+// command is an in-flight NVMe command. Commands are recycled through the
+// device's free-list, so doneFn — the flash-completion continuation — is
+// bound once per command object and reused for its whole pooled lifetime.
 type command struct {
 	rq      *block.Request
 	nsq     *NSQ
+	dev     *Device
+	doneFn  func()
 	pages   int
 	retries int
 }
@@ -149,6 +153,11 @@ type NSQ struct {
 
 	// class is the WRR priority class (ignored under round-robin).
 	class QueueClass
+
+	// ringFn publishes the queue's entries to the controller at the
+	// doorbell instant; bound once so Enqueue schedules it without
+	// allocating a closure.
+	ringFn func()
 
 	// Lock serializes tail updates from multiple cores; its wait times are
 	// the submission-side contention that feeds NSQ merits (§5.3).
@@ -185,8 +194,15 @@ type NCQ struct {
 	policy  CompletionPolicy
 
 	pendingCQE []*command
+	// spare recycles drained CQE batch slices; several batches can be in
+	// flight at once (a new batch may post while an earlier ISR is still
+	// queued on its core), hence a small pool rather than a single buffer.
+	spare      [][]*command
 	irqArmed   bool
 	timer      *sim.Timer
+	deliverFn  func() // IRQ delivery continuation (irqArmed serializes it)
+	coalesceFn func() // coalescing-timer continuation
+	pollFn     func() // poll-tick continuation (pollArmed serializes it)
 
 	// polling-mode state (see polling.go)
 	polled    bool
@@ -247,10 +263,16 @@ type Device struct {
 	rr        int
 	inflight  int
 	fetchBusy bool
+	fetchQ    *NSQ   // queue whose head the in-flight fetch targets
+	fetchDone func() // fetch-completion continuation (fetchBusy serializes it)
 	wrrClass  int
 	wrrCredit int
 	classRR   map[QueueClass]int
 	errRNG    *sim.Rand
+
+	// freeCmds recycles command objects so the steady-state submission path
+	// does not allocate.
+	freeCmds []*command
 
 	// MediaErrors counts injected failures; FailedCommands counts commands
 	// completed with an error after exhausting retries.
@@ -271,11 +293,18 @@ func New(eng *sim.Engine, pool *cpus.Pool, cfg Config) *Device {
 	d := &Device{cfg: cfg, eng: eng, pool: pool, media: flash.New(cfg.Flash),
 		classRR: map[QueueClass]int{}, errRNG: sim.NewRand(cfg.ErrorSeed + 0x5eed)}
 	d.wrrCredit = cfg.WRR.High
+	d.fetchDone = d.finishFetch
 	for i := 0; i < cfg.NumNCQ; i++ {
-		d.ncqs = append(d.ncqs, &NCQ{ID: i, dev: d, irqCore: i % pool.N()})
+		cq := &NCQ{ID: i, dev: d, irqCore: i % pool.N()}
+		cq.deliverFn = cq.deliver
+		cq.coalesceFn = cq.coalesceFire
+		cq.pollFn = cq.pollFire
+		d.ncqs = append(d.ncqs, cq)
 	}
 	for i := 0; i < cfg.NumNSQ; i++ {
-		d.nsqs = append(d.nsqs, &NSQ{ID: i, dev: d, ncq: d.ncqs[i%cfg.NumNCQ], class: ClassMedium})
+		q := &NSQ{ID: i, dev: d, ncq: d.ncqs[i%cfg.NumNCQ], class: ClassMedium}
+		q.ringFn = q.ringNow
+		d.nsqs = append(d.nsqs, q)
 	}
 	d.namespaces = []Namespace{{ID: 0, Base: 0, Size: 1 << 41}} // single 2TB ns by default
 	return d
@@ -370,24 +399,49 @@ func (d *Device) Enqueue(now sim.Time, nsqID int, rq *block.Request, ring bool) 
 	if rq.Flags.Discard() {
 		pages = 1 // Deallocate carries a range list, not data pages
 	}
-	cmd := &command{rq: rq, nsq: q, pages: pages}
+	cmd := d.allocCmd(rq, q, pages)
 	q.entries = append(q.entries, cmd)
 	q.Submitted++
 	if ring {
-		d.eng.At(enqAt, func() {
-			q.visible = q.Len()
-			d.maybeFetch()
-		})
+		d.eng.At(enqAt, q.ringFn)
 	}
 	return true, wait + d.cfg.SQLockHold
+}
+
+// allocCmd takes a command from the free-list, or builds one (binding its
+// completion continuation exactly once).
+func (d *Device) allocCmd(rq *block.Request, q *NSQ, pages int) *command {
+	if n := len(d.freeCmds); n > 0 {
+		c := d.freeCmds[n-1]
+		d.freeCmds = d.freeCmds[:n-1]
+		c.rq, c.nsq, c.pages, c.retries = rq, q, pages, 0
+		return c
+	}
+	c := &command{dev: d, rq: rq, nsq: q, pages: pages}
+	c.doneFn = c.flashDone
+	return c
+}
+
+// releaseCmd returns a completed command to the free-list. Callers must
+// release before invoking rq.Complete: completion callbacks may submit new
+// requests synchronously, and those are allowed to reuse this object.
+func (d *Device) releaseCmd(c *command) {
+	c.rq, c.nsq = nil, nil
+	d.freeCmds = append(d.freeCmds, c)
+}
+
+// ringNow is the doorbell instant: publish the queue's occupancy to the
+// controller and let it fetch. Reading Len at fire time makes the function
+// idempotent, so one bound closure serves every scheduled ring.
+func (q *NSQ) ringNow() {
+	q.visible = q.Len()
+	q.dev.maybeFetch()
 }
 
 // Ring announces all enqueued entries of the NSQ to the controller — the
 // batched-doorbell path nqreg uses for low-priority NSQs.
 func (d *Device) Ring(nsqID int) {
-	q := d.nsqs[nsqID]
-	q.visible = q.Len()
-	d.maybeFetch()
+	d.nsqs[nsqID].ringNow()
 }
 
 // maybeFetch drives the controller's fetch engine: one command at a time,
@@ -408,25 +462,37 @@ func (d *Device) maybeFetch() {
 	}
 	d.fetchBusy = true
 	// Peek the head entry to price the fetch; pop on completion of the
-	// fetch so queue occupancy reflects reality.
+	// fetch so queue occupancy reflects reality. fetchBusy serializes
+	// fetches, so the target queue rides in fetchQ and the continuation is
+	// the one bound at construction.
 	cmd := q.entries[q.head]
 	cost := d.cfg.FetchCost + sim.Duration(cmd.pages)*d.cfg.FetchPerPage
-	d.eng.After(cost, func() {
-		q.entries[q.head] = nil
-		q.head++
-		if q.head > 64 && q.head*2 >= len(q.entries) {
-			q.entries = append(q.entries[:0], q.entries[q.head:]...)
-			q.head = 0
-		}
-		q.visible--
-		q.Fetched++
-		d.inflight++
-		q.ncq.InFlight++
-		cmd.rq.FetchTime = d.eng.Now()
-		d.dispatchToFlash(cmd)
-		d.fetchBusy = false
-		d.maybeFetch()
-	})
+	d.fetchQ = q
+	d.eng.After(cost, d.fetchDone)
+}
+
+// finishFetch pops the fetched command off the queue the in-flight fetch
+// targeted and hands it to the flash backend. Entries are only appended
+// behind head while a fetch is outstanding, so the head entry here is the
+// one maybeFetch priced.
+func (d *Device) finishFetch() {
+	q := d.fetchQ
+	d.fetchQ = nil
+	cmd := q.entries[q.head]
+	q.entries[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.entries) {
+		q.entries = append(q.entries[:0], q.entries[q.head:]...)
+		q.head = 0
+	}
+	q.visible--
+	q.Fetched++
+	d.inflight++
+	q.ncq.InFlight++
+	cmd.rq.FetchTime = d.eng.Now()
+	d.dispatchToFlash(cmd)
+	d.fetchBusy = false
+	d.maybeFetch()
 }
 
 // nextRR returns the next NSQ with visible entries, scanning round-robin
@@ -470,23 +536,29 @@ func (d *Device) dispatchToFlash(cmd *command) {
 	default:
 		done = d.media.SubmitIO(d.eng.Now(), abs, size, op)
 	}
-	d.eng.At(done.Add(d.cfg.CQEPostCost), func() {
-		if d.cfg.MediaErrorRate > 0 && d.errRNG.Bool(d.cfg.MediaErrorRate) {
-			d.MediaErrors++
-			if cmd.retries < d.cfg.MediaRetries {
-				// Controller-internal retry: re-execute the media ops.
-				cmd.retries++
-				cmd.rq.Retries = cmd.retries
-				d.dispatchToFlash(cmd)
-				return
-			}
-			cmd.rq.Err = ErrMedia
-			d.FailedCommands++
+	d.eng.At(done.Add(d.cfg.CQEPostCost), cmd.doneFn)
+}
+
+// flashDone is a command's completion continuation: inject media errors
+// (retrying inside the controller), then post the CQE and free the
+// in-flight window slot.
+func (c *command) flashDone() {
+	d := c.dev
+	if d.cfg.MediaErrorRate > 0 && d.errRNG.Bool(d.cfg.MediaErrorRate) {
+		d.MediaErrors++
+		if c.retries < d.cfg.MediaRetries {
+			// Controller-internal retry: re-execute the media ops.
+			c.retries++
+			c.rq.Retries = c.retries
+			d.dispatchToFlash(c)
+			return
 		}
-		d.inflight--
-		d.postCQE(cmd)
-		d.maybeFetch()
-	})
+		c.rq.Err = ErrMedia
+		d.FailedCommands++
+	}
+	d.inflight--
+	d.postCQE(c)
+	d.maybeFetch()
 }
 
 // ErrMedia marks a command that failed after exhausting device retries.
@@ -497,6 +569,12 @@ var ErrMedia = errors.New("nvme: unrecoverable media error")
 func (d *Device) postCQE(cmd *command) {
 	cq := cmd.nsq.ncq
 	cmd.rq.CQEPostTime = d.eng.Now()
+	if cq.pendingCQE == nil {
+		if n := len(cq.spare); n > 0 {
+			cq.pendingCQE = cq.spare[n-1]
+			cq.spare = cq.spare[:n-1]
+		}
+	}
 	cq.pendingCQE = append(cq.pendingCQE, cmd)
 	if cq.polled {
 		d.armPoll(cq)
@@ -518,10 +596,7 @@ func (d *Device) postCQE(cmd *command) {
 			if delay <= 0 {
 				delay = d.cfg.IRQLatency
 			}
-			cq.timer = d.eng.AfterTimer(delay, func() {
-				cq.timer = nil
-				d.fireIRQ(cq)
-			})
+			cq.timer = d.eng.AfterTimer(delay, cq.coalesceFn)
 		}
 	default:
 		// Vanilla: interrupt as soon as a CQE posts, unless one is already
@@ -531,42 +606,63 @@ func (d *Device) postCQE(cmd *command) {
 	}
 }
 
+// coalesceFire is the coalescing-timer continuation.
+func (cq *NCQ) coalesceFire() {
+	cq.timer = nil
+	cq.dev.fireIRQ(cq)
+}
+
 // fireIRQ delivers the NCQ's interrupt to its core and runs the ISR, which
-// drains all pending CQEs and completes their requests.
+// drains all pending CQEs and completes their requests. irqArmed serializes
+// deliveries, so the delivery continuation is the one bound at construction.
 func (d *Device) fireIRQ(cq *NCQ) {
 	if cq.irqArmed {
 		return
 	}
 	cq.irqArmed = true
-	d.eng.After(d.cfg.IRQLatency, func() {
-		cq.irqArmed = false
-		batch := cq.pendingCQE
-		cq.pendingCQE = nil
-		if len(batch) == 0 {
-			return
+	d.eng.After(d.cfg.IRQLatency, cq.deliverFn)
+}
+
+// deliver is the interrupt arrival: detach the pending batch, price the ISR,
+// and queue it as interrupt work on the vector's core. The ISR closure is
+// the one allocation left on this path — it is per interrupt, not per
+// command, so coalescing amortizes it.
+func (cq *NCQ) deliver() {
+	d := cq.dev
+	cq.irqArmed = false
+	batch := cq.pendingCQE
+	cq.pendingCQE = nil
+	if len(batch) == 0 {
+		if batch != nil {
+			cq.spare = append(cq.spare, batch[:0])
 		}
-		cq.IRQs++
-		cost := d.cfg.ISREntry
-		for _, cmd := range batch {
-			cost += d.cfg.ISRPerCQE
-			if cmd.rq.Tenant != nil && cmd.rq.Tenant.Core != cq.irqCore {
-				cost += d.cfg.CrossCoreCQE
-			}
+		return
+	}
+	cq.IRQs++
+	cost := d.cfg.ISREntry
+	for _, cmd := range batch {
+		cost += d.cfg.ISRPerCQE
+		if cmd.rq.Tenant != nil && cmd.rq.Tenant.Core != cq.irqCore {
+			cost += d.cfg.CrossCoreCQE
 		}
-		core := d.pool.Core(cq.irqCore)
-		core.SubmitIRQ(cpus.Work{Cost: cost, Fn: func() sim.Duration {
-			now := d.eng.Now()
-			for _, cmd := range batch {
-				cq.InFlight--
-				cq.Completed++
-				if cmd.rq.Tenant != nil && cmd.rq.Tenant.Core != cq.irqCore {
-					cmd.rq.CrossCore = true
-				}
-				cmd.rq.Complete(now)
+	}
+	core := d.pool.Core(cq.irqCore)
+	core.SubmitIRQ(cpus.Work{Cost: cost, Fn: func() sim.Duration {
+		now := d.eng.Now()
+		for i, cmd := range batch {
+			rq := cmd.rq
+			cq.InFlight--
+			cq.Completed++
+			if rq.Tenant != nil && rq.Tenant.Core != cq.irqCore {
+				rq.CrossCore = true
 			}
-			return 0
-		}})
-	})
+			batch[i] = nil
+			d.releaseCmd(cmd)
+			rq.Complete(now)
+		}
+		cq.spare = append(cq.spare, batch[:0])
+		return 0
+	}})
 }
 
 // Inflight reports commands fetched but not completed.

@@ -38,10 +38,14 @@ func (d *Device) armPoll(cq *NCQ) {
 		return
 	}
 	cq.pollArmed = true
-	d.eng.After(cq.pollEvery, func() {
-		cq.pollArmed = false
-		d.pollTick(cq)
-	})
+	d.eng.After(cq.pollEvery, cq.pollFn)
+}
+
+// pollFire is the poll-tick continuation; pollArmed serializes it, so the
+// closure bound at construction serves every tick.
+func (cq *NCQ) pollFire() {
+	cq.pollArmed = false
+	cq.dev.pollTick(cq)
 }
 
 // pollTick runs one poll on the NCQ's core: a fixed check cost plus
@@ -66,13 +70,19 @@ func (d *Device) pollTick(cq *NCQ) {
 		if len(batch) > 0 {
 			cq.IRQs++ // counted as completion reaps for merit symmetry
 		}
-		for _, cmd := range batch {
+		for i, cmd := range batch {
+			rq := cmd.rq
 			cq.InFlight--
 			cq.Completed++
-			if cmd.rq.Tenant != nil && cmd.rq.Tenant.Core != cq.irqCore {
-				cmd.rq.CrossCore = true
+			if rq.Tenant != nil && rq.Tenant.Core != cq.irqCore {
+				rq.CrossCore = true
 			}
-			cmd.rq.Complete(now)
+			batch[i] = nil
+			d.releaseCmd(cmd)
+			rq.Complete(now)
+		}
+		if batch != nil {
+			cq.spare = append(cq.spare, batch[:0])
 		}
 		if cq.InFlight > 0 || len(cq.pendingCQE) > 0 {
 			d.armPoll(cq)

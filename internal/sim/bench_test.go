@@ -3,6 +3,8 @@ package sim
 import "testing"
 
 // BenchmarkEngineEventThroughput measures raw event scheduling+dispatch.
+// The perf baseline pins this at 0 allocs/op: the event core must not
+// allocate in steady state.
 func BenchmarkEngineEventThroughput(b *testing.B) {
 	e := New()
 	var fn func()
@@ -14,6 +16,7 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 		}
 	}
 	e.After(10, fn)
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
@@ -24,8 +27,52 @@ func BenchmarkEngineFanout(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.After(Duration(i%1000), func() {})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
+}
+
+// TestSteadyStateSchedulingAllocFree asserts the free-list actually makes
+// the hot path allocation-free: once the engine reaches its high-water
+// mark, After+Step must not allocate at all.
+func TestSteadyStateSchedulingAllocFree(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Reach the high-water mark so the slot table, free-list and heap all
+	// have capacity.
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i+1), fn)
+	}
+	e.Run()
+	if got := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	}); got != 0 {
+		t.Fatalf("steady-state After+Step allocates %.1f times/op, want 0", got)
+	}
+	// At with a pre-built closure is equally alloc-free.
+	if got := testing.AllocsPerRun(1000, func() {
+		e.At(e.Now()+1, fn)
+		e.Step()
+	}); got != 0 {
+		t.Fatalf("steady-state At+Step allocates %.1f times/op, want 0", got)
+	}
+}
+
+// BenchmarkEngineTimerChurn measures cancellable scheduling: the only
+// steady-state allocation is the Timer handle itself.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.AfterTimer(1, fn)
+		if i%2 == 0 {
+			tm.Stop()
+		}
+		e.Step()
+	}
 }
 
 // BenchmarkRandUint64 measures the PRNG.

@@ -1,61 +1,103 @@
 package sim
 
-import "container/heap"
+// The event core is the hottest code in the simulator: every modeled
+// action — a fetch, an ISR, a flash page program — is one scheduled
+// callback. It is built for zero steady-state allocation:
+//
+//   - The pending queue is a typed 4-ary min-heap of inline event values
+//     (no per-event pointer, no interface boxing). A 4-ary layout halves
+//     the tree depth of a binary heap and keeps the hot sift loops on one
+//     or two cache lines for the queue depths the machine model produces.
+//   - The callback and its cancellation state live in a slot recycled
+//     through a free-list, so At/After reuse memory once the engine
+//     reaches its high-water mark of concurrently pending events.
+//
+// Events at the same instant fire in scheduling order (seq breaks ties),
+// which keeps runs deterministic.
 
-// event is a single scheduled callback. Events at the same instant fire in
-// scheduling order (seq breaks ties), which keeps runs deterministic.
+// event is one pending entry in the heap. It carries only the ordering key
+// and the index of the slot holding the callback, so heap swaps move 24
+// bytes and never touch the garbage collector.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	id  int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// slot holds a pending event's callback. timer is non-nil for cancellable
+// events scheduled through AfterTimer.
+type slot struct {
+	fn    func()
+	timer *Timer
 }
 
 // Engine is the discrete-event simulation core: a virtual clock plus an
 // ordered queue of pending events. It is not safe for concurrent use; the
-// entire simulated machine runs on one engine, single-threaded.
+// entire simulated machine runs on one engine, single-threaded. Independent
+// engines (one per experiment cell) may run on different goroutines.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	events  []event
+	slots   []slot
+	free    []int32
 	seq     uint64
 	stopped bool
 
-	// Executed counts events that have fired; useful for budget guards in
-	// tests and long experiments.
+	// Executed counts events whose callback has fired (cancelled timers are
+	// consumed without counting); useful for budget guards in tests and
+	// long experiments.
 	Executed uint64
+	// Recycled counts slots returned to the free-list — the free-list
+	// accounting the tests pin down (each scheduled event is returned
+	// exactly once, whether it fired or was cancelled).
+	Recycled uint64
 }
 
 // New returns an engine with the clock at zero and no pending events.
 func New() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{}
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending reports the number of queued events.
+// Pending reports the number of queued events (cancelled-but-unconsumed
+// timers included, as they still occupy queue entries).
 func (e *Engine) Pending() int { return len(e.events) }
+
+// allocSlot takes a slot from the free-list, growing the table only when
+// every slot is live (the high-water mark).
+func (e *Engine) allocSlot(fn func(), tm *Timer) int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slots[id] = slot{fn: fn, timer: tm}
+		return id
+	}
+	e.slots = append(e.slots, slot{fn: fn, timer: tm})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot returns a consumed event's slot to the free-list. A nil fn means
+// the slot is already free; freeing twice would hand the same slot to two
+// pending events and corrupt the queue, so it panics loudly instead.
+func (e *Engine) freeSlot(id int32) {
+	s := &e.slots[id]
+	if s.fn == nil {
+		panic("sim: event slot freed twice")
+	}
+	s.fn = nil
+	s.timer = nil
+	e.free = append(e.free, id)
+	e.Recycled++
+}
 
 // At schedules fn to run at instant t. Scheduling in the past panics: it
 // always indicates a modeling bug, and silently reordering time would make
@@ -65,7 +107,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, id: e.allocSlot(fn, nil)})
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -76,16 +118,82 @@ func (e *Engine) After(d Duration, fn func()) {
 	e.At(e.now.Add(d), fn)
 }
 
-// Step fires the earliest pending event, advancing the clock to its instant.
-// It reports whether an event fired.
+// push inserts ev into the 4-ary heap.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	e.events = h
+	if n == 0 {
+		return top
+	}
+	// Sift the displaced tail down: at each level pick the smallest of up
+	// to four children.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for k := c + 1; k < end; k++ {
+			if h[k].before(h[min]) {
+				min = k
+			}
+		}
+		if !h[min].before(last) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = last
+	return top
+}
+
+// Step consumes the earliest pending event, advancing the clock to its
+// instant, and reports whether the queue made progress. An event whose
+// timer was cancelled is consumed (its slot returns to the free-list)
+// without firing the callback or counting toward Executed.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 || e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.pop()
 	e.now = ev.at
+	s := &e.slots[ev.id]
+	fn, tm := s.fn, s.timer
+	e.freeSlot(ev.id)
+	if tm != nil {
+		if tm.stopped {
+			return true
+		}
+		tm.fired = true
+	}
 	e.Executed++
-	ev.fn()
+	fn()
 	return true
 }
 
@@ -108,21 +216,27 @@ func (e *Engine) Run() {
 }
 
 // Stop halts Run/RunUntil after the current event. Pending events remain
-// queued.
+// queued — their slots stay live and return to the free-list only when
+// they are eventually consumed (after Resume) or the engine is discarded.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Resume clears a previous Stop.
 func (e *Engine) Resume() { e.stopped = false }
 
+// liveSlots reports slots currently holding a pending event (test hook for
+// the free-list accounting invariant).
+func (e *Engine) liveSlots() int { return len(e.slots) - len(e.free) }
+
 // Timer is a cancellable scheduled callback.
 type Timer struct {
-	fn      func()
 	stopped bool
 	fired   bool
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the call
-// prevented the callback from running.
+// prevented the callback from running. The queued event remains in the heap
+// and is discarded (slot recycled, callback skipped) when its instant is
+// reached.
 func (t *Timer) Stop() bool {
 	if t.fired || t.stopped {
 		return false
@@ -138,15 +252,14 @@ func (t *Timer) Fired() bool { return t.fired }
 func (t *Timer) Active() bool { return !t.fired && !t.stopped }
 
 // AfterTimer schedules fn to run d from now and returns a handle that can
-// cancel it.
+// cancel it. Unlike After, the callback is dispatched through the timer's
+// slot directly — no wrapper closure is allocated.
 func (e *Engine) AfterTimer(d Duration, fn func()) *Timer {
-	t := &Timer{fn: fn}
-	e.After(d, func() {
-		if t.stopped {
-			return
-		}
-		t.fired = true
-		t.fn()
-	})
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	t := &Timer{}
+	e.seq++
+	e.push(event{at: e.now.Add(d), seq: e.seq, id: e.allocSlot(fn, t)})
 	return t
 }

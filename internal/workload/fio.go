@@ -130,6 +130,14 @@ type Job struct {
 	issued  uint64
 	stopped bool
 	started bool
+
+	// Continuations bound once at Start: the per-request issue body, the
+	// open-loop arrival tick, and the completion callback. Binding them here
+	// keeps the per-request path from allocating a closure (or a method
+	// value) for every I/O.
+	issueFn    func() sim.Duration
+	arrivalFn  func()
+	completeFn func(*block.Request)
 }
 
 // NewJob builds a job for the given tenant ID.
@@ -175,6 +183,9 @@ func (j *Job) Start(eng *sim.Engine, pool *cpus.Pool, stack block.Stack) {
 	}
 	j.started = true
 	j.eng, j.pool, j.stack = eng, pool, stack
+	j.issueFn = j.issueNow
+	j.arrivalFn = j.arrive
+	j.completeFn = j.onComplete
 	stack.Register(j.Tenant)
 	if j.Cfg.Arrival > 0 {
 		j.scheduleArrival()
@@ -191,13 +202,17 @@ func (j *Job) scheduleArrival() {
 	if j.stopped {
 		return
 	}
-	j.eng.After(expGap(j.rng, j.Cfg.Arrival), func() {
-		if j.stopped {
-			return
-		}
-		j.scheduleIssue(j.Cfg.SubmitCost)
-		j.scheduleArrival()
-	})
+	j.eng.After(expGap(j.rng, j.Cfg.Arrival), j.arrivalFn)
+}
+
+// arrive is the open-loop tick: issue one request and schedule the next
+// arrival.
+func (j *Job) arrive() {
+	if j.stopped {
+		return
+	}
+	j.scheduleIssue(j.Cfg.SubmitCost)
+	j.scheduleArrival()
 }
 
 // Stop ceases issuing new requests; in-flight requests drain naturally.
@@ -227,13 +242,16 @@ func (j *Job) scheduleIssue(cost sim.Duration) {
 	j.pool.Core(j.Tenant.Core).Submit(cpus.Work{
 		Cost:  cost,
 		Owner: j.Tenant.ID,
-		Fn: func() sim.Duration {
-			if j.stopped {
-				return 0
-			}
-			return j.stack.Submit(j.buildRequest())
-		},
+		Fn:    j.issueFn,
 	})
+}
+
+// issueNow is the submit body that runs on the tenant's core.
+func (j *Job) issueNow() sim.Duration {
+	if j.stopped {
+		return 0
+	}
+	return j.stack.Submit(j.buildRequest())
 }
 
 func (j *Job) buildRequest() *block.Request {
@@ -269,7 +287,7 @@ func (j *Job) buildRequest() *block.Request {
 		Offset: off, Size: j.Cfg.BS, Op: op, Flags: flags,
 		IssueTime: j.eng.Now(), NSQ: -1,
 	}
-	rq.OnComplete = j.onComplete
+	rq.OnComplete = j.completeFn
 	return rq
 }
 
@@ -294,7 +312,7 @@ func (j *Job) buildTrim() *block.Request {
 		Flags:     j.Cfg.Flags | block.FlagDiscard,
 		IssueTime: j.eng.Now(), NSQ: -1,
 	}
-	rq.OnComplete = j.onComplete
+	rq.OnComplete = j.completeFn
 	return rq
 }
 
