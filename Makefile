@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-all figures svg json examples vet fmt cover clean
+.PHONY: all build test test-short race bench bench-all benchguard figures svg json examples lint vet fmt cover clean
 
 all: build test
 
@@ -29,6 +29,11 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
+# Fail if the engine benchmarks allocate more per op than the committed
+# baseline in BENCH_harness.json admits (zero-alloc baselines admit zero).
+benchguard:
+	$(GO) run ./cmd/benchguard
+
 # Regenerate every paper table/figure (plus extensions) at default scale.
 figures:
 	$(GO) run ./cmd/ddbench all
@@ -48,6 +53,14 @@ examples:
 	$(GO) run ./examples/virtio
 	$(GO) run ./examples/webapp
 	$(GO) run ./examples/aged
+
+# The determinism and hot-path lint suite (see internal/analysis): must be
+# clean before merge. go vet and gofmt ride along so `make lint` is the one
+# local command matching CI's lint job.
+lint:
+	$(GO) run ./cmd/ddvet ./...
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

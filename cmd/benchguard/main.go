@@ -1,0 +1,161 @@
+// Command benchguard defends the event core's allocation discipline in CI.
+// It re-runs the engine benchmarks with -benchmem, parses allocs/op, and
+// compares them against the committed baseline in BENCH_harness.json.
+//
+//	go run ./cmd/benchguard                  # engine benchmarks vs baseline
+//	go run ./cmd/benchguard -tolerance 0.10  # explicit regression budget
+//
+// A benchmark whose fresh allocs/op exceeds its baseline by more than the
+// tolerance fails the run. Zero-allocation baselines get no budget at all:
+// the first allocation on the event hot path is the regression, which is
+// the property BenchmarkEngineEventThroughput exists to pin. ns/op is NOT
+// guarded — wall time is too noisy on shared CI runners — allocation
+// counts are exact and deterministic, which is what makes this check
+// stable enough to gate merges on.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the fields of BENCH_harness.json this command reads.
+type baseline struct {
+	Benchmarks []struct {
+		Name        string `json:"name"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_harness.json", "committed benchmark baseline")
+	pkg := flag.String("pkg", "./internal/sim", "package holding the guarded benchmarks")
+	pattern := flag.String("bench", "BenchmarkEngine", "benchmark name pattern to run and guard")
+	benchtime := flag.String("benchtime", "1000x", "iterations per benchmark (fixed count: allocs/op is exact)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth over baseline")
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath, *pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(3)
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no %s* benchmarks in %s\n", *pattern, *baselinePath)
+		os.Exit(3)
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *pattern,
+		"-benchtime", *benchtime, "-benchmem", *pkg)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: go test -bench:", err)
+		os.Exit(3)
+	}
+	fresh, err := parseAllocs(out.String())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(3)
+	}
+
+	problems := compare(base, fresh, *tolerance)
+	for name := range base {
+		fmt.Printf("benchguard: %-32s baseline %d allocs/op, fresh %d allocs/op\n",
+			name, base[name], fresh[name])
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}
+
+// loadBaseline reads allocs/op for benchmarks matching the name prefix.
+func loadBaseline(path, prefix string) (map[string]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	out := map[string]int64{}
+	for _, bm := range b.Benchmarks {
+		if strings.HasPrefix(bm.Name, prefix) {
+			out[bm.Name] = bm.AllocsPerOp
+		}
+	}
+	return out, nil
+}
+
+// parseAllocs extracts "<name>-N ... M allocs/op" lines from go test -bench
+// output, keyed by the bare benchmark name (GOMAXPROCS suffix stripped).
+func parseAllocs(output string) (map[string]int64, error) {
+	out := map[string]int64{}
+	sc := bufio.NewScanner(strings.NewReader(output))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		for i := 1; i < len(fields)-1; i++ {
+			if fields[i+1] == "allocs/op" {
+				n, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+				}
+				out[name] = n
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no allocs/op lines in benchmark output (is -benchmem set?)")
+	}
+	return out, nil
+}
+
+// compare returns one problem string per regression. A baseline of zero
+// allocs/op admits zero fresh allocations regardless of tolerance; nonzero
+// baselines may grow by at most the tolerance fraction (rounded up, so a
+// baseline of 1 with 10% tolerance still only admits 1). Benchmarks present
+// in the baseline but missing from the fresh run are failures too: a
+// deleted benchmark silently un-guards its invariant.
+func compare(base, fresh map[string]int64, tolerance float64) []string {
+	var problems []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		baseAllocs := base[name]
+		freshAllocs, ok := fresh[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: in baseline but not in fresh run", name))
+			continue
+		}
+		limit := baseAllocs + int64(float64(baseAllocs)*tolerance)
+		if freshAllocs > limit {
+			problems = append(problems, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d (limit %d)",
+				name, freshAllocs, baseAllocs, limit))
+		}
+	}
+	return problems
+}

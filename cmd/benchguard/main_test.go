@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: daredevil/internal/sim
+cpu: whatever
+BenchmarkEngineEventThroughput-8   	    1000	        11.78 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineFanout-8            	    1000	       526.5 ns/op	      23 B/op	       0 allocs/op
+BenchmarkEngineTimerChurn          	    1000	        20.48 ns/op	       2 B/op	       1 allocs/op
+PASS
+ok  	daredevil/internal/sim	1.234s
+`
+
+func TestParseAllocs(t *testing.T) {
+	got, err := parseAllocs(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"BenchmarkEngineEventThroughput": 0,
+		"BenchmarkEngineFanout":          0,
+		"BenchmarkEngineTimerChurn":      1,
+	}
+	for name, allocs := range want {
+		if got[name] != allocs {
+			t.Errorf("%s = %d allocs/op, want %d", name, got[name], allocs)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	if _, err := parseAllocs("PASS\nok\n"); err == nil {
+		t.Error("no allocs/op lines must be an error")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]int64{"Zero": 0, "Ten": 10, "One": 1, "Gone": 5}
+	fresh := map[string]int64{"Zero": 0, "Ten": 11, "One": 1}
+	if problems := compare(base, fresh, 0.10); len(problems) != 1 ||
+		!strings.Contains(problems[0], "Gone") {
+		t.Errorf("within-tolerance run must only flag the missing benchmark, got %v", problems)
+	}
+
+	// The first allocation on a zero-alloc baseline is the regression.
+	if problems := compare(map[string]int64{"Zero": 0}, map[string]int64{"Zero": 1}, 0.10); len(problems) != 1 {
+		t.Errorf("zero baseline must admit zero fresh allocs, got %v", problems)
+	}
+	// 10% over a baseline of 10 is 11: allowed. 12 is not.
+	if problems := compare(map[string]int64{"Ten": 10}, map[string]int64{"Ten": 12}, 0.10); len(problems) != 1 {
+		t.Errorf("12 allocs over baseline 10 must fail, got %v", problems)
+	}
+	// A baseline of 1 with 10% tolerance truncates to limit 1.
+	if problems := compare(map[string]int64{"One": 1}, map[string]int64{"One": 2}, 0.10); len(problems) != 1 {
+		t.Errorf("2 allocs over baseline 1 must fail, got %v", problems)
+	}
+}

@@ -28,6 +28,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"daredevil/internal/walltime"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -98,7 +100,7 @@ func realMain() int {
 	}
 
 	b := Baseline{
-		GeneratedUnix: time.Now().Unix(),
+		GeneratedUnix: walltime.Unix(),
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
@@ -222,9 +224,9 @@ func timeRun(bin string, jobs int, experiments []string) (time.Duration, error) 
 	cmd := exec.Command(bin, args...)
 	cmd.Stdout = nil // discard: only wall-clock matters here
 	cmd.Stderr = os.Stderr
-	start := time.Now()
+	sw := walltime.Start()
 	if err := cmd.Run(); err != nil {
 		return 0, fmt.Errorf("ddbench -j %d: %w", jobs, err)
 	}
-	return time.Since(start), nil
+	return sw.Elapsed(), nil
 }

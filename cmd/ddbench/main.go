@@ -23,6 +23,7 @@ import (
 
 	"daredevil/internal/harness"
 	"daredevil/internal/sim"
+	"daredevil/internal/walltime"
 )
 
 var experiments = []string{
@@ -182,7 +183,7 @@ type textWriter interface {
 }
 
 func runResult(w io.Writer, name string, sc harness.Scale) (any, error) {
-	start := time.Now()
+	sw := walltime.Start()
 	var res textWriter
 	switch name {
 	case "table1":
@@ -223,7 +224,7 @@ func runResult(w io.Writer, name string, sc harness.Scale) (any, error) {
 		return nil, fmt.Errorf("unknown experiment %q (want one of %v)", name, experiments)
 	}
 	res.WriteText(w)
-	fmt.Fprintf(w, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(w, "[%s done in %v]\n", name, sw.Elapsed().Round(time.Millisecond))
 	return res, nil
 }
 

@@ -1,0 +1,125 @@
+// Package analysistest runs a ddvet analyzer over golden fixture files and
+// checks its diagnostics against `// want "regexp"` comments, in the style
+// of golang.org/x/tools/go/analysis/analysistest (which is not available
+// offline). A fixture line may carry several want clauses; every expected
+// diagnostic must appear and every reported diagnostic must be expected.
+// Suppression directives in fixtures go through the same filtering as
+// production runs, so the allow path is tested by the absence of a want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/framework"
+	"daredevil/internal/analysis/load"
+)
+
+// expectation is one want clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`(?:"(?:[^"\\]|\\.)*")`)
+
+// Run type-checks the .go files in dir as a package imported as importPath,
+// runs the analyzers under cfg, and compares diagnostics to want comments.
+func Run(t *testing.T, cfg *config.Config, dir, importPath string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	moduleRoot, err := load.ModuleRoot(dir)
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkg, err := load.Check(fset, load.ExportImporter(moduleRoot, fset), importPath, files)
+	if err != nil {
+		t.Fatalf("typecheck fixtures: %v", err)
+	}
+
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, " want ")
+				if idx < 0 && !strings.HasPrefix(text, " want ") {
+					continue
+				}
+				clause := text[strings.Index(text, " want ")+len(" want "):]
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(clause, -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want clause %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags := framework.Run(pkg, cfg, analyzers)
+
+	var unexpected []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			unexpected = append(unexpected, fmt.Sprintf("%s:%d: unexpected %s diagnostic: %s", pos.Filename, pos.Line, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			unexpected = append(unexpected, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re))
+		}
+	}
+	sort.Strings(unexpected)
+	for _, msg := range unexpected {
+		t.Error(msg)
+	}
+}

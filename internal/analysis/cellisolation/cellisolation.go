@@ -1,0 +1,126 @@
+// Package cellisolation guards harness.RunCells' parallel determinism:
+// experiment cells run concurrently on worker goroutines, so sim-ordered
+// code must keep all mutable state inside the cell (reachable from its
+// Engine). A package-level variable written by cell code is shared by
+// every concurrently-running cell — a data race at worst, and even when
+// benign (a guarded cache) a channel for one cell's execution to perturb
+// another's. The analyzer flags:
+//
+//   - assignments and ++/-- on package-level variables outside init,
+//   - assignments through a package-level variable's index or field,
+//   - pointer-receiver method calls on package-level variables (the
+//     mutex-shaped mutation that plain assignment analysis misses),
+//   - taking the address of a package-level variable (an escape through
+//     which any of the above can happen out of sight).
+//
+// Read-only package tables (var wrrOrder = []QueueClass{...}) stay legal:
+// a variable nobody writes is configuration, not state.
+package cellisolation
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/framework"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "cellisolation"
+
+// New returns the analyzer configured by cfg.
+func New(cfg *config.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: Name,
+		Doc:  "flag package-level mutable state touched by sim-ordered (cell) code",
+	}
+	a.Run = func(pass *framework.Pass) {
+		path := pass.Pkg.Path()
+		if !cfg.IsSimPackage(path) || cfg.Exempted(path, Name) {
+			return
+		}
+
+		// pkgVar resolves an expression to the package-level variable at
+		// its base, unwrapping indexing, field selection, and derefs.
+		var pkgVar func(e ast.Expr) *types.Var
+		pkgVar = func(e ast.Expr) *types.Var {
+			switch e := e.(type) {
+			case *ast.Ident:
+				if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && isPkgLevel(v, pass.Pkg) {
+					return v
+				}
+			case *ast.IndexExpr:
+				return pkgVar(e.X)
+			case *ast.StarExpr:
+				return pkgVar(e.X)
+			case *ast.SelectorExpr:
+				// Only follow selections rooted at a variable in this
+				// package (pkg.Var.Field); selections on an imported
+				// package name resolve through the Ident case to a
+				// foreign var, which isPkgLevel rejects by package.
+				return pkgVar(e.X)
+			case *ast.ParenExpr:
+				return pkgVar(e.X)
+			}
+			return nil
+		}
+
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				// Writes during package initialization run once, before
+				// any cell exists; they cannot couple cells to each other.
+				if fd.Recv == nil && fd.Name.Name == "init" {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range n.Lhs {
+							if v := pkgVar(lhs); v != nil {
+								pass.Reportf(lhs.Pos(), "write to package-level var %s from cell code; cells must keep state engine-local", v.Name())
+							}
+						}
+					case *ast.IncDecStmt:
+						if v := pkgVar(n.X); v != nil {
+							pass.Reportf(n.Pos(), "write to package-level var %s from cell code; cells must keep state engine-local", v.Name())
+						}
+					case *ast.UnaryExpr:
+						if n.Op == token.AND {
+							if v := pkgVar(n.X); v != nil {
+								pass.Reportf(n.Pos(), "address of package-level var %s escapes from cell code; aliased writes would couple cells", v.Name())
+							}
+						}
+					case *ast.CallExpr:
+						sel, ok := n.Fun.(*ast.SelectorExpr)
+						if !ok {
+							return true
+						}
+						v := pkgVar(sel.X)
+						if v == nil {
+							return true
+						}
+						if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+							if sig, ok := s.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
+								if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+									pass.Reportf(n.Pos(), "pointer-receiver call %s.%s mutates package-level state from cell code", v.Name(), s.Obj().Name())
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// isPkgLevel reports whether v is a package-level variable of pkg.
+func isPkgLevel(v *types.Var, pkg *types.Package) bool {
+	return v.Pkg() == pkg && v.Parent() == pkg.Scope()
+}

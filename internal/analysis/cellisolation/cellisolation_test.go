@@ -1,0 +1,31 @@
+package cellisolation_test
+
+import (
+	"testing"
+
+	"daredevil/internal/analysis/analysistest"
+	"daredevil/internal/analysis/cellisolation"
+	"daredevil/internal/analysis/config"
+)
+
+const fixturePath = "daredevil/internal/analysis/cellisolation/testdata/cell"
+
+// TestCell flags writes, aliasing, and pointer-receiver mutation of
+// package-level vars in sim-ordered code; read-only tables, init bodies,
+// value receivers, and one suppressed memo write stay silent.
+func TestCell(t *testing.T) {
+	cfg := config.Default()
+	cfg.SimPackages = append(cfg.SimPackages, fixturePath)
+	analysistest.Run(t, cfg, "testdata/cell", fixturePath,
+		cellisolation.New(cfg))
+}
+
+// TestNonSim runs the same mutation shapes in a package that is not
+// sim-ordered: cellisolation only polices sim-ordered code, so the fixture
+// carries no want comments and the test asserts zero diagnostics.
+func TestNonSim(t *testing.T) {
+	cfg := config.Default()
+	analysistest.Run(t, cfg, "testdata/nonsim",
+		"daredevil/internal/analysis/cellisolation/testdata/nonsim",
+		cellisolation.New(cfg))
+}

@@ -1,0 +1,44 @@
+// Package cell is a golden fixture for cellisolation: a pretend sim-ordered
+// package with package-level state mutated from cell code (flagged),
+// read-only tables (fine), init-time setup (fine), and one justified
+// suppression.
+package cell
+
+import "errors"
+
+// ErrBad and opNames are read-only after init: reads are fine.
+var ErrBad = errors.New("bad")
+var opNames = []string{"read", "write"}
+
+var counter int
+var cache = map[string]int{}
+var shared lockLike
+
+type lockLike struct{ held bool }
+
+func (l *lockLike) acquire()      { l.held = true }
+func (l lockLike) snapshot() bool { return l.held }
+
+func init() {
+	counter = 0 // init-time setup is fine
+}
+
+func name(op int) string { return opNames[op] }
+
+func bump() {
+	counter++             // want "write to package-level var counter"
+	counter = counter + 1 // want "write to package-level var counter"
+	cache["k"] = 1        // want "write to package-level var cache"
+	shared.acquire()      // want "pointer-receiver call shared.acquire mutates package-level state"
+	_ = shared.snapshot() // value receiver: fine
+}
+
+func leak() *int {
+	return &counter // want "address of package-level var counter escapes"
+}
+
+// memo demonstrates a justified suppression: a pure-function memo whose
+// contents are a deterministic function of the key.
+func memo(k string, v int) {
+	cache[k] = v //lint:ddvet:allow cellisolation pure-function memo keyed only by k
+}

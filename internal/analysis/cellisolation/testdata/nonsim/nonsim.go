@@ -1,0 +1,14 @@
+// Package nonsim is the negative fixture: identical mutation shapes to the
+// cell fixture, but the package is not sim-ordered, so cellisolation stays
+// silent (note: no want comments).
+package nonsim
+
+var counter int
+var cache = map[string]int{}
+
+func bump() {
+	counter++
+	cache["k"] = 1
+}
+
+func leak() *int { return &counter }

@@ -1,0 +1,97 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"daredevil/internal/sim", "daredevil/internal/sim", true},
+		{"daredevil/internal/sim", "daredevil/internal/simx", false},
+		{"daredevil/internal/sim", "daredevil/internal/sim/sub", false},
+		{"daredevil/examples/...", "daredevil/examples", true},
+		{"daredevil/examples/...", "daredevil/examples/demo", true},
+		{"daredevil/examples/...", "daredevil/examplesx", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pattern, c.path); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}
+
+func TestDefault(t *testing.T) {
+	cfg := Default()
+	if !cfg.IsSimPackage("daredevil/internal/nvme") {
+		t.Error("internal/nvme must be sim-ordered by default")
+	}
+	if cfg.IsSimPackage("daredevil/cmd/ddbench") {
+		t.Error("commands must not be sim-ordered")
+	}
+	if !cfg.WallclockAllowed("daredevil/internal/walltime") {
+		t.Error("internal/walltime must be the sanctioned wall-clock doorway")
+	}
+	if cfg.WallclockAllowed("daredevil/internal/sim") {
+		t.Error("internal/sim must not touch the wall clock")
+	}
+	if got := cfg.Dimension("daredevil/internal/sim.Time"); got != "simtime" {
+		t.Errorf("Dimension(sim.Time) = %q, want simtime", got)
+	}
+	if got := cfg.Dimension("daredevil/internal/sim.LatHist"); got != "" {
+		t.Errorf("Dimension(sim.LatHist) = %q, want empty", got)
+	}
+	if !cfg.IsPointType("daredevil/internal/sim.Time") {
+		t.Error("sim.Time must be a point type")
+	}
+	if cfg.IsPointType("daredevil/internal/sim.Duration") {
+		t.Error("sim.Duration is a span, not a point type")
+	}
+}
+
+func TestLoadOverridesAndValidates(t *testing.T) {
+	dir := t.TempDir()
+
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("good.json", `{
+		"simPackages": ["example.com/x"],
+		"exempt": [{"path": "example.com/x/gen/...", "analyzers": ["*"], "reason": "generated"}]
+	}`)
+	cfg, err := Load(good)
+	if err != nil {
+		t.Fatalf("Load(good): %v", err)
+	}
+	if !cfg.IsSimPackage("example.com/x") || cfg.IsSimPackage("daredevil/internal/sim") {
+		t.Error("simPackages must be replaced wholesale, not merged")
+	}
+	if !cfg.WallclockAllowed("daredevil/internal/walltime") {
+		t.Error("fields absent from the file must keep their defaults")
+	}
+	if !cfg.Exempted("example.com/x/gen/a", "simdeterminism") {
+		t.Error("wildcard exemption must apply below the /... prefix")
+	}
+	if cfg.Exempted("example.com/x", "simdeterminism") {
+		t.Error("exemption must not apply outside its pattern")
+	}
+
+	for name, body := range map[string]string{
+		"noreason.json":    `{"exempt": [{"path": "p", "analyzers": ["*"]}]}`,
+		"noanalyzers.json": `{"exempt": [{"path": "p", "reason": "r"}]}`,
+		"unknown.json":     `{"simPkgs": []}`,
+	} {
+		if _, err := Load(write(name, body)); err == nil {
+			t.Errorf("Load(%s) succeeded, want error", name)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"daredevil/internal/analysis/framework"
+)
+
+// allowAll satisfies the framework's config interface without exempting.
+type allowAll struct{}
+
+func (allowAll) Exempted(path, analyzer string) bool { return false }
+
+const src = `package demo
+
+func a() {
+	x := 0
+	x++
+	x++ //lint:ddvet:allow demo counters are fine here
+	//lint:ddvet:allow demo next-line attachment
+	x++
+	_ = x
+}
+
+func b() {
+	y := 0
+	_ = y
+	//lint:ddvet:allow demo nothing on the next line
+	//lint:ddvet:allow demo
+	//lint:ddvet:allow nosuch some reason
+}
+`
+
+// run parses and type-checks src, then executes the demo analyzer (which
+// flags every ++/-- statement) under the framework's suppression machinery.
+func run(t *testing.T) []framework.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "demo.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{}
+	tpkg, err := (&types.Config{}).Check("demo", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	demo := &framework.Analyzer{
+		Name: "demo",
+		Doc:  "flags every increment statement",
+		Run: func(pass *framework.Pass) {
+			pass.Inspect(func(n ast.Node) bool {
+				if inc, ok := n.(*ast.IncDecStmt); ok {
+					pass.Reportf(inc.Pos(), "increment statement")
+				}
+				return true
+			})
+		},
+	}
+	pkg := &framework.Package{ImportPath: "demo", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	return framework.Run(pkg, allowAll{}, []*framework.Analyzer{demo})
+}
+
+// TestSuppressionAndHygiene checks the four directive behaviors at once:
+// same-line and next-line suppression, the mandatory reason, unknown
+// analyzer names, and stale-directive detection.
+func TestSuppressionAndHygiene(t *testing.T) {
+	diags := run(t)
+
+	type want struct {
+		analyzer, substr string
+	}
+	wants := []want{
+		{"demo", "increment statement"},    // the one unsuppressed x++
+		{"ddvet", "stale suppression"},     // directive with nothing to suppress
+		{"ddvet", "malformed suppression"}, // missing reason
+		{"ddvet", "suppression names unknown analyzer"},
+	}
+	if len(diags) != len(wants) {
+		for _, d := range diags {
+			t.Logf("got: %s: %s", d.Analyzer, d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(wants))
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing %s diagnostic containing %q", w.analyzer, w.substr)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package hotpathalloc keeps the event core's zero-allocation discipline
+// honest. PR 2 got Engine.Step and the dispatch/finish continuations to 0
+// allocs/op by pre-binding every callback and never boxing values into
+// interfaces on the per-event path; one careless closure or fmt call would
+// quietly give that back, and the benchmark that would notice runs far
+// less often than the compiler.
+//
+// Functions marked with a `//ddvet:hotpath` directive comment — and
+// everything statically reachable from them inside the same package — are
+// checked for the three per-event allocation shapes:
+//
+//   - function literals that capture variables (a capturing closure
+//     allocates on every evaluation; pre-bind it once at setup),
+//   - conversions of non-pointer-shaped values into interfaces (boxing
+//     allocates; this is how fmt sneaks onto hot paths),
+//   - append inside a loop (amortized growth on a per-event path means
+//     steady-state garbage; preallocate or reuse a buffer).
+//
+// Arguments to panic are exempt: the panic path is cold by definition.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/framework"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "hotpathalloc"
+
+// Directive marks a function as a hot-path root.
+const Directive = "//ddvet:hotpath"
+
+// New returns the analyzer configured by cfg.
+func New(cfg *config.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: Name,
+		Doc:  "flag per-event allocation shapes (capturing closures, interface boxing, append-in-loop) in //ddvet:hotpath functions and their intra-package callees",
+	}
+	a.Run = func(pass *framework.Pass) {
+		if cfg.Exempted(pass.Pkg.Path(), Name) {
+			return
+		}
+
+		// Index every function declaration by its object and find roots.
+		decls := map[types.Object]*ast.FuncDecl{}
+		var roots []types.Object
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				decls[obj] = fd
+				if isHotRoot(fd) {
+					roots = append(roots, obj)
+				}
+			}
+		}
+		if len(roots) == 0 {
+			return
+		}
+
+		// Transitive closure over static intra-package calls.
+		hot := map[types.Object]bool{}
+		var visit func(obj types.Object)
+		visit = func(obj types.Object) {
+			if hot[obj] {
+				return
+			}
+			hot[obj] = true
+			fd := decls[obj]
+			if fd == nil {
+				return
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := staticCallee(pass, call); callee != nil {
+					if _, local := decls[callee]; local {
+						visit(callee)
+					}
+				}
+				return true
+			})
+		}
+		for _, r := range roots {
+			visit(r)
+		}
+
+		for obj, fd := range decls {
+			if hot[obj] {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+// isHotRoot reports whether fd carries the hotpath directive.
+func isHotRoot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// staticCallee resolves call to a function or method object, or nil for
+// dynamic calls, builtins, and conversions.
+func staticCallee(pass *framework.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if o, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return o
+		}
+	case *ast.SelectorExpr:
+		if o, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return o
+		}
+	}
+	return nil
+}
+
+// checkFunc reports allocation shapes inside the hot function fd.
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// stack mirrors the current ancestor chain during the walk; it drives
+	// loop-nesting and enclosing-function-signature queries.
+	var stack []ast.Node
+	loopDepthAt := func() int {
+		depth := 0
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				depth++
+			case *ast.FuncLit:
+				return depth
+			}
+		}
+		return depth
+	}
+	resultsAt := func() *types.Tuple {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if lit, ok := stack[i].(*ast.FuncLit); ok {
+				if sig, ok := pass.TypesInfo.Types[lit].Type.(*types.Signature); ok {
+					return sig.Results()
+				}
+				return nil
+			}
+		}
+		if sig, ok := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature); ok {
+			return sig.Results()
+		}
+		return nil
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := captured(pass, n); len(capt) > 0 {
+				pass.Reportf(n.Pos(), "closure on hot path (in %s) captures %s; it allocates per evaluation — pre-bind it at setup", name, strings.Join(capt, ", "))
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, name, loopDepthAt())
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				break
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if tv, ok := pass.TypesInfo.Types[lhs]; ok {
+					reportBox(pass, tv.Type, n.Rhs[i], name)
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if tv, ok := pass.TypesInfo.Types[n.Type]; ok {
+					for _, v := range n.Values {
+						reportBox(pass, tv.Type, v, name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			results := resultsAt()
+			if results != nil && len(n.Results) == results.Len() {
+				for i, r := range n.Results {
+					reportBox(pass, results.At(i).Type(), r, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags append-in-loop and boxing at call argument positions.
+func checkCall(pass *framework.Pass, call *ast.CallExpr, hot string, loopDepth int) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if obj.Name() == "append" && loopDepth > 0 {
+				pass.Reportf(call.Pos(), "append inside a loop on hot path (in %s); steady-state growth allocates — preallocate or reuse the buffer", hot)
+			}
+			return // builtins (incl. panic’s cold path) take no boxing check
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		// Conversions: T(x) where T is an interface type boxes x.
+		if ok && tv.IsType() && len(call.Args) == 1 {
+			reportBox(pass, tv.Type, call.Args[0], hot)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		reportBox(pass, pt, arg, hot)
+	}
+}
+
+// reportBox reports if assigning src into a dst-typed location boxes a
+// non-pointer-shaped value into an interface (which allocates).
+func reportBox(pass *framework.Pass, dst types.Type, src ast.Expr, hot string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() || types.IsInterface(tv.Type) {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		// Pointer-shaped values fit the interface word; no allocation.
+		return
+	}
+	pass.Reportf(src.Pos(), "value of type %s boxed into %s on hot path (in %s); interface conversion allocates per event",
+		types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)), hot)
+}
+
+// captured lists the names of variables a function literal closes over.
+func captured(pass *framework.Pass, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// A variable declared outside the literal but inside some function
+		// is a capture; package-level vars are direct references.
+		if v.Parent() == pass.Pkg.Scope() || v.Pos() == 0 {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			if !seen[v.Name()] {
+				seen[v.Name()] = true
+				names = append(names, v.Name())
+			}
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,21 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"daredevil/internal/analysis/analysistest"
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/hotpathalloc"
+)
+
+// TestHot exercises the directive-rooted transitive closure: append-in-loop,
+// capturing closures, and interface boxing are flagged in the marked root
+// and its callee, identical shapes in unreachable cold code stay silent,
+// panic arguments are exempt, and one allocation is suppressed by an allow
+// directive.
+func TestHot(t *testing.T) {
+	cfg := config.Default()
+	analysistest.Run(t, cfg, "testdata/hot",
+		"daredevil/internal/analysis/hotpathalloc/testdata/hot",
+		hotpathalloc.New(cfg))
+}

@@ -1,0 +1,80 @@
+package load
+
+import (
+	"go/token"
+	"testing"
+
+	"daredevil/internal/analysis/framework"
+)
+
+// TestLoadSimPackage type-checks a real module package offline via
+// `go list -export` data: the integration path every ddvet run depends on.
+func TestLoadSimPackage(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkgs, err := Load(root, []string{"daredevil/internal/sim"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "daredevil/internal/sim" {
+		t.Errorf("ImportPath = %q", pkg.ImportPath)
+	}
+	if len(pkg.Files) == 0 {
+		t.Error("no parsed files")
+	}
+	if pkg.Types.Scope().Lookup("Engine") == nil {
+		t.Error("type information missing: sim.Engine not found in package scope")
+	}
+	if pkg.Info == nil || len(pkg.Info.Uses) == 0 {
+		t.Error("uses map empty: analyzers need resolved identifiers")
+	}
+}
+
+// TestLoadPatternExpansion checks that ./... style patterns resolve through
+// go list and keep target order.
+func TestLoadPatternExpansion(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkgs, err := Load(root, []string{"daredevil/internal/walltime", "daredevil/internal/block"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 || pkgs[0].ImportPath != "daredevil/internal/walltime" || pkgs[1].ImportPath != "daredevil/internal/block" {
+		t.Fatalf("target order not preserved: %+v", importPaths(pkgs))
+	}
+}
+
+func importPaths(pkgs []*framework.Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.ImportPath)
+	}
+	return out
+}
+
+// TestExportImporter resolves both a stdlib and a module import.
+func TestExportImporter(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	imp := ExportImporter(root, token.NewFileSet())
+	for _, path := range []string{"time", "daredevil/internal/walltime"} {
+		pkg, err := imp.Import(path)
+		if err != nil {
+			t.Errorf("Import(%q): %v", path, err)
+			continue
+		}
+		if pkg.Path() != path {
+			t.Errorf("Import(%q) resolved to %q", path, pkg.Path())
+		}
+	}
+}

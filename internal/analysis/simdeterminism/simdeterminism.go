@@ -1,0 +1,127 @@
+// Package simdeterminism enforces the simulator's bit-determinism contract
+// mechanically. Every experiment cell must replay identically from its
+// seed — the -j1 vs -j8 regression test depends on it — so sim-ordered
+// packages must not observe any source of host nondeterminism:
+//
+//   - the wall clock (time.Now and friends; virtual time comes from
+//     sim.Engine),
+//   - global or OS-seeded RNGs (math/rand, crypto/rand; randomness must
+//     flow from the cell seed through sim.Rand),
+//   - goroutines, channels, or sync primitives (each cell is
+//     single-threaded by construction; the harness owns all parallelism),
+//   - map iteration order (range over a map feeding event scheduling or
+//     output reorders runs invisibly — sort the keys instead).
+//
+// Outside sim-ordered packages only the wall-clock rule applies, and only
+// packages named in the config's wallclockOK list (internal/walltime) may
+// call the clock directly, which keeps host time behind one reviewed seam.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/framework"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "simdeterminism"
+
+// wallclockFuncs are the time package functions that read the host clock
+// or tie execution to it.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// bannedImports maps import paths forbidden in sim-ordered packages to the
+// sanctioned alternative named in the diagnostic.
+var bannedImports = map[string]string{
+	"time":         "virtual time from sim.Engine (sim.Time, sim.Duration)",
+	"math/rand":    "sim.Rand seeded from the cell seed",
+	"math/rand/v2": "sim.Rand seeded from the cell seed",
+	"crypto/rand":  "sim.Rand seeded from the cell seed",
+	"sync":         "single-threaded cell execution (the harness owns parallelism)",
+	"sync/atomic":  "single-threaded cell execution (the harness owns parallelism)",
+}
+
+// New returns the analyzer configured by cfg.
+func New(cfg *config.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: Name,
+		Doc:  "forbid wall clocks, global RNGs, goroutines, channels, sync, and map-order dependence in sim-ordered code",
+	}
+	a.Run = func(pass *framework.Pass) {
+		path := pass.Pkg.Path()
+		if cfg.Exempted(path, Name) {
+			return
+		}
+		simOrdered := cfg.IsSimPackage(path)
+		wallOK := cfg.WallclockAllowed(path)
+
+		pass.Inspect(func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				if !simOrdered {
+					return true
+				}
+				p, err := strconv.Unquote(n.Path.Value)
+				if err != nil {
+					return true
+				}
+				if alt, banned := bannedImports[p]; banned {
+					pass.Reportf(n.Pos(), "sim-ordered package imports %q; use %s", p, alt)
+				}
+				if cfg.WallclockAllowed(p) {
+					pass.Reportf(n.Pos(), "sim-ordered package imports wall-clock package %q; simulated code must not read host time", p)
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && !wallOK {
+					if obj, ok := pass.TypesInfo.Uses[sel.Sel]; ok && obj.Pkg() != nil &&
+						obj.Pkg().Path() == "time" && wallclockFuncs[obj.Name()] {
+						pass.Reportf(n.Pos(), "time.%s reads the host wall clock; only %v may (use sim.Engine virtual time, or walltime in commands)",
+							obj.Name(), cfg.WallclockOK)
+					}
+				}
+			case *ast.GoStmt:
+				if simOrdered {
+					pass.Reportf(n.Pos(), "go statement in sim-ordered code; cells are single-threaded, the harness owns parallelism")
+				}
+			case *ast.SelectStmt:
+				if simOrdered {
+					pass.Reportf(n.Pos(), "select statement in sim-ordered code; scheduling order would depend on the Go runtime")
+				}
+			case *ast.SendStmt:
+				if simOrdered {
+					pass.Reportf(n.Pos(), "channel send in sim-ordered code; use sim.Engine events instead")
+				}
+			case *ast.UnaryExpr:
+				if simOrdered && n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in sim-ordered code; use sim.Engine events instead")
+				}
+			case *ast.ChanType:
+				if simOrdered {
+					pass.Reportf(n.Pos(), "channel type in sim-ordered code; use sim.Engine events instead")
+				}
+			case *ast.RangeStmt:
+				if !simOrdered {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Map:
+						pass.Reportf(n.Pos(), "range over map %s has nondeterministic order in sim-ordered code; sort the keys or annotate why order cannot matter", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+					case *types.Chan:
+						pass.Reportf(n.Pos(), "range over channel in sim-ordered code; use sim.Engine events instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return a
+}

@@ -1,0 +1,52 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"daredevil/internal/analysis/analysistest"
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/simdeterminism"
+)
+
+const fixtureBase = "daredevil/internal/analysis/simdeterminism/testdata/"
+
+// TestSimCell runs the analyzer over a fixture treated as a sim-ordered
+// package: banned imports, wall-clock calls, goroutines, channels, select,
+// map ranges — plus one suppressed map range proving the allow path.
+func TestSimCell(t *testing.T) {
+	cfg := config.Default()
+	cfg.SimPackages = append(cfg.SimPackages, fixtureBase+"simcell")
+	analysistest.Run(t, cfg, "testdata/simcell", fixtureBase+"simcell",
+		simdeterminism.New(cfg))
+}
+
+// TestCmdPackage runs the analyzer over a non-sim package: determinism
+// rules are off, but the wall clock is still flagged.
+func TestCmdPackage(t *testing.T) {
+	cfg := config.Default()
+	analysistest.Run(t, cfg, "testdata/cmdpkg", fixtureBase+"cmdpkg",
+		simdeterminism.New(cfg))
+}
+
+// TestWallclockOK runs the analyzer over a package on the wallclockOK
+// list: direct time.Now is sanctioned there, so nothing is reported.
+func TestWallclockOK(t *testing.T) {
+	cfg := config.Default()
+	cfg.WallclockOK = append(cfg.WallclockOK, fixtureBase+"clockok")
+	analysistest.Run(t, cfg, "testdata/clockok", fixtureBase+"clockok",
+		simdeterminism.New(cfg))
+}
+
+// TestExempted proves the config allowlist: the simcell fixture is full of
+// violations, but an exemption for the package silences them all.
+func TestExempted(t *testing.T) {
+	cfg := config.Default()
+	cfg.SimPackages = append(cfg.SimPackages, fixtureBase+"exempted")
+	cfg.Exempt = append(cfg.Exempt, config.Exemption{
+		Path:      fixtureBase + "exempted",
+		Analyzers: []string{simdeterminism.Name},
+		Reason:    "fixture proving the allowlist",
+	})
+	analysistest.Run(t, cfg, "testdata/exempted", fixtureBase+"exempted",
+		simdeterminism.New(cfg))
+}

@@ -1,0 +1,23 @@
+// Package cmdpkg is a fixture for a non-sim package (a command): the
+// determinism rules do not apply, but the wall clock is still off limits —
+// commands must route host time through the sanctioned walltime package.
+package cmdpkg
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex // sync outside sim-ordered code: fine
+
+func measure() time.Duration {
+	start := time.Now() // want "time.Now reads the host wall clock"
+	mu.Lock()
+	mu.Unlock()
+	return time.Since(start) // want "time.Since reads the host wall clock"
+}
+
+func launch(done chan struct{}) {
+	go func() { close(done) }() // goroutines outside sim-ordered code: fine
+	<-done
+}

@@ -1,0 +1,12 @@
+// Package exempted is a fixture for the config allowlist: it is listed as
+// sim-ordered AND exempted from simdeterminism, so these otherwise-banned
+// constructs produce no diagnostics (note: no want comments).
+package exempted
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}

@@ -1,0 +1,46 @@
+// Package simcell is a golden fixture: a pretend sim-ordered package
+// exercising every simdeterminism rule, flagged and allowed.
+package simcell
+
+import (
+	"sync" // want "sim-ordered package imports \"sync\""
+	"time" // want "sim-ordered package imports \"time\""
+)
+
+var mu sync.Mutex
+
+func wallclock() int64 {
+	return time.Now().Unix() // want "time.Now reads the host wall clock"
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want "time.Since reads the host wall clock"
+}
+
+func spawn(ch chan int) { // want "channel type in sim-ordered code"
+	go wallclock() // want "go statement in sim-ordered code"
+	ch <- 1        // want "channel send in sim-ordered code"
+	<-ch           // want "channel receive in sim-ordered code"
+	select {}      // want "select statement in sim-ordered code"
+}
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want "range over map"
+		sum += v
+	}
+	return sum
+}
+
+// mapDelete demonstrates a justified suppression: the loop only deletes,
+// so iteration order cannot leak into any output.
+func mapDelete(m map[string]int) {
+	for k := range m { //lint:ddvet:allow simdeterminism delete-only loop; order cannot leak
+		delete(m, k)
+	}
+}
+
+func lock() {
+	mu.Lock()
+	defer mu.Unlock()
+}

@@ -1,0 +1,5 @@
+package simcell
+
+import "daredevil/internal/walltime" // want "imports wall-clock package"
+
+func stamp() int64 { return walltime.Unix() }

@@ -1,0 +1,5 @@
+package simcell
+
+import "math/rand" // want "sim-ordered package imports \"math/rand\""
+
+func draw() int { return rand.Int() }

@@ -1,0 +1,33 @@
+// Package units is a golden fixture for unitcheck: Ticks/Span form one
+// dimension (Ticks is the point type, Span the delta), Bytes another.
+package units
+
+type Ticks int64
+type Span int64
+type Bytes int64
+
+func (t Ticks) Add(s Span) Ticks { return t + Ticks(s) } //lint:ddvet:allow unitcheck defining helper of the Ticks/Span algebra
+
+func cross(b Bytes) Ticks {
+	return Ticks(b) // want "crosses unit dimensions"
+}
+
+func inlineAlgebra(t Ticks, s Span) Ticks {
+	return t + Ticks(s) // want "unit-algebra conversion" "adding two"
+}
+
+func scale(t Ticks) Ticks {
+	return t * 3 // constant factor: fine
+}
+
+func nonsense(t Ticks) Ticks {
+	return t * t // want "multiplying two"
+}
+
+func boundary(n int64) Ticks {
+	return Ticks(n) // plain integers flow into units: fine
+}
+
+func spans(a, b Span) Span {
+	return a + b // Span is a delta, not a point type: fine
+}

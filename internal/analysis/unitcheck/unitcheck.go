@@ -1,0 +1,95 @@
+// Package unitcheck does lightweight dimensional analysis over the named
+// unit types the simulator defines (sim.Time, sim.Duration, and whatever
+// else .ddvet.json groups into dimensions). Go's type system already stops
+// most unit mixing — you cannot add a sim.Time to an int64 — but explicit
+// conversions punch through it silently, and that is exactly where tick
+// values and byte counts get crossed. The analyzer flags:
+//
+//   - conversions between unit types of different dimensions
+//     (sim.Time(pageCount): a quantity of pages is not an instant),
+//   - conversions between unit types within one dimension outside the
+//     annotated algebra helpers (sim.Time(d) inline instead of t.Add(d)),
+//   - addition or multiplication of two values of the same point type
+//     (Time+Time: instants add like positions, not like spans).
+//
+// Constants are exempt (1000*sim.Microsecond is how spans are written),
+// and the defining algebra in internal/sim/time.go carries allow
+// directives — the point is that new unit arithmetic shows up in review.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/framework"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "unitcheck"
+
+// New returns the analyzer configured by cfg.
+func New(cfg *config.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: Name,
+		Doc:  "flag arithmetic and conversions that cross unit dimensions (virtual-time ticks vs byte/page counts) or add/multiply absolute instants",
+	}
+	a.Run = func(pass *framework.Pass) {
+		if !cfg.IsSimPackage(pass.Pkg.Path()) || cfg.Exempted(pass.Pkg.Path(), Name) {
+			return
+		}
+		pass.Inspect(func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				tv, ok := pass.TypesInfo.Types[n.Fun]
+				if !ok || !tv.IsType() || len(n.Args) != 1 {
+					return true
+				}
+				dstQ := framework.QualifiedName(tv.Type)
+				dstDim := cfg.Dimension(dstQ)
+				if dstDim == "" {
+					return true
+				}
+				srcTV, ok := pass.TypesInfo.Types[n.Args[0]]
+				if !ok || srcTV.Type == nil || srcTV.Value != nil {
+					return true
+				}
+				srcQ := framework.QualifiedName(srcTV.Type)
+				srcDim := cfg.Dimension(srcQ)
+				switch {
+				case srcDim == "" || srcQ == dstQ:
+					// Plain integers flow into units at model boundaries;
+					// that is what the named types are for.
+				case srcDim != dstDim:
+					pass.Reportf(n.Pos(), "conversion %s -> %s crosses unit dimensions (%s -> %s); a %s quantity is not a %s",
+						srcQ, dstQ, srcDim, dstDim, srcDim, dstDim)
+				default:
+					pass.Reportf(n.Pos(), "unit-algebra conversion %s -> %s outside the defining helpers; use the named methods (Add/Sub) or annotate the algebra",
+						srcQ, dstQ)
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD && n.Op != token.MUL {
+					return true
+				}
+				xt, ok1 := pass.TypesInfo.Types[n.X]
+				yt, ok2 := pass.TypesInfo.Types[n.Y]
+				if !ok1 || !ok2 || xt.Value != nil || yt.Value != nil {
+					return true
+				}
+				xq := framework.QualifiedName(xt.Type)
+				if xq == "" || xq != framework.QualifiedName(yt.Type) || !cfg.IsPointType(xq) {
+					return true
+				}
+				verb := "adding"
+				hint := "an instant plus an instant is meaningless; convert one side to a span (Add takes a Duration)"
+				if n.Op == token.MUL {
+					verb = "multiplying"
+					hint = "the product of two instants has no unit; one factor should be a scalar"
+				}
+				pass.Reportf(n.Pos(), "%s two %s values: %s", verb, xq, hint)
+			}
+			return true
+		})
+	}
+	return a
+}

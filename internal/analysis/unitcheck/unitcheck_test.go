@@ -1,0 +1,28 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"daredevil/internal/analysis/analysistest"
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/unitcheck"
+)
+
+const fixturePath = "daredevil/internal/analysis/unitcheck/testdata/units"
+
+// TestUnits exercises dimensional analysis over fixture-local unit types:
+// cross-dimension conversions, inline same-dimension algebra (double-flagged
+// alongside point-type addition), instant*instant, with constants, plain
+// ints, and delta+delta staying silent; the defining Add helper rides on an
+// allow directive.
+func TestUnits(t *testing.T) {
+	cfg := config.Default()
+	cfg.SimPackages = append(cfg.SimPackages, fixturePath)
+	cfg.UnitDimensions = map[string][]string{
+		"ticks": {fixturePath + ".Ticks", fixturePath + ".Span"},
+		"bytes": {fixturePath + ".Bytes"},
+	}
+	cfg.PointTypes = []string{fixturePath + ".Ticks"}
+	analysistest.Run(t, cfg, "testdata/units", fixturePath,
+		unitcheck.New(cfg))
+}

@@ -152,12 +152,16 @@ func (p *Pool) Utilization(elapsed sim.Duration) float64 {
 }
 
 // Submit enqueues task work on the core.
+//
+//ddvet:hotpath
 func (c *Core) Submit(w Work) {
 	c.taskQ.push(w)
 	c.kick()
 }
 
 // SubmitIRQ enqueues interrupt work, which runs before any pending task work.
+//
+//ddvet:hotpath
 func (c *Core) SubmitIRQ(w Work) {
 	w.Owner = OwnerNone
 	c.irqQ.push(w)
@@ -170,6 +174,7 @@ func (c *Core) QueueLen() int { return c.irqQ.len() + c.taskQ.len() }
 // Busy reports whether the core is executing an item.
 func (c *Core) Busy() bool { return c.running }
 
+//ddvet:hotpath
 func (c *Core) kick() {
 	if c.running {
 		return
@@ -178,6 +183,7 @@ func (c *Core) kick() {
 	c.dispatch()
 }
 
+//ddvet:hotpath
 func (c *Core) dispatch() {
 	var w Work
 	var isIRQ bool
@@ -205,6 +211,8 @@ func (c *Core) dispatch() {
 // busy time it reports, then dispatch the next item. Work submitted from
 // inside the callback only queues (running is still true), so the current
 // item's fields cannot be overwritten before they are read here.
+//
+//ddvet:hotpath
 func (c *Core) finish() {
 	var extra sim.Duration
 	if c.curFn != nil {

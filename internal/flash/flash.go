@@ -182,6 +182,8 @@ func (d *Device) pagesPerUnit() int64 {
 // SubmitPage services one page at instant now and returns its completion
 // instant. Reads occupy the die for tR then the channel bus for the
 // transfer out; programs transfer in first, then occupy the die.
+//
+//ddvet:hotpath
 func (d *Device) SubmitPage(now sim.Time, page int64, op Op) sim.Time {
 	ch, chip := d.chipOf(page)
 	die := &d.chips[ch*d.cfg.ChipsPerChannel+chip]
@@ -206,7 +208,7 @@ func (d *Device) SubmitPage(now sim.Time, page int64, op Op) sim.Time {
 		grant, _ := die.Acquire(xferDone, d.cfg.ProgramLatency)
 		return grant.Add(d.cfg.ProgramLatency)
 	default:
-		panic(fmt.Sprintf("flash: unknown op %d", op))
+		panic(fmt.Sprintf("flash: unknown op %d", op)) //lint:ddvet:allow hotpathalloc cold panic path
 	}
 }
 
@@ -215,6 +217,8 @@ func (d *Device) SubmitPage(now sim.Time, page int64, op Op) sim.Time {
 // placement is the FTL's mapping decision, not the static interleave. Reads
 // occupy the die then the channel bus; programs the bus then the die; erases
 // the die alone (no data crosses the bus).
+//
+//ddvet:hotpath
 func (d *Device) SubmitAtDie(now sim.Time, dieIdx int, op Op) sim.Time {
 	die := &d.chips[dieIdx]
 	bus := &d.channels[dieIdx/d.cfg.ChipsPerChannel]
@@ -236,12 +240,14 @@ func (d *Device) SubmitAtDie(now sim.Time, dieIdx int, op Op) sim.Time {
 		grant, _ := die.Acquire(now, d.cfg.EraseLatency)
 		return grant.Add(d.cfg.EraseLatency)
 	default:
-		panic(fmt.Sprintf("flash: unknown op %d", op))
+		panic(fmt.Sprintf("flash: unknown op %d", op)) //lint:ddvet:allow hotpathalloc cold panic path
 	}
 }
 
 // SubmitIO services the byte range [offset, offset+size) at instant now and
 // returns the completion instant of the final page.
+//
+//ddvet:hotpath
 func (d *Device) SubmitIO(now sim.Time, offset, size int64, op Op) sim.Time {
 	n := d.Pages(offset, size)
 	if n == 0 {

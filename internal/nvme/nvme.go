@@ -371,7 +371,7 @@ func (d *Device) Namespace(i int) Namespace { return d.namespaces[i] }
 // resolve maps a namespace-relative offset to the flash address space.
 func (d *Device) resolve(ns int, offset int64) int64 {
 	if ns < 0 || ns >= len(d.namespaces) {
-		panic(fmt.Sprintf("nvme: namespace %d out of range [0,%d)", ns, len(d.namespaces)))
+		panic(fmt.Sprintf("nvme: namespace %d out of range [0,%d)", ns, len(d.namespaces))) //lint:ddvet:allow hotpathalloc cold panic path
 	}
 	n := d.namespaces[ns]
 	return n.Base + offset%n.Size
@@ -381,6 +381,8 @@ func (d *Device) resolve(ns int, offset int64) int64 {
 // doorbell. It returns ok=false when the queue is full (caller requeues),
 // otherwise the CPU overhead (lock wait + hold) the submitting core must
 // absorb. rq.SubmitTime, rq.LockWait and rq.NSQ are filled in.
+//
+//ddvet:hotpath
 func (d *Device) Enqueue(now sim.Time, nsqID int, rq *block.Request, ring bool) (ok bool, overhead sim.Duration) {
 	q := d.nsqs[nsqID]
 	if q.Full() {
@@ -433,6 +435,8 @@ func (d *Device) releaseCmd(c *command) {
 // ringNow is the doorbell instant: publish the queue's occupancy to the
 // controller and let it fetch. Reading Len at fire time makes the function
 // idempotent, so one bound closure serves every scheduled ring.
+//
+//ddvet:hotpath
 func (q *NSQ) ringNow() {
 	q.visible = q.Len()
 	q.dev.maybeFetch()
@@ -447,6 +451,8 @@ func (d *Device) Ring(nsqID int) {
 // maybeFetch drives the controller's fetch engine: one command at a time,
 // round-robin over NSQs with doorbell-announced entries, bounded by the
 // in-flight window.
+//
+//ddvet:hotpath
 func (d *Device) maybeFetch() {
 	if d.fetchBusy || d.inflight >= d.cfg.MaxInflight {
 		return
@@ -475,6 +481,8 @@ func (d *Device) maybeFetch() {
 // targeted and hands it to the flash backend. Entries are only appended
 // behind head while a fetch is outstanding, so the head entry here is the
 // one maybeFetch priced.
+//
+//ddvet:hotpath
 func (d *Device) finishFetch() {
 	q := d.fetchQ
 	d.fetchQ = nil
@@ -511,6 +519,8 @@ func (d *Device) nextRR() *NSQ {
 
 // dispatchToFlash decomposes the command into page operations and schedules
 // its completion when the last page finishes.
+//
+//ddvet:hotpath
 func (d *Device) dispatchToFlash(cmd *command) {
 	rq := cmd.rq
 	op := flash.Read
@@ -542,6 +552,8 @@ func (d *Device) dispatchToFlash(cmd *command) {
 // flashDone is a command's completion continuation: inject media errors
 // (retrying inside the controller), then post the CQE and free the
 // in-flight window slot.
+//
+//ddvet:hotpath
 func (c *command) flashDone() {
 	d := c.dev
 	if d.cfg.MediaErrorRate > 0 && d.errRNG.Bool(d.cfg.MediaErrorRate) {
@@ -566,6 +578,8 @@ var ErrMedia = errors.New("nvme: unrecoverable media error")
 
 // postCQE places the completed command on its NCQ and arms the interrupt
 // per the NCQ's completion policy.
+//
+//ddvet:hotpath
 func (d *Device) postCQE(cmd *command) {
 	cq := cmd.nsq.ncq
 	cmd.rq.CQEPostTime = d.eng.Now()
@@ -607,6 +621,8 @@ func (d *Device) postCQE(cmd *command) {
 }
 
 // coalesceFire is the coalescing-timer continuation.
+//
+//ddvet:hotpath
 func (cq *NCQ) coalesceFire() {
 	cq.timer = nil
 	cq.dev.fireIRQ(cq)
@@ -615,6 +631,8 @@ func (cq *NCQ) coalesceFire() {
 // fireIRQ delivers the NCQ's interrupt to its core and runs the ISR, which
 // drains all pending CQEs and completes their requests. irqArmed serializes
 // deliveries, so the delivery continuation is the one bound at construction.
+//
+//ddvet:hotpath
 func (d *Device) fireIRQ(cq *NCQ) {
 	if cq.irqArmed {
 		return
@@ -627,6 +645,8 @@ func (d *Device) fireIRQ(cq *NCQ) {
 // and queue it as interrupt work on the vector's core. The ISR closure is
 // the one allocation left on this path — it is per interrupt, not per
 // command, so coalescing amortizes it.
+//
+//ddvet:hotpath
 func (cq *NCQ) deliver() {
 	d := cq.dev
 	cq.irqArmed = false
@@ -647,6 +667,7 @@ func (cq *NCQ) deliver() {
 		}
 	}
 	core := d.pool.Core(cq.irqCore)
+	//lint:ddvet:allow hotpathalloc per-interrupt (not per-command) ISR closure; coalescing amortizes it — see doc comment
 	core.SubmitIRQ(cpus.Work{Cost: cost, Fn: func() sim.Duration {
 		now := d.eng.Now()
 		for i, cmd := range batch {

@@ -43,6 +43,8 @@ func (d *Device) armPoll(cq *NCQ) {
 
 // pollFire is the poll-tick continuation; pollArmed serializes it, so the
 // closure bound at construction serves every tick.
+//
+//ddvet:hotpath
 func (cq *NCQ) pollFire() {
 	cq.pollArmed = false
 	cq.dev.pollTick(cq)
@@ -51,6 +53,8 @@ func (cq *NCQ) pollFire() {
 // pollTick runs one poll on the NCQ's core: a fixed check cost plus
 // per-CQE processing for anything pending, then re-arms while the queue
 // has outstanding work.
+//
+//ddvet:hotpath
 func (d *Device) pollTick(cq *NCQ) {
 	if !cq.polled {
 		return
@@ -65,6 +69,7 @@ func (d *Device) pollTick(cq *NCQ) {
 		}
 	}
 	core := d.pool.Core(cq.irqCore)
+	//lint:ddvet:allow hotpathalloc per-poll-batch (not per-command) reap closure; the poll interval amortizes it
 	core.SubmitIRQ(cpus.Work{Cost: cost, Fn: func() sim.Duration {
 		now := d.eng.Now()
 		if len(batch) > 0 {

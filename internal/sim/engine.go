@@ -102,6 +102,8 @@ func (e *Engine) freeSlot(id int32) {
 // At schedules fn to run at instant t. Scheduling in the past panics: it
 // always indicates a modeling bug, and silently reordering time would make
 // every downstream measurement wrong.
+//
+//ddvet:hotpath
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic("sim: scheduling event in the past")
@@ -111,6 +113,8 @@ func (e *Engine) At(t Time, fn func()) {
 }
 
 // After schedules fn to run d from now. Negative d panics.
+//
+//ddvet:hotpath
 func (e *Engine) After(d Duration, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
@@ -177,6 +181,8 @@ func (e *Engine) pop() event {
 // instant, and reports whether the queue made progress. An event whose
 // timer was cancelled is consumed (its slot returns to the free-list)
 // without firing the callback or counting toward Executed.
+//
+//ddvet:hotpath
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 || e.stopped {
 		return false
@@ -200,6 +206,8 @@ func (e *Engine) Step() bool {
 // RunUntil fires every event scheduled at or before t, then sets the clock
 // to t. Events scheduled during the run are fired too if they fall within
 // the horizon.
+//
+//ddvet:hotpath
 func (e *Engine) RunUntil(t Time) {
 	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
@@ -210,6 +218,8 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 // Run fires events until the queue is empty or Stop is called.
+//
+//ddvet:hotpath
 func (e *Engine) Run() {
 	for !e.stopped && e.Step() {
 	}
@@ -254,6 +264,8 @@ func (t *Timer) Active() bool { return !t.fired && !t.stopped }
 // AfterTimer schedules fn to run d from now and returns a handle that can
 // cancel it. Unlike After, the callback is dispatched through the timer's
 // slot directly — no wrapper closure is allocated.
+//
+//ddvet:hotpath
 func (e *Engine) AfterTimer(d Duration, fn func()) *Timer {
 	if d < 0 {
 		panic("sim: negative delay")

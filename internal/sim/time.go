@@ -26,10 +26,10 @@ const (
 )
 
 // Add returns the instant d after t.
-func (t Time) Add(d Duration) Time { return t + Time(d) }
+func (t Time) Add(d Duration) Time { return t + Time(d) } //lint:ddvet:allow unitcheck defining helper of the Time/Duration algebra
 
 // Sub returns the duration t-u.
-func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+func (t Time) Sub(u Time) Duration { return Duration(t - u) } //lint:ddvet:allow unitcheck defining helper of the Time/Duration algebra
 
 // Seconds returns the duration as a floating-point number of seconds.
 func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
@@ -55,7 +55,7 @@ func (d Duration) String() string {
 }
 
 // String renders an instant as a duration since simulation start.
-func (t Time) String() string { return Duration(t).String() }
+func (t Time) String() string { return Duration(t).String() } //lint:ddvet:allow unitcheck rendering an instant as its span since t=0
 
 // MaxDuration returns the larger of a and b.
 func MaxDuration(a, b Duration) Duration {

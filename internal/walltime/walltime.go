@@ -1,0 +1,27 @@
+// Package walltime is the single sanctioned doorway to the host's wall
+// clock. Simulated code must never read host time — the whole stack runs
+// on sim.Engine's virtual clock so that every cell replays bit-identically
+// from its seed — but the command-line tools legitimately need it for
+// benchmark timing and report timestamps. Routing those reads through this
+// package makes the simulated-time / host-time boundary a single reviewed
+// seam: the simdeterminism analyzer whitelists this import path and flags
+// direct time.Now/time.Since calls everywhere else in the module.
+package walltime
+
+import "time"
+
+// Unix returns the host clock as seconds since the Unix epoch, for
+// stamping generated reports.
+func Unix() int64 { return time.Now().Unix() }
+
+// Stopwatch measures elapsed host time, for benchmark harnesses.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start returns a running stopwatch.
+func Start() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed reports host time since Start. The returned time.Duration is
+// plain data — formatting or rounding it does not touch the clock again.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

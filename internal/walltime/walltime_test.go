@@ -1,0 +1,23 @@
+package walltime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnix(t *testing.T) {
+	if got := Unix(); got < time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC).Unix() {
+		t.Errorf("Unix() = %d, before 2024; host clock unreadable?", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := Start()
+	if d := sw.Elapsed(); d < 0 {
+		t.Errorf("Elapsed() = %v, negative", d)
+	}
+	time.Sleep(time.Millisecond)
+	if d := sw.Elapsed(); d < time.Millisecond {
+		t.Errorf("Elapsed() = %v after 1ms sleep", d)
+	}
+}

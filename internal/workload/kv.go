@@ -125,11 +125,15 @@ func NewKV(id int, cfg KVConfig) *KV {
 		rng:         sim.NewRand(cfg.Seed + uint64(id)),
 		dataBase:    1 << 28,
 	}
-	for _, t := range []OpType{OpGet, OpUpdate, OpInsert, OpScan, OpRMW} {
+	for _, t := range kvOps {
 		kv.OpLat[t] = &stats.Histogram{}
 	}
 	return kv
 }
+
+// kvOps is the fixed op set; iterating it (never the OpLat map, whose
+// order varies run to run) keeps per-op stat handling deterministic.
+var kvOps = []OpType{OpGet, OpUpdate, OpInsert, OpScan, OpRMW}
 
 // Start registers both threads with the stack.
 func (kv *KV) Start(eng *sim.Engine, pool *cpus.Pool, stack block.Stack) {
@@ -140,8 +144,8 @@ func (kv *KV) Start(eng *sim.Engine, pool *cpus.Pool, stack block.Stack) {
 
 // ResetStats clears the per-op histograms.
 func (kv *KV) ResetStats() {
-	for _, h := range kv.OpLat {
-		h.Reset()
+	for _, t := range kvOps {
+		kv.OpLat[t].Reset()
 	}
 }
 

@@ -159,11 +159,15 @@ func NewMail(id int, cfg MailConfig) *Mail {
 		OpLat: make(map[OpType]*stats.Histogram),
 		rng:   sim.NewRand(cfg.Seed + uint64(id)),
 	}
-	for _, t := range []OpType{OpCache, OpFsync, OpDelete} {
+	for _, t := range mailOps {
 		m.OpLat[t] = &stats.Histogram{}
 	}
 	return m
 }
+
+// mailOps is the fixed op set; iterating it (never the OpLat map, whose
+// order varies run to run) keeps per-op stat handling deterministic.
+var mailOps = []OpType{OpCache, OpFsync, OpDelete}
 
 // Start registers the tenant and begins the closed-loop operation stream.
 func (m *Mail) Start(eng *sim.Engine, pool *cpus.Pool, stack block.Stack) {
@@ -177,8 +181,8 @@ func (m *Mail) Stop() { m.stopped = true }
 
 // ResetStats clears the per-op histograms.
 func (m *Mail) ResetStats() {
-	for _, h := range m.OpLat {
-		h.Reset()
+	for _, t := range mailOps {
+		m.OpLat[t].Reset()
 	}
 }
 
