@@ -30,7 +30,7 @@ var experiments = []string{
 	"table1", "fig2", "fig6", "fig7", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14",
 	"ext-sched", "ext-wrr", "ext-poll", "ext-virtio", "ext-webapp",
-	"ext-gc",
+	"ext-gc", "ext-fault",
 }
 
 func main() { os.Exit(realMain()) }
@@ -220,6 +220,8 @@ func runResult(w io.Writer, name string, sc harness.Scale) (any, error) {
 		res = harness.RunExtWebapp(sc)
 	case "ext-gc":
 		res = harness.RunExtGC(sc)
+	case "ext-fault":
+		res = harness.RunExtFault(harness.DefaultFaultSeed, sc)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want one of %v)", name, experiments)
 	}

@@ -37,6 +37,8 @@ func main() {
 	useFTL := flag.Bool("ftl", false, "run on an aged device with the page-mapped FTL (garbage collection, wear leveling)")
 	opPct := flag.Float64("op", 7, "FTL over-provisioning percent (with -ftl)")
 	trimEvery := flag.Int("trim", 0, "replace every Nth T-tenant request with an NVMe Deallocate (TRIM); 0 disables")
+	faultProfile := flag.String("fault", "", "inject faults: brownout | lossy | wearout (window covers the 2nd quarter of -measure; arms host timeout/abort/reset recovery; wearout grows bad blocks only with -ftl)")
+	faultSeed := flag.Uint64("fault-seed", 42, "seed for the dedicated fault RNG stream (with -fault)")
 	flag.Parse()
 
 	if *jobs < 1 {
@@ -52,6 +54,9 @@ func main() {
 		}
 		return
 	}
+
+	warm := daredevil.Duration(warmup.Nanoseconds())
+	meas := daredevil.Duration(measure.Nanoseconds())
 
 	var m daredevil.Machine
 	if *workstation {
@@ -70,6 +75,20 @@ func main() {
 			os.Exit(2)
 		}
 		m.FTL = &fcfg
+	}
+	if *faultProfile != "" {
+		switch daredevil.FaultProfile(*faultProfile) {
+		case daredevil.FaultBrownout, daredevil.FaultLossy, daredevil.FaultWearout:
+		default:
+			fmt.Fprintf(os.Stderr, "ddsim: unknown fault profile %q (want brownout, lossy, or wearout)\n", *faultProfile)
+			os.Exit(2)
+		}
+		fs := daredevil.DefaultFaultSchedule(daredevil.FaultProfile(*faultProfile), *faultSeed, warm, meas)
+		m.Fault = &fs
+		// A quarter of the measurement phase keeps expiry well above the
+		// device's legitimate tail under load — a too-short timeout turns
+		// queueing into false aborts and reset storms, exactly as in Linux.
+		m.NVMe.CmdTimeout = meas / 4
 	}
 	build := func(kind daredevil.StackKind) *daredevil.Simulation {
 		sim := daredevil.NewSimulation(m, kind)
@@ -95,8 +114,6 @@ func main() {
 		}
 		return sim
 	}
-	warm := daredevil.Duration(warmup.Nanoseconds())
-	meas := daredevil.Duration(measure.Nanoseconds())
 
 	if *compare {
 		runCompare(build, warm, meas, *nL, *nT, m.Cores, *namespaces, *measure)
@@ -128,6 +145,7 @@ func main() {
 		res.TThroughputMBps, res.TTenantLatency.Count)
 	fmt.Printf("  CPU utilization: %.1f%%\n", 100*res.CPUUtilization)
 	printFTL(res)
+	printRecovery(res)
 	if *breakdown {
 		fmt.Printf("  L path components: lock-wait avg=%v p99=%v | completion-delay avg=%v p99=%v | cross-core %.0f%%\n",
 			res.LSubmissionWait.Mean, res.LSubmissionWait.P99,
@@ -197,6 +215,7 @@ func runConfig(path string, breakdown bool, traceN int) error {
 		res.TThroughputMBps, res.TTenantLatency.Count)
 	fmt.Printf("  CPU utilization: %.1f%%\n", 100*res.CPUUtilization)
 	printFTL(res)
+	printRecovery(res)
 	if breakdown {
 		fmt.Printf("  L path components: lock-wait avg=%v | completion-delay avg=%v | cross-core %.0f%%\n",
 			res.LSubmissionWait.Mean, res.LCompletionDelay.Mean, 100*res.LCrossCoreFraction)
@@ -220,6 +239,22 @@ func printFTL(res daredevil.Result) {
 	if f.GCPauses.Count > 0 {
 		fmt.Printf("  GC pauses: avg=%v p99=%v max=%v\n", f.GCPauses.Mean, f.GCPauses.P99, f.GCPauses.Max)
 	}
+}
+
+// printRecovery reports error-path activity (media errors, the
+// timeout/abort/reset ladder, host requeues, injected faults) when any
+// occurred.
+func printRecovery(res daredevil.Result) {
+	r := res.Recovery
+	if r == (daredevil.RecoveryCounters{}) {
+		return
+	}
+	fmt.Printf("  recovery: media-errors=%d failed-cmds=%d timeouts=%d aborts=%d (races=%d escalated=%d) resets=%d cancelled=%d\n",
+		r.MediaErrors, r.FailedCommands, r.Timeouts, r.Aborts, r.AbortRaces, r.AbortFails, r.Resets, r.CancelledCmds)
+	fmt.Printf("  host: nsq-retries=%d requeued=%d terminal-failures=%d | injected: stalls=%d dropped-cqe=%d late-cqe=%d read-errs=%d prog-fails=%d\n",
+		r.RetryAttempts, r.CancelRequeues, r.TerminalFailures,
+		r.Faults.StallLosses, r.Faults.DroppedCQEs, r.Faults.LateCQEs,
+		r.Faults.InjectedReadErrors, r.Faults.ProgramFailures)
 }
 
 func parseStack(s string) (daredevil.StackKind, error) {

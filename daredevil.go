@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"daredevil/internal/block"
+	"daredevil/internal/fault"
 	"daredevil/internal/ftl"
 	"daredevil/internal/harness"
 	"daredevil/internal/sim"
@@ -96,6 +97,37 @@ type FTLConfig = ftl.Config
 // victim selection, preconditioned full and scrambled.
 func DefaultFTLConfig() FTLConfig { return ftl.DefaultConfig() }
 
+// FaultSchedule declares deterministic, seeded device faults (chip
+// brownouts, controller hiccups, dropped/late CQEs, read-error ramps, grown
+// bad blocks). Assign one to Machine.Fault to run under faults with host
+// recovery armed; leave it nil for a healthy device.
+type FaultSchedule = fault.Schedule
+
+// FaultProfile names a canned fault schedule (see DefaultFaultSchedule).
+type FaultProfile = harness.FaultProfile
+
+// Canned fault profiles.
+const (
+	// FaultBrownout stalls a run of chips for the fault window.
+	FaultBrownout = harness.FaultBrownout
+	// FaultLossy drops and delays CQEs and pauses command fetch.
+	FaultLossy = harness.FaultLossy
+	// FaultWearout ramps the read error rate and fails programs.
+	FaultWearout = harness.FaultWearout
+)
+
+// DefaultFaultSchedule builds the named profile with its fault window
+// covering the second quarter of the measurement phase — onset, steady fault
+// pressure, and post-window recovery all land inside measurement.
+func DefaultFaultSchedule(profile FaultProfile, seed uint64, warmup, measure Duration) FaultSchedule {
+	return harness.ExtFaultSchedule(profile, seed, warmup+measure/4, warmup+measure/2)
+}
+
+// RecoveryCounters aggregates error-path activity: device media errors, the
+// timeout → abort → controller-reset ladder, host-side requeue verdicts, and
+// injected fault hits. All zero on a healthy run.
+type RecoveryCounters = harness.RecoveryCounters
+
 // LatencySnapshot summarizes a latency distribution.
 type LatencySnapshot = stats.Snapshot
 
@@ -124,6 +156,11 @@ type Result struct {
 	// FTL reports device-internal activity over the window when the
 	// machine ran with Machine.FTL set; nil otherwise.
 	FTL *FTLResult
+
+	// Recovery reports error-path counters over the whole run (not just
+	// the measurement window): media errors, timeouts, aborts, controller
+	// resets, requeues, terminal failures, and injected fault hits.
+	Recovery RecoveryCounters
 }
 
 // FTLResult summarizes the translation layer's work during a measurement
@@ -405,6 +442,7 @@ func (s *Simulation) Run(warmup, measure Duration) Result {
 			GCPauses:           s.env.FTL.GCPauses.Snapshot(),
 		}
 	}
+	res.Recovery = s.env.Recovery()
 	return res
 }
 
@@ -436,13 +474,16 @@ var (
 
 // ExperimentNames lists the reproducible paper artifacts plus the
 // extension experiments (Kyber baseline, WRR arbitration, polled
-// completion, §8.1 virtio, aged-device GC).
+// completion, §8.1 virtio, aged-device GC, fault injection).
 func ExperimentNames() []string {
 	return []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14",
 		"ext-sched", "ext-wrr", "ext-poll", "ext-virtio", "ext-webapp",
-		"ext-gc"}
+		"ext-gc", "ext-fault"}
 }
+
+// DefaultFaultSeed keys the ext-fault experiment's fault RNG stream.
+const DefaultFaultSeed = harness.DefaultFaultSeed
 
 // RunExperimentJSON regenerates one paper table/figure and returns its
 // result as JSON — the programmatic counterpart of RunExperiment for
@@ -491,6 +532,8 @@ func runExperimentResult(name string, sc Scale) (any, error) {
 		return harness.RunExtWebapp(sc), nil
 	case "ext-gc":
 		return harness.RunExtGC(sc), nil
+	case "ext-fault":
+		return harness.RunExtFault(DefaultFaultSeed, sc), nil
 	}
 	return nil, fmt.Errorf("daredevil: unknown experiment %q", name)
 }
@@ -532,6 +575,8 @@ func RunExperiment(w io.Writer, name string, sc Scale) error {
 		harness.RunExtWebapp(sc).WriteText(w)
 	case "ext-gc":
 		harness.RunExtGC(sc).WriteText(w)
+	case "ext-fault":
+		harness.RunExtFault(DefaultFaultSeed, sc).WriteText(w)
 	default:
 		return fmt.Errorf("daredevil: unknown experiment %q", name)
 	}

@@ -133,8 +133,8 @@ func TestRunExperimentTable1(t *testing.T) {
 
 func TestExperimentNamesComplete(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 17 {
-		t.Fatalf("got %d experiments, want 17 (table1 + 10 figures + 6 extensions)", len(names))
+	if len(names) != 18 {
+		t.Fatalf("got %d experiments, want 18 (table1 + 10 figures + 7 extensions)", len(names))
 	}
 	// Every listed experiment must dispatch (checked cheaply via fig2 only
 	// plus the name validation of the rest).

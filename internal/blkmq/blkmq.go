@@ -32,6 +32,7 @@ func New(env stackbase.Env) *Stack {
 	if n := env.Dev.NumNCQ(); s.numHQ > n {
 		s.numHQ = n
 	}
+	s.AttachRecovery(s.Submit)
 	return s
 }
 

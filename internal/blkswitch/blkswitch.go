@@ -89,6 +89,7 @@ func New(env stackbase.Env, cfg Config) *Stack {
 	}
 	s.nqLoad = make([]int64, s.numHQ)
 	s.tDesignated = make([]bool, s.numHQ)
+	s.AttachRecovery(s.Submit)
 	return s
 }
 

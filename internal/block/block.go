@@ -159,10 +159,15 @@ type Request struct {
 	NSQ int
 
 	// Err is non-nil when the device exhausted its retries on a media
-	// error; the request still completes exactly once.
+	// error, or when host recovery gave up on the request; the request
+	// still completes exactly once.
 	Err error
 	// Retries counts device-internal re-executions due to media errors.
 	Retries int
+	// Requeues counts host-side resubmissions after the device cancelled
+	// the command during timeout/abort/reset recovery; the stack fails the
+	// request terminally once it exceeds the stack's cap (stackbase).
+	Requeues int
 
 	// OnComplete is invoked exactly once when the request completes (after
 	// ISR processing). Set by the workload; stacks must preserve it.

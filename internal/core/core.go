@@ -179,6 +179,7 @@ func New(env stackbase.Env, cfg Config) *Stack {
 			})
 		}
 	}
+	s.AttachRecovery(s.Submit)
 	return s
 }
 

@@ -1,0 +1,334 @@
+// Package fault is the deterministic fault-injection subsystem: declarative,
+// seeded schedules of device misbehavior that the NVMe controller model
+// (internal/nvme) and the FTL (internal/ftl) consult on their hot paths.
+//
+// A Schedule describes *what* goes wrong and *when*, in virtual time:
+// time-windowed chip brownouts (a die stops answering), controller hiccups
+// (the fetch engine pauses), dropped and late CQEs, a raw-bit-error ramp
+// that raises the media error probability of reads across a window, and a
+// per-program grown-bad-block probability. An Injector executes one
+// schedule for one simulation cell.
+//
+// Determinism: all probabilistic draws come from a dedicated splitmix64
+// stream keyed by (schedule seed, schedule contents) — never from the
+// workload's or the controller's own streams — and every draw happens
+// inside engine event order. Two cells with the same schedule therefore see
+// bit-identical fault sequences regardless of harness parallelism, which is
+// what keeps `-j 1` and `-j 8` experiment grids byte-identical.
+//
+// The package models faults only; recovery is the host's job. The NVMe
+// layer arms per-command expiry timers and walks the Linux escalation
+// ladder (timeout → Abort → controller reset), and the stacks requeue
+// cancelled requests with capped exponential backoff — see
+// internal/nvme/recovery.go and internal/stackbase.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"daredevil/internal/sim"
+)
+
+// Window is a half-open interval [Start, End) of virtual time since
+// simulation start.
+type Window struct {
+	Start sim.Duration
+	End   sim.Duration
+}
+
+// since names the absolute instant a span from the run's t=0 origin refers
+// to — the Window fields are declared relative to simulation start.
+func since(d sim.Duration) sim.Time {
+	return sim.Time(d) //lint:ddvet:allow unitcheck window offsets are spans from the t=0 origin
+}
+
+// Contains reports whether instant t falls inside the window.
+func (w Window) Contains(t sim.Time) bool {
+	return t >= since(w.Start) && t < since(w.End)
+}
+
+// validate checks the window bounds.
+func (w Window) validate(what string) error {
+	if w.Start < 0 || w.End < w.Start {
+		return fmt.Errorf("fault: %s window [%v,%v) is invalid", what, w.Start, w.End)
+	}
+	return nil
+}
+
+// ChipStall is a brownout: chips [FirstChip, FirstChip+NumChips) stop
+// answering during the window. Commands dispatched to a stalled chip are
+// lost — no completion ever arrives, and only host-side expiry recovers
+// them.
+type ChipStall struct {
+	Window
+	FirstChip int
+	NumChips  int
+}
+
+// covers reports whether the stall affects the given chip at instant t.
+func (s ChipStall) covers(t sim.Time, chip int) bool {
+	return chip >= s.FirstChip && chip < s.FirstChip+s.NumChips && s.Contains(t)
+}
+
+// Ramp linearly interpolates a probability from From to To across its
+// window; outside the window the probability is zero (a transient
+// degradation that clears when the window closes).
+type Ramp struct {
+	Window
+	From float64
+	To   float64
+}
+
+// probAt evaluates the ramp at instant t.
+func (r Ramp) probAt(t sim.Time) float64 {
+	if !r.Contains(t) {
+		return 0
+	}
+	span := r.End - r.Start
+	if span <= 0 {
+		return r.From
+	}
+	frac := float64(t.Sub(since(r.Start))) / float64(span)
+	return r.From + (r.To-r.From)*frac
+}
+
+// Schedule declares one cell's faults. The zero value injects nothing.
+type Schedule struct {
+	// Seed keys the dedicated fault RNG stream (mixed with a hash of the
+	// schedule contents, so distinct schedules never share draws).
+	Seed uint64
+
+	// ChipStalls are chip brownout windows (lost commands).
+	ChipStalls []ChipStall
+	// Hiccups are controller pauses: the fetch engine stops consuming
+	// doorbells for the window (queues back up, nothing is lost).
+	Hiccups []Window
+
+	// DropCQEProb loses a command's completion with this per-command
+	// probability — the command is abandoned before media service and only
+	// host expiry recovers it.
+	DropCQEProb float64
+	// LateCQEProb delays a command's completion by LateCQEDelay with this
+	// per-command probability. A delay beyond the host's CmdTimeout turns
+	// the late CQE into an abort race and, since the command is genuinely
+	// executing, a controller reset.
+	LateCQEProb  float64
+	LateCQEDelay sim.Duration
+
+	// ReadErrorRamp adds media-error probability to read completions across
+	// its window (a raw-bit-error-rate excursion); the controller's
+	// internal retry ladder applies before the host sees a failure.
+	ReadErrorRamp Ramp
+
+	// ProgramFailProb fails a host page program with this probability; the
+	// FTL closes the active block, marks it grown-bad, and retires it after
+	// GC relocates its live data (internal/ftl).
+	ProgramFailProb float64
+}
+
+// Validate reports schedule errors.
+func (s Schedule) Validate() error {
+	for i, st := range s.ChipStalls {
+		if err := st.validate(fmt.Sprintf("chip-stall %d", i)); err != nil {
+			return err
+		}
+		if st.FirstChip < 0 || st.NumChips < 0 {
+			return fmt.Errorf("fault: chip-stall %d has negative chip range (first=%d n=%d)",
+				i, st.FirstChip, st.NumChips)
+		}
+	}
+	for i, h := range s.Hiccups {
+		if err := h.validate(fmt.Sprintf("hiccup %d", i)); err != nil {
+			return err
+		}
+	}
+	probs := [...]struct {
+		name string
+		p    float64
+	}{
+		{"DropCQEProb", s.DropCQEProb},
+		{"LateCQEProb", s.LateCQEProb},
+		{"ProgramFailProb", s.ProgramFailProb},
+		{"ReadErrorRamp.From", s.ReadErrorRamp.From},
+		{"ReadErrorRamp.To", s.ReadErrorRamp.To},
+	}
+	for _, pr := range probs {
+		if pr.p < 0 || pr.p >= 1 {
+			return fmt.Errorf("fault: %s = %v out of [0,1)", pr.name, pr.p)
+		}
+	}
+	if s.LateCQEDelay < 0 {
+		return fmt.Errorf("fault: negative LateCQEDelay")
+	}
+	if err := s.ReadErrorRamp.validate("read-error ramp"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CanLoseCommands reports whether the schedule can make a command's
+// completion never arrive — in which case the host MUST run with a
+// positive CmdTimeout, or lost commands hang the simulation forever.
+func (s Schedule) CanLoseCommands() bool {
+	if s.DropCQEProb > 0 {
+		return true
+	}
+	for _, st := range s.ChipStalls {
+		if st.NumChips > 0 && st.End > st.Start {
+			return true
+		}
+	}
+	return false
+}
+
+// hash folds every schedule parameter into one 64-bit value, so the RNG
+// stream is keyed by (seed, schedule) as required for resumable grids.
+func (s Schedule) hash() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+	}
+	mixWin := func(w Window) {
+		mix(uint64(w.Start))
+		mix(uint64(w.End))
+	}
+	for _, st := range s.ChipStalls {
+		mixWin(st.Window)
+		mix(uint64(st.FirstChip))
+		mix(uint64(st.NumChips))
+	}
+	for _, w := range s.Hiccups {
+		mixWin(w)
+	}
+	mix(math.Float64bits(s.DropCQEProb))
+	mix(math.Float64bits(s.LateCQEProb))
+	mix(uint64(s.LateCQEDelay))
+	mixWin(s.ReadErrorRamp.Window)
+	mix(math.Float64bits(s.ReadErrorRamp.From))
+	mix(math.Float64bits(s.ReadErrorRamp.To))
+	mix(math.Float64bits(s.ProgramFailProb))
+	return h
+}
+
+// Verdict classifies the fate of one dispatched command.
+type Verdict uint8
+
+// Command fates.
+const (
+	// VerdictNone leaves the command alone.
+	VerdictNone Verdict = iota
+	// VerdictLost abandons the command: no completion will ever arrive.
+	VerdictLost
+	// VerdictLate delays the command's completion by the returned duration.
+	VerdictLate
+)
+
+// Counters accumulates injected-fault counts for reporting.
+type Counters struct {
+	// StallLosses counts commands lost to a chip brownout.
+	StallLosses uint64
+	// DroppedCQEs counts completions lost to the drop probability.
+	DroppedCQEs uint64
+	// LateCQEs counts completions delayed.
+	LateCQEs uint64
+	// InjectedReadErrors counts read executions failed by the RBER ramp.
+	InjectedReadErrors uint64
+	// ProgramFailures counts failed host page programs.
+	ProgramFailures uint64
+}
+
+// Injector executes one schedule for one simulation cell. It is bound to
+// the cell's engine-ordered call sequence; like everything else in the
+// simulator it must not be shared across cells.
+type Injector struct {
+	s   Schedule
+	rng *sim.Rand
+
+	// Hits are the injected-fault counters.
+	Hits Counters
+}
+
+// NewInjector builds an injector for the schedule, panicking on an invalid
+// one (construction-time misconfiguration is a programming error).
+func NewInjector(s Schedule) *Injector {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{s: s, rng: sim.NewRand(s.Seed ^ s.hash())}
+}
+
+// Schedule returns the injector's schedule.
+func (in *Injector) Schedule() Schedule { return in.s }
+
+// CanLoseCommands forwards the schedule's lossiness (see Schedule).
+func (in *Injector) CanLoseCommands() bool { return in.s.CanLoseCommands() }
+
+// CommandFate draws the fate of one command dispatched at instant now
+// toward the given chip: lost to a brownout or a dropped CQE, delayed by a
+// late CQE, or untouched. Chip stalls are deterministic windows (no draw);
+// drop/late are per-command probabilities from the fault stream.
+//
+//ddvet:hotpath
+func (in *Injector) CommandFate(now sim.Time, chip int) (Verdict, sim.Duration) {
+	for _, st := range in.s.ChipStalls {
+		if st.covers(now, chip) {
+			in.Hits.StallLosses++
+			return VerdictLost, 0
+		}
+	}
+	if in.s.DropCQEProb > 0 && in.rng.Bool(in.s.DropCQEProb) {
+		in.Hits.DroppedCQEs++
+		return VerdictLost, 0
+	}
+	if in.s.LateCQEProb > 0 && in.rng.Bool(in.s.LateCQEProb) {
+		in.Hits.LateCQEs++
+		return VerdictLate, in.s.LateCQEDelay
+	}
+	return VerdictNone, 0
+}
+
+// FetchPausedUntil reports whether the controller's fetch engine is inside
+// a hiccup window at now, and if so when it resumes.
+//
+//ddvet:hotpath
+func (in *Injector) FetchPausedUntil(now sim.Time) (sim.Time, bool) {
+	for _, w := range in.s.Hiccups {
+		if w.Contains(now) {
+			return since(w.End), true
+		}
+	}
+	return 0, false
+}
+
+// ReadErrorAt draws whether a read execution completing at now suffers an
+// injected media error under the RBER ramp.
+//
+//ddvet:hotpath
+func (in *Injector) ReadErrorAt(now sim.Time) bool {
+	p := in.s.ReadErrorRamp.probAt(now)
+	if p <= 0 {
+		return false
+	}
+	if in.rng.Bool(p) {
+		in.Hits.InjectedReadErrors++
+		return true
+	}
+	return false
+}
+
+// ProgramFails draws whether a host page program fails (grown bad block).
+//
+//ddvet:hotpath
+func (in *Injector) ProgramFails() bool {
+	if in.s.ProgramFailProb <= 0 {
+		return false
+	}
+	if in.rng.Bool(in.s.ProgramFailProb) {
+		in.Hits.ProgramFailures++
+		return true
+	}
+	return false
+}

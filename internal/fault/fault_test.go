@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"testing"
+
+	"daredevil/internal/sim"
+)
+
+func TestWindowHalfOpen(t *testing.T) {
+	w := Window{Start: 10 * sim.Microsecond, End: 20 * sim.Microsecond}
+	cases := []struct {
+		at   sim.Time
+		want bool
+	}{
+		{sim.Time(9 * sim.Microsecond), false},
+		{sim.Time(10 * sim.Microsecond), true},
+		{sim.Time(19 * sim.Microsecond), true},
+		{sim.Time(20 * sim.Microsecond), false},
+	}
+	for _, c := range cases {
+		if got := w.Contains(c.at); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestRampInterpolation(t *testing.T) {
+	r := Ramp{Window: Window{Start: 0, End: 100 * sim.Microsecond}, From: 0.1, To: 0.5}
+	if p := r.probAt(sim.Time(0)); p != 0.1 {
+		t.Fatalf("probAt(start) = %v, want 0.1", p)
+	}
+	if p := r.probAt(sim.Time(50 * sim.Microsecond)); p < 0.29 || p > 0.31 {
+		t.Fatalf("probAt(mid) = %v, want ~0.3", p)
+	}
+	if p := r.probAt(sim.Time(100 * sim.Microsecond)); p != 0 {
+		t.Fatalf("probAt(end) = %v, want 0 (window is half-open)", p)
+	}
+	if p := r.probAt(sim.Time(200 * sim.Microsecond)); p != 0 {
+		t.Fatalf("probAt(past) = %v, want 0", p)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{
+		ChipStalls:   []ChipStall{{Window: Window{Start: 0, End: sim.Millisecond}, FirstChip: 0, NumChips: 4}},
+		Hiccups:      []Window{{Start: 0, End: sim.Microsecond}},
+		DropCQEProb:  0.1,
+		LateCQEProb:  0.1,
+		LateCQEDelay: sim.Microsecond,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{DropCQEProb: 1.0},
+		{LateCQEProb: -0.1},
+		{ProgramFailProb: 2},
+		{ReadErrorRamp: Ramp{From: 1.5}},
+		{ChipStalls: []ChipStall{{Window: Window{Start: 10, End: 5}}}},
+		{ChipStalls: []ChipStall{{Window: Window{Start: 0, End: 5}, FirstChip: -1}}},
+		{Hiccups: []Window{{Start: -1, End: 5}}},
+		{LateCQEDelay: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestCanLoseCommands(t *testing.T) {
+	if (Schedule{}).CanLoseCommands() {
+		t.Fatal("empty schedule cannot lose commands")
+	}
+	if !(Schedule{DropCQEProb: 0.01}).CanLoseCommands() {
+		t.Fatal("drop probability loses commands")
+	}
+	if !(Schedule{ChipStalls: []ChipStall{{Window: Window{End: 1}, NumChips: 1}}}).CanLoseCommands() {
+		t.Fatal("chip stall loses commands")
+	}
+	// An empty stall window or zero-chip stall loses nothing.
+	if (Schedule{ChipStalls: []ChipStall{{Window: Window{Start: 5, End: 5}, NumChips: 1}}}).CanLoseCommands() {
+		t.Fatal("empty stall window cannot lose commands")
+	}
+	if (Schedule{LateCQEProb: 0.5, LateCQEDelay: sim.Second}).CanLoseCommands() {
+		t.Fatal("late CQEs always arrive eventually")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	s := Schedule{
+		Seed:         99,
+		DropCQEProb:  0.2,
+		LateCQEProb:  0.3,
+		LateCQEDelay: 5 * sim.Microsecond,
+		ReadErrorRamp: Ramp{
+			Window: Window{Start: 0, End: sim.Millisecond}, From: 0.1, To: 0.4,
+		},
+		ProgramFailProb: 0.1,
+	}
+	a, b := NewInjector(s), NewInjector(s)
+	for i := 0; i < 2000; i++ {
+		now := sim.Time(i) * 500
+		va, da := a.CommandFate(now, i%8)
+		vb, db := b.CommandFate(now, i%8)
+		if va != vb || da != db {
+			t.Fatalf("draw %d: fate (%v,%v) != (%v,%v)", i, va, da, vb, db)
+		}
+		if a.ReadErrorAt(now) != b.ReadErrorAt(now) {
+			t.Fatalf("draw %d: ReadErrorAt diverged", i)
+		}
+		if a.ProgramFails() != b.ProgramFails() {
+			t.Fatalf("draw %d: ProgramFails diverged", i)
+		}
+	}
+	if a.Hits != b.Hits {
+		t.Fatalf("hit counters diverged: %+v vs %+v", a.Hits, b.Hits)
+	}
+	if a.Hits.DroppedCQEs == 0 || a.Hits.LateCQEs == 0 ||
+		a.Hits.InjectedReadErrors == 0 || a.Hits.ProgramFailures == 0 {
+		t.Fatalf("expected every fault type to fire over 2000 draws: %+v", a.Hits)
+	}
+}
+
+func TestDistinctSchedulesDistinctStreams(t *testing.T) {
+	a := NewInjector(Schedule{Seed: 1, DropCQEProb: 0.5})
+	b := NewInjector(Schedule{Seed: 1, DropCQEProb: 0.5, LateCQEProb: 0.25, LateCQEDelay: 1})
+	same := true
+	for i := 0; i < 256; i++ {
+		va, _ := a.CommandFate(0, 0)
+		vb, _ := b.CommandFate(0, 0)
+		if (va == VerdictLost) != (vb == VerdictLost) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("schedule contents must key the RNG stream, not just the seed")
+	}
+}
+
+func TestChipStallWindowAndRange(t *testing.T) {
+	s := Schedule{ChipStalls: []ChipStall{{
+		Window:    Window{Start: 10 * sim.Microsecond, End: 20 * sim.Microsecond},
+		FirstChip: 2, NumChips: 3,
+	}}}
+	in := NewInjector(s)
+	mid := sim.Time(15 * sim.Microsecond)
+	if v, _ := in.CommandFate(mid, 1); v != VerdictNone {
+		t.Fatal("chip below range must not stall")
+	}
+	if v, _ := in.CommandFate(mid, 2); v != VerdictLost {
+		t.Fatal("chip 2 in window must be lost")
+	}
+	if v, _ := in.CommandFate(mid, 4); v != VerdictLost {
+		t.Fatal("chip 4 in window must be lost")
+	}
+	if v, _ := in.CommandFate(mid, 5); v != VerdictNone {
+		t.Fatal("chip past range must not stall")
+	}
+	if v, _ := in.CommandFate(sim.Time(25*sim.Microsecond), 3); v != VerdictNone {
+		t.Fatal("stall must clear after the window")
+	}
+	if in.Hits.StallLosses != 2 {
+		t.Fatalf("StallLosses = %d, want 2", in.Hits.StallLosses)
+	}
+}
+
+func TestNewInjectorPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInjector must panic on an invalid schedule")
+		}
+	}()
+	NewInjector(Schedule{DropCQEProb: 1})
+}

@@ -171,6 +171,18 @@ func (d *Device) chipOf(page int64) (channel, chip int) {
 	return channel, chip
 }
 
+// ChipIndexOf maps an absolute byte offset to the flat die index
+// (channel*ChipsPerChannel+chip) its first page lands on through the static
+// interleave. Fault targeting uses it to decide whether a command touches a
+// stalled chip; for log-structured writes (which ignore LBA placement) it
+// is a deterministic approximation of the die actually programmed.
+//
+//ddvet:hotpath
+func (d *Device) ChipIndexOf(offset int64) int {
+	ch, chip := d.chipOf(offset / d.cfg.PageSize)
+	return ch*d.cfg.ChipsPerChannel + chip
+}
+
 // pagesPerUnit reports how many consecutive pages share a die.
 func (d *Device) pagesPerUnit() int64 {
 	if d.cfg.InterleaveBytes <= 0 {

@@ -20,6 +20,7 @@ package ftl
 import (
 	"fmt"
 
+	"daredevil/internal/fault"
 	"daredevil/internal/flash"
 	"daredevil/internal/sim"
 	"daredevil/internal/stats"
@@ -144,6 +145,13 @@ type Stats struct {
 	// collection because no die had host-allocatable space — the write
 	// cliff of a device out of clean blocks.
 	ForegroundGCs uint64
+	// ProgramFailures counts injected host program failures (fault
+	// schedule); each closes the die's host active block and marks it
+	// grown-bad.
+	ProgramFailures uint64
+	// GrownBadBlocks counts blocks retired from service after a program
+	// failure (post-GC, at erase time).
+	GrownBadBlocks uint64
 }
 
 // WriteAmplification reports FlashPagesWritten / HostPagesWritten (1.0 when
@@ -161,6 +169,14 @@ type blockMeta struct {
 	erases    uint32   // lifetime erase count (wear)
 	lastWrite sim.Time // most recent program (cost-benefit age)
 	free      bool     // sitting in the die's free list
+	// bad marks a grown-bad block: a program into it failed, the write
+	// stream closed it early, and its next erase retires it instead of
+	// freeing it. Data already programmed stays readable until GC
+	// relocates it — the usual grown-defect handling on real FTLs.
+	bad bool
+	// retired takes the block out of service permanently: never freed,
+	// never a victim, never allocated.
+	retired bool
 }
 
 // dieState is the per-die allocation and GC state.
@@ -190,6 +206,8 @@ type dieState struct {
 	gcScan   int      // next victim page slot to examine
 	gcStart  sim.Time // round start, for the pause histogram
 	gcGen    uint64   // invalidates scheduled GC continuations after a takeover
+
+	retired int // blocks taken out of service on this die (grown bad)
 }
 
 // Device is the flash translation layer over one media device.
@@ -215,6 +233,8 @@ type Device struct {
 	// aging suppresses GC wake-ups while preconditioning remaps pages
 	// (preconditioning is pure accounting; real GC would touch the media).
 	aging bool
+	// inj, when attached, injects program failures that grow bad blocks.
+	inj *fault.Injector
 
 	st Stats
 	// GCPauses is the distribution of per-victim collection times (first
@@ -294,6 +314,10 @@ func New(eng *sim.Engine, media *flash.Device, cfg Config) *Device {
 
 // Config returns the FTL configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// AttachFault installs a fault injector; host page programs then draw
+// grown-bad-block failures from its stream. Pass nil to detach.
+func (d *Device) AttachFault(inj *fault.Injector) { d.inj = inj }
 
 // Stats returns accumulated counters.
 func (d *Device) Stats() Stats { return d.st }
@@ -407,11 +431,21 @@ func (d *Device) readPage(now sim.Time, lp, absPage int64) sim.Time {
 }
 
 // writePage services one logical page program: pick a die, allocate a
-// physical page, remap, and issue the program into that die's FIFO.
+// physical page, remap, and issue the program into that die's FIFO. An
+// injected program failure (fault schedule) hits the chosen die first: the
+// failed attempt still occupies the die, the active block is closed and
+// marked grown-bad, and the write retries on a fresh allocation.
 func (d *Device) writePage(now sim.Time, lp int64) sim.Time {
 	die := d.pickDie()
 	if die < 0 {
 		die = d.foregroundGC(now)
+	}
+	if d.inj != nil && d.inj.ProgramFails() {
+		d.failProgram(now, die)
+		die = d.pickDie()
+		if die < 0 {
+			die = d.foregroundGC(now)
+		}
 	}
 	pp := d.allocPage(die, now, false)
 	d.remap(lp, pp)
@@ -420,6 +454,24 @@ func (d *Device) writePage(now sim.Time, lp int64) sim.Time {
 	t := d.media.SubmitAtDie(now, die, flash.Program)
 	d.maybeGC(die)
 	return t
+}
+
+// failProgram models a program failure in the die's host active block: the
+// failed attempt occupies the die like any program, then the stream closes
+// the block early and marks it grown-bad. Pages already programmed into it
+// stay mapped and readable; GC relocates them later, and the block's next
+// erase retires it (eraseBlock).
+func (d *Device) failProgram(now sim.Time, die int) {
+	d.st.ProgramFailures++
+	d.media.SubmitAtDie(now, die, flash.Program)
+	ds := &d.dies[die]
+	if ds.active < 0 {
+		return // failure hit between blocks; nothing to mark
+	}
+	d.blocks[die*d.cfg.BlocksPerDie+ds.active].bad = true
+	ds.active = -1
+	ds.writePtr = 0
+	d.maybeGC(die)
 }
 
 // Trim deallocates the byte range: every mapped page in it becomes invalid
@@ -669,9 +721,22 @@ func (d *Device) eraseBlock(die, victim int) sim.Time {
 	}
 	eraseDone := d.media.SubmitAtDie(d.eng.Now(), die, flash.Erase)
 	meta.erases++
+	d.st.Erases++
+	if meta.bad && len(ds.free) >= d.lowWater && ds.retired < d.cfg.BlocksPerDie/4 {
+		// Grown-bad block: retire it instead of returning it to the free
+		// pool. Retirement is skipped when the die is short on clean blocks
+		// (losing one would starve the GC reserve) or has already lost a
+		// quarter of its capacity — then the block stays in service, as
+		// real FTLs keep marginal blocks alive when out of spares.
+		meta.bad = false
+		meta.retired = true
+		ds.retired++
+		d.st.GrownBadBlocks++
+		return eraseDone
+	}
+	meta.bad = false
 	meta.free = true
 	ds.free = append(ds.free, victim)
-	d.st.Erases++
 	return eraseDone
 }
 
@@ -687,8 +752,8 @@ func (d *Device) selectVictim(die int) int {
 	now := d.eng.Now()
 	for b := 0; b < d.cfg.BlocksPerDie; b++ {
 		meta := &d.blocks[base+b]
-		if meta.free || b == ds.active || b == ds.gcActive || b == ds.gcVictim ||
-			meta.valid >= d.ppb {
+		if meta.free || meta.retired || b == ds.active || b == ds.gcActive ||
+			b == ds.gcVictim || meta.valid >= d.ppb {
 			continue
 		}
 		var score float64
@@ -843,6 +908,14 @@ func (d *Device) CheckInvariants() error {
 		if d.blocks[b].free && d.blocks[b].valid != 0 {
 			return fmt.Errorf("free block %d holds %d valid pages", b, d.blocks[b].valid)
 		}
+		if d.blocks[b].retired {
+			if d.blocks[b].free {
+				return fmt.Errorf("retired block %d marked free", b)
+			}
+			if d.blocks[b].valid != 0 {
+				return fmt.Errorf("retired block %d holds %d valid pages", b, d.blocks[b].valid)
+			}
+		}
 	}
 	for i := range d.dies {
 		if len(d.dies[i].free) < 0 || len(d.dies[i].free) > d.cfg.BlocksPerDie {
@@ -857,6 +930,15 @@ func (d *Device) CheckInvariants() error {
 			if !d.blocks[i*d.cfg.BlocksPerDie+b].free {
 				return fmt.Errorf("die %d: block %d in free pool but not marked free", i, b)
 			}
+		}
+		retired := 0
+		for b := 0; b < d.cfg.BlocksPerDie; b++ {
+			if d.blocks[i*d.cfg.BlocksPerDie+b].retired {
+				retired++
+			}
+		}
+		if retired != d.dies[i].retired {
+			return fmt.Errorf("die %d: retired count %d, block scan says %d", i, d.dies[i].retired, retired)
 		}
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 	"daredevil/internal/block"
 	"daredevil/internal/core"
 	"daredevil/internal/cpus"
+	"daredevil/internal/fault"
 	"daredevil/internal/ftl"
 	"daredevil/internal/nvme"
 	"daredevil/internal/sim"
@@ -48,6 +49,11 @@ type Machine struct {
 	// device). Nil keeps today's effective-latency flash model; both modes
 	// are deterministic.
 	FTL *ftl.Config
+	// Fault, when non-nil, attaches a deterministic fault-injection
+	// schedule (internal/fault) to the device — and to the FTL when one is
+	// configured. NewEnv defaults NVMe.CmdTimeout to 30ms when the
+	// schedule requires host recovery and the config leaves it unset.
+	Fault *fault.Schedule
 }
 
 // SVM returns the server machine testbed (§7): the experiments use a 4-core
@@ -80,20 +86,90 @@ type Env struct {
 	Stack   block.Stack
 	// FTL is the attached translation layer when Machine.FTL was set.
 	FTL *ftl.Device
+	// Fault is the cell's injector when Machine.Fault was set.
+	Fault *fault.Injector
 }
 
 // NewEnv constructs the simulated machine and the requested stack.
 func NewEnv(m Machine, kind StackKind) *Env {
+	if m.Fault != nil && m.NVMe.CmdTimeout == 0 {
+		// Host recovery must be armed whenever faults are in play; 30ms is
+		// far above any legitimate tail in the modeled device, so it only
+		// catches genuinely lost commands.
+		m.NVMe.CmdTimeout = 30 * sim.Millisecond
+	}
 	eng := sim.New()
 	pool := cpus.NewPool(eng, m.Cores, cpus.DefaultConfig())
 	dev := nvme.New(eng, pool, m.NVMe)
 	e := &Env{Machine: m, Kind: kind, Eng: eng, Pool: pool, Dev: dev}
+	if m.Fault != nil {
+		e.Fault = fault.NewInjector(*m.Fault)
+		dev.AttachFault(e.Fault)
+	}
 	if m.FTL != nil {
 		e.FTL = ftl.New(eng, dev.Media(), *m.FTL)
 		dev.AttachFTL(e.FTL)
+		if e.Fault != nil {
+			e.FTL.AttachFault(e.Fault)
+		}
 	}
 	e.Stack = buildStack(kind, stackbase.Env{Eng: eng, Pool: pool, Dev: dev})
 	return e
+}
+
+// RecoveryCounters aggregates the error-path counters of one cell: device
+// media errors and escalations, host-side retry/requeue verdicts, and the
+// injector's fault hits. All fields are comparable scalars so results stay
+// ==-comparable for the determinism tests.
+type RecoveryCounters struct {
+	// Device: media errors and the timeout → abort → reset ladder.
+	MediaErrors    uint64
+	FailedCommands uint64
+	Timeouts       uint64
+	Aborts         uint64
+	AbortRaces     uint64
+	AbortFails     uint64
+	Resets         uint64
+	CancelledCmds  uint64
+	ResetRejects   uint64
+	// Host (stackbase): full-NSQ backoff and cancel-requeue verdicts.
+	Requeues         uint64
+	RetryAttempts    uint64
+	CancelRequeues   uint64
+	TerminalFailures uint64
+	// Injected faults (zero when no schedule is attached).
+	Faults fault.Counters
+}
+
+// recoveryStatser is implemented by every stack embedding stackbase.Base.
+type recoveryStatser interface {
+	RecoveryStats() stackbase.RecoveryStats
+}
+
+// Recovery snapshots the cell's error-path counters.
+func (e *Env) Recovery() RecoveryCounters {
+	rc := RecoveryCounters{
+		MediaErrors:    e.Dev.MediaErrors,
+		FailedCommands: e.Dev.FailedCommands,
+		Timeouts:       e.Dev.Timeouts,
+		Aborts:         e.Dev.Aborts,
+		AbortRaces:     e.Dev.AbortRaces,
+		AbortFails:     e.Dev.AbortFails,
+		Resets:         e.Dev.Resets,
+		CancelledCmds:  e.Dev.CancelledCmds,
+		ResetRejects:   e.Dev.ResetRejects,
+	}
+	if rs, ok := e.Stack.(recoveryStatser); ok {
+		s := rs.RecoveryStats()
+		rc.Requeues = s.Requeues
+		rc.RetryAttempts = s.RetryAttempts
+		rc.CancelRequeues = s.CancelRequeues
+		rc.TerminalFailures = s.TerminalFailures
+	}
+	if e.Fault != nil {
+		rc.Faults = e.Fault.Hits
+	}
+	return rc
 }
 
 func buildStack(kind StackKind, env stackbase.Env) block.Stack {

@@ -115,33 +115,50 @@ type MixResult struct {
 	// LFairness is Jain's index over per-L-tenant completion counts (1 =
 	// every L-tenant served equally).
 	LFairness float64
+	// LGoodKIOPS and TGoodMBps are the goodput — completions minus
+	// terminally failed requests. Without faults they equal LKIOPS/TMBps.
+	LGoodKIOPS float64
+	TGoodMBps  float64
+	// LFailedOps and TFailedOps count terminally failed requests.
+	LFailedOps uint64
+	TFailedOps uint64
 }
 
 // Collect aggregates job stats over a window of length measured.
 func (m *Mix) Collect(measured sim.Duration) MixResult {
 	var l, t stats.Histogram
-	var lops, tops stats.Counter
+	var lops, tops, lfail, tfail stats.Counter
 	for _, j := range m.LJobs {
 		l.Merge(&j.Lat)
 		lops.Ops += j.Done.Ops
 		lops.Bytes += j.Done.Bytes
+		lfail.Ops += j.Failed.Ops
+		lfail.Bytes += j.Failed.Bytes
 	}
 	for _, j := range m.TJobs {
 		t.Merge(&j.Lat)
 		tops.Ops += j.Done.Ops
 		tops.Bytes += j.Done.Bytes
+		tfail.Ops += j.Failed.Ops
+		tfail.Bytes += j.Failed.Bytes
 	}
+	lgood := stats.Counter{Ops: lops.Ops - lfail.Ops, Bytes: lops.Bytes - lfail.Bytes}
+	tgood := stats.Counter{Ops: tops.Ops - tfail.Ops, Bytes: tops.Bytes - tfail.Bytes}
 	var perL []float64
 	for _, j := range m.LJobs {
 		perL = append(perL, float64(j.Done.Ops))
 	}
 	return MixResult{
-		L:         l.Snapshot(),
-		T:         t.Snapshot(),
-		LKIOPS:    lops.IOPS(measured) / 1000,
-		TMBps:     tops.MBps(measured),
-		CPUUtil:   m.Env.Pool.Utilization(sim.Duration(m.Env.Eng.Now())),
-		LFairness: stats.JainIndex(perL),
+		L:          l.Snapshot(),
+		T:          t.Snapshot(),
+		LKIOPS:     lops.IOPS(measured) / 1000,
+		TMBps:      tops.MBps(measured),
+		CPUUtil:    m.Env.Pool.Utilization(sim.Duration(m.Env.Eng.Now())),
+		LFairness:  stats.JainIndex(perL),
+		LGoodKIOPS: lgood.IOPS(measured) / 1000,
+		TGoodMBps:  tgood.MBps(measured),
+		LFailedOps: lfail.Ops,
+		TFailedOps: tfail.Ops,
 	}
 }
 

@@ -91,6 +91,7 @@ func New(env stackbase.Env, cfg Config) *Stack {
 	for i := 0; i < s.numHQ; i++ {
 		s.hqs = append(s.hqs, &hqState{asyncDepth: cfg.InitialAsyncDepth})
 	}
+	s.AttachRecovery(s.Submit)
 	return s
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"daredevil/internal/block"
 	"daredevil/internal/cpus"
+	"daredevil/internal/fault"
 	"daredevil/internal/flash"
 	"daredevil/internal/sim"
 )
@@ -49,6 +50,21 @@ type Config struct {
 	CrossCoreCQE sim.Duration
 	// SQLockHold is the NSQ tail-lock critical section per enqueue.
 	SQLockHold sim.Duration
+
+	// CmdTimeout is the host-side per-command expiry (Linux
+	// NVME_IO_TIMEOUT, 30s there; milliseconds here so fault windows
+	// resolve within simulated runs). When a fetched command has not
+	// completed within CmdTimeout the host walks the Linux escalation
+	// ladder: Abort admin command, then controller reset (recovery.go).
+	// Zero disables host recovery entirely — the pre-fault-model behavior.
+	CmdTimeout sim.Duration
+	// AbortCost is the admin-path latency of one Abort command (issue,
+	// controller lookup, completion). Defaulted when CmdTimeout is set.
+	AbortCost sim.Duration
+	// ResetDelay is the controller re-initialization time after a reset:
+	// no fetches happen and all enqueues are rejected until it elapses.
+	// Defaulted when CmdTimeout is set.
+	ResetDelay sim.Duration
 
 	// MediaErrorRate injects per-command media failures with this
 	// probability (0 disables). The controller retries a failed command up
@@ -112,6 +128,10 @@ func (c Config) Validate() error {
 	if c.MediaErrorRate < 0 || c.MediaErrorRate >= 1 {
 		return fmt.Errorf("nvme: MediaErrorRate %v out of [0,1)", c.MediaErrorRate)
 	}
+	if c.CmdTimeout < 0 || c.AbortCost < 0 || c.ResetDelay < 0 {
+		return fmt.Errorf("nvme: recovery latencies must be non-negative (CmdTimeout=%v AbortCost=%v ResetDelay=%v)",
+			c.CmdTimeout, c.AbortCost, c.ResetDelay)
+	}
 	return c.Flash.Validate()
 }
 
@@ -136,8 +156,18 @@ type command struct {
 	nsq     *NSQ
 	dev     *Device
 	doneFn  func()
+	abortFn func() // Abort admin-command continuation, bound like doneFn
 	pages   int
 	retries int
+
+	// recovery state (see recovery.go)
+	seq          uint64   // bumped per allocation; stale expiry refs compare it
+	deadline     sim.Time // host expiry instant (CmdTimeout > 0 only)
+	state        cmdState // lifecycle for timeout/abort/cancel races
+	lost         bool     // fault injector abandoned the media op
+	pendingDone  bool     // a doneFn event is scheduled
+	pendingAbort bool     // an abortFn event is scheduled
+	parked       bool     // released while an event still references it
 }
 
 // NSQ is a submission queue.
@@ -274,10 +304,38 @@ type Device struct {
 	// does not allocate.
 	freeCmds []*command
 
+	// host-recovery state (see recovery.go)
+	inj          *fault.Injector
+	cancelFn     func(*block.Request) // host requeue hook (SetCancelHandler)
+	expq         []expiryRef          // FIFO of armed per-command expiries
+	expHead      int
+	expiryArmed  bool
+	expiryFn     func() // expiry-scan continuation (expiryArmed serializes it)
+	resumeFn     func() // hiccup-resume continuation (hiccupArmed serializes it)
+	resetFn      func() // reset-completion continuation (resetting serializes it)
+	hiccupArmed  bool
+	resetting    bool
+	fetchAborted bool // a reset voided the in-flight fetch
+
 	// MediaErrors counts injected failures; FailedCommands counts commands
 	// completed with an error after exhausting retries.
 	MediaErrors    uint64
 	FailedCommands uint64
+
+	// Host-recovery counters (recovery.go): Timeouts counts commands whose
+	// expiry fired; Aborts counts Abort admin commands that found their
+	// target still outstanding; AbortRaces counts aborts that lost the race
+	// with a normal completion; AbortFails counts aborts whose target was
+	// genuinely executing (escalating to reset); Resets counts controller
+	// resets; CancelledCmds counts commands cancelled back to the host;
+	// ResetRejects counts enqueues refused while re-initializing.
+	Timeouts      uint64
+	Aborts        uint64
+	AbortRaces    uint64
+	AbortFails    uint64
+	Resets        uint64
+	CancelledCmds uint64
+	ResetRejects  uint64
 }
 
 // New builds a device on engine eng delivering interrupts into pool.
@@ -290,10 +348,21 @@ func New(eng *sim.Engine, pool *cpus.Pool, cfg Config) *Device {
 	if cfg.MediaErrorRate > 0 && cfg.MediaRetries == 0 {
 		cfg.MediaRetries = 3
 	}
+	if cfg.CmdTimeout > 0 {
+		if cfg.AbortCost == 0 {
+			cfg.AbortCost = 50 * sim.Microsecond
+		}
+		if cfg.ResetDelay == 0 {
+			cfg.ResetDelay = 2 * sim.Millisecond
+		}
+	}
 	d := &Device{cfg: cfg, eng: eng, pool: pool, media: flash.New(cfg.Flash),
 		classRR: map[QueueClass]int{}, errRNG: sim.NewRand(cfg.ErrorSeed + 0x5eed)}
 	d.wrrCredit = cfg.WRR.High
 	d.fetchDone = d.finishFetch
+	d.expiryFn = d.checkExpiry
+	d.resumeFn = d.hiccupResume
+	d.resetFn = d.finishReset
 	for i := 0; i < cfg.NumNCQ; i++ {
 		cq := &NCQ{ID: i, dev: d, irqCore: i % pool.N()}
 		cq.deliverFn = cq.deliver
@@ -385,6 +454,12 @@ func (d *Device) resolve(ns int, offset int64) int64 {
 //ddvet:hotpath
 func (d *Device) Enqueue(now sim.Time, nsqID int, rq *block.Request, ring bool) (ok bool, overhead sim.Duration) {
 	q := d.nsqs[nsqID]
+	if d.resetting {
+		// The controller is re-initializing after a reset: the doorbell is
+		// dead. The host treats this like a full queue and backs off.
+		d.ResetRejects++
+		return false, 0
+	}
 	if q.Full() {
 		q.OverflowRejects++
 		return false, 0
@@ -417,19 +492,40 @@ func (d *Device) allocCmd(rq *block.Request, q *NSQ, pages int) *command {
 		c := d.freeCmds[n-1]
 		d.freeCmds = d.freeCmds[:n-1]
 		c.rq, c.nsq, c.pages, c.retries = rq, q, pages, 0
+		c.seq++ // invalidates any stale expiry refs to the previous life
+		c.state = cmdQueued
+		c.lost = false
 		return c
 	}
 	c := &command{dev: d, rq: rq, nsq: q, pages: pages}
 	c.doneFn = c.flashDone
+	c.abortFn = c.abortDone
 	return c
 }
 
 // releaseCmd returns a completed command to the free-list. Callers must
 // release before invoking rq.Complete: completion callbacks may submit new
 // requests synchronously, and those are allowed to reuse this object.
+//
+// A command with a doneFn or abortFn event still scheduled cannot be
+// recycled yet — reusing it would let the stale event fire against the new
+// occupant. It is parked instead, and the last such event unparks it.
 func (d *Device) releaseCmd(c *command) {
 	c.rq, c.nsq = nil, nil
+	if c.pendingDone || c.pendingAbort {
+		c.parked = true
+		return
+	}
 	d.freeCmds = append(d.freeCmds, c)
+}
+
+// maybeUnpark completes the recycling of a parked command once its last
+// outstanding event has fired.
+func (d *Device) maybeUnpark(c *command) {
+	if c.parked && !c.pendingDone && !c.pendingAbort {
+		c.parked = false
+		d.freeCmds = append(d.freeCmds, c)
+	}
 }
 
 // ringNow is the doorbell instant: publish the queue's occupancy to the
@@ -454,8 +550,15 @@ func (d *Device) Ring(nsqID int) {
 //
 //ddvet:hotpath
 func (d *Device) maybeFetch() {
-	if d.fetchBusy || d.inflight >= d.cfg.MaxInflight {
+	if d.fetchBusy || d.resetting || d.inflight >= d.cfg.MaxInflight {
 		return
+	}
+	if d.inj != nil {
+		if until, paused := d.inj.FetchPausedUntil(d.eng.Now()); paused {
+			// Controller hiccup: the fetch engine sits out the window.
+			d.deferFetch(until)
+			return
+		}
 	}
 	var q *NSQ
 	if d.cfg.Arbitration == ArbWeightedRoundRobin {
@@ -484,6 +587,14 @@ func (d *Device) maybeFetch() {
 //
 //ddvet:hotpath
 func (d *Device) finishFetch() {
+	if d.fetchAborted {
+		// A controller reset voided this fetch; the target queue was torn
+		// down and its entries cancelled back to the host.
+		d.fetchAborted = false
+		d.fetchBusy = false
+		d.fetchQ = nil
+		return
+	}
 	q := d.fetchQ
 	d.fetchQ = nil
 	cmd := q.entries[q.head]
@@ -497,7 +608,9 @@ func (d *Device) finishFetch() {
 	q.Fetched++
 	d.inflight++
 	q.ncq.InFlight++
+	cmd.state = cmdInflight
 	cmd.rq.FetchTime = d.eng.Now()
+	d.armExpiry(cmd)
 	d.dispatchToFlash(cmd)
 	d.fetchBusy = false
 	d.maybeFetch()
@@ -532,6 +645,22 @@ func (d *Device) dispatchToFlash(cmd *command) {
 	if size <= 0 {
 		size = 1
 	}
+	var lateBy sim.Duration
+	if d.inj != nil && !rq.Flags.Discard() {
+		verdict, delay := d.inj.CommandFate(d.eng.Now(), d.media.ChipIndexOf(abs))
+		switch verdict {
+		case fault.VerdictLost:
+			// The chip is browned out or the CQE is dropped: the command is
+			// abandoned before media service and no completion will ever
+			// arrive. It keeps its in-flight slot until host expiry recovers
+			// it (recovery.go) — exactly the hang the timeout ladder exists
+			// for.
+			cmd.lost = true
+			return
+		case fault.VerdictLate:
+			lateBy = delay
+		}
+	}
 	var done sim.Time
 	switch {
 	case rq.Flags.Discard():
@@ -546,7 +675,8 @@ func (d *Device) dispatchToFlash(cmd *command) {
 	default:
 		done = d.media.SubmitIO(d.eng.Now(), abs, size, op)
 	}
-	d.eng.At(done.Add(d.cfg.CQEPostCost), cmd.doneFn)
+	cmd.pendingDone = true
+	d.eng.At(done.Add(d.cfg.CQEPostCost+lateBy), cmd.doneFn)
 }
 
 // flashDone is a command's completion continuation: inject media errors
@@ -556,7 +686,20 @@ func (d *Device) dispatchToFlash(cmd *command) {
 //ddvet:hotpath
 func (c *command) flashDone() {
 	d := c.dev
-	if d.cfg.MediaErrorRate > 0 && d.errRNG.Bool(d.cfg.MediaErrorRate) {
+	c.pendingDone = false
+	if c.state == cmdCancelled {
+		// A controller reset cancelled this command while its media op was
+		// in flight; the host already got it back, so the late completion
+		// only finishes recycling the object.
+		d.releaseCmd(c)
+		return
+	}
+	failed := d.cfg.MediaErrorRate > 0 && d.errRNG.Bool(d.cfg.MediaErrorRate)
+	if !failed && d.inj != nil && c.rq.Op == block.OpRead {
+		// Raw-bit-error ramp: extra read failures from the fault stream.
+		failed = d.inj.ReadErrorAt(d.eng.Now())
+	}
+	if failed {
 		d.MediaErrors++
 		if c.retries < d.cfg.MediaRetries {
 			// Controller-internal retry: re-execute the media ops.
@@ -568,6 +711,7 @@ func (c *command) flashDone() {
 		c.rq.Err = ErrMedia
 		d.FailedCommands++
 	}
+	c.state = cmdDone // completion wins any race with a pending abort
 	d.inflight--
 	d.postCQE(c)
 	d.maybeFetch()

@@ -1,10 +1,15 @@
 // Package stackbase factors out the plumbing every storage stack shares:
 // the environment handles (engine, cores, device), block-layer I/O
-// splitting, request-ID allocation, and the requeue-on-full path that
-// mirrors blk-mq's BLK_STS_RESOURCE handling.
+// splitting, request-ID allocation, the requeue-on-full path that mirrors
+// blk-mq's BLK_STS_RESOURCE handling, and the host side of device error
+// recovery — resubmission of commands the device cancelled during
+// timeout/abort/reset handling, with capped exponential backoff and a
+// terminal-failure verdict after MaxRequeues attempts.
 package stackbase
 
 import (
+	"errors"
+
 	"daredevil/internal/block"
 	"daredevil/internal/cpus"
 	"daredevil/internal/nvme"
@@ -25,26 +30,83 @@ type Base struct {
 	// MaxIOSize is the block-layer split threshold (kernel I/O splitting,
 	// §2.3). Zero disables splitting.
 	MaxIOSize int64
-	// RetryDelay is the backoff before re-attempting a submission that
-	// found its NSQ full.
+	// RetryDelay is the initial backoff before re-attempting a submission
+	// that found its NSQ full; successive attempts for the same submission
+	// double it up to RetryMaxDelay.
 	RetryDelay sim.Duration
+	// RetryMaxDelay caps the exponential backoff (blk-mq's
+	// BLK_MQ_RESOURCE_DELAY is a fixed 3ms; a capped ramp keeps the fast
+	// first retry while preventing a persistently full queue from being
+	// hammered every 10µs forever).
+	RetryMaxDelay sim.Duration
 	// RequeueCost is the CPU cost of a requeue attempt.
 	RequeueCost sim.Duration
+	// MaxRequeues bounds host resubmissions of a device-cancelled request;
+	// past it the request completes terminally with ErrTerminal (Linux:
+	// the bio ends with BLK_STS_IOERR once requeue budget is exhausted).
+	// Full-NSQ retries are not counted against it — resource exhaustion is
+	// not an error verdict.
+	MaxRequeues int
 
-	nextID uint64
+	nextID   uint64
+	resubmit func(*block.Request) sim.Duration
 
 	// Requeues counts submissions that hit a full NSQ at least once.
 	Requeues uint64
+	// RetryAttempts counts individual full-NSQ retry attempts (one
+	// submission can retry several times before the queue drains).
+	RetryAttempts uint64
+	// CancelRequeues counts device-cancelled commands resubmitted through
+	// the recovery path.
+	CancelRequeues uint64
+	// TerminalFailures counts requests failed after exhausting MaxRequeues.
+	TerminalFailures uint64
 }
+
+// ErrTerminal marks a request the host gave up on after MaxRequeues
+// device cancellations.
+var ErrTerminal = errors.New("stackbase: request cancelled too many times (terminal failure)")
 
 // DefaultBase returns a Base with kernel-like defaults on env.
 func DefaultBase(env Env) Base {
 	return Base{
-		Env:         env,
-		MaxIOSize:   256 * 1024,
-		RetryDelay:  10 * sim.Microsecond,
-		RequeueCost: 500 * sim.Nanosecond,
+		Env:           env,
+		MaxIOSize:     256 * 1024,
+		RetryDelay:    10 * sim.Microsecond,
+		RetryMaxDelay: 320 * sim.Microsecond,
+		RequeueCost:   500 * sim.Nanosecond,
+		MaxRequeues:   4,
 	}
+}
+
+// RecoveryStats is the comparable snapshot of the Base's host-side retry
+// and recovery counters, surfaced by harness reports.
+type RecoveryStats struct {
+	Requeues         uint64
+	RetryAttempts    uint64
+	CancelRequeues   uint64
+	TerminalFailures uint64
+}
+
+// RecoveryStats snapshots the retry/recovery counters.
+func (b *Base) RecoveryStats() RecoveryStats {
+	return RecoveryStats{
+		Requeues:         b.Requeues,
+		RetryAttempts:    b.RetryAttempts,
+		CancelRequeues:   b.CancelRequeues,
+		TerminalFailures: b.TerminalFailures,
+	}
+}
+
+// AttachRecovery wires the host side of device error recovery: resubmit
+// (normally the stack's own Submit) re-routes requests the device
+// cancelled during timeout/abort/reset handling, after a capped
+// exponential backoff keyed to how often the request has been cancelled.
+// Every stack constructor calls this; without it a cancelled request
+// completes immediately with nvme.ErrCancelled.
+func (b *Base) AttachRecovery(resubmit func(*block.Request) sim.Duration) {
+	b.resubmit = resubmit
+	b.Dev.SetCancelHandler(b.handleCancel)
 }
 
 // NextID allocates a request ID for split children.
@@ -61,29 +123,49 @@ func (b *Base) SplitAll(rq *block.Request) []*block.Request {
 	return rq.Split(b.MaxIOSize, b.NextID)
 }
 
+// backoff returns the delay before retry attempt n (0-based): RetryDelay
+// doubled per attempt, capped at RetryMaxDelay.
+func (b *Base) backoff(attempt int) sim.Duration {
+	d := b.RetryDelay
+	if d <= 0 {
+		d = 10 * sim.Microsecond
+	}
+	ceil := b.RetryMaxDelay
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if ceil > 0 && d >= ceil {
+			return ceil
+		}
+	}
+	return d
+}
+
 // EnqueueOrRetry tries to place rq on NSQ nsq. On success it reports
 // accepted=true and the submission overhead (lock wait + hold). When the
-// NSQ is full it schedules a retry on the tenant's core after RetryDelay,
-// reports accepted=false, and returns the requeue bookkeeping cost; the
-// retry repeats until the queue drains. Retried submissions always ring
-// the doorbell — a requeued request has waited long enough that batching
-// it further could live-lock a full queue of unannounced entries.
+// NSQ is full it schedules a retry on the tenant's core with capped
+// exponential backoff (RetryDelay doubling up to RetryMaxDelay), reports
+// accepted=false, and returns the requeue bookkeeping cost; the retry
+// repeats until the queue drains — resource exhaustion never fails a
+// request. Retried submissions always ring the doorbell — a requeued
+// request has waited long enough that batching it further could live-lock
+// a full queue of unannounced entries.
 func (b *Base) EnqueueOrRetry(rq *block.Request, nsq int, ring bool) (accepted bool, overhead sim.Duration) {
 	ok, overhead := b.Dev.Enqueue(b.Eng.Now(), nsq, rq, ring)
 	if ok {
 		return true, overhead
 	}
 	b.Requeues++
-	b.scheduleRetry(rq, nsq)
+	b.scheduleRetry(rq, nsq, 0)
 	return false, b.RequeueCost
 }
 
-func (b *Base) scheduleRetry(rq *block.Request, nsq int) {
+func (b *Base) scheduleRetry(rq *block.Request, nsq, attempt int) {
 	core := 0
 	if rq.Tenant != nil {
 		core = rq.Tenant.Core
 	}
-	b.Eng.After(b.RetryDelay, func() {
+	b.RetryAttempts++
+	b.Eng.After(b.backoff(attempt), func() {
 		b.Pool.Core(core).Submit(cpus.Work{
 			Cost:  b.RequeueCost,
 			Owner: tenantOwner(rq),
@@ -92,9 +174,43 @@ func (b *Base) scheduleRetry(rq *block.Request, nsq int) {
 				if ok {
 					return overhead
 				}
-				b.scheduleRetry(rq, nsq)
+				b.scheduleRetry(rq, nsq, attempt+1)
 				return 0
 			},
+		})
+	})
+}
+
+// handleCancel is the device's cancel hook (nvme.SetCancelHandler): the
+// request lost its command to a timeout abort or a controller reset.
+// Resubmit it through the stack after a capped exponential backoff, or —
+// once it has been cancelled more than MaxRequeues times — fail it
+// terminally so it still completes exactly once.
+func (b *Base) handleCancel(rq *block.Request) {
+	rq.Requeues++
+	limit := b.MaxRequeues
+	if limit <= 0 {
+		limit = 4
+	}
+	if rq.Requeues > limit || b.resubmit == nil {
+		b.TerminalFailures++
+		if rq.Err == nil {
+			rq.Err = ErrTerminal
+		}
+		rq.Complete(b.Eng.Now())
+		return
+	}
+	b.CancelRequeues++
+	rq.Err = nil // a resubmission is a fresh attempt
+	core := 0
+	if rq.Tenant != nil {
+		core = rq.Tenant.Core
+	}
+	b.Eng.After(b.backoff(rq.Requeues-1), func() {
+		b.Pool.Core(core).Submit(cpus.Work{
+			Cost:  b.RequeueCost,
+			Owner: tenantOwner(rq),
+			Fn:    func() sim.Duration { return b.resubmit(rq) },
 		})
 	})
 }

@@ -132,3 +132,111 @@ func TestRetryWithNilTenantUsesCoreZero(t *testing.T) {
 		t.Fatal("tenant-less retry never completed")
 	}
 }
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	b := DefaultBase(newEnv(t))
+	b.RetryDelay = 10 * sim.Microsecond
+	b.RetryMaxDelay = 80 * sim.Microsecond
+	want := []sim.Duration{
+		10 * sim.Microsecond, 20 * sim.Microsecond, 40 * sim.Microsecond,
+		80 * sim.Microsecond, 80 * sim.Microsecond, 80 * sim.Microsecond,
+	}
+	for i, w := range want {
+		if got := b.backoff(i); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Zero RetryDelay falls back to the default initial delay.
+	b.RetryDelay = 0
+	if got := b.backoff(0); got != 10*sim.Microsecond {
+		t.Fatalf("backoff(0) with zero RetryDelay = %v", got)
+	}
+}
+
+func TestRetryAttemptsCounted(t *testing.T) {
+	env := newEnv(t)
+	b := DefaultBase(env)
+	ten := &block.Tenant{ID: 1, Core: 0}
+	// Fill NSQ 0 without ringing so retries keep failing for a while.
+	for i := 0; i < 4; i++ {
+		rq := &block.Request{ID: uint64(i), Tenant: ten, Size: 4096, NSQ: -1}
+		rq.OnComplete = func(r *block.Request) {}
+		env.Dev.Enqueue(env.Eng.Now(), 0, rq, false)
+	}
+	rq := &block.Request{ID: 99, Tenant: ten, Size: 4096, NSQ: -1}
+	done := false
+	rq.OnComplete = func(r *block.Request) { done = true }
+	b.EnqueueOrRetry(rq, 0, true)
+	// Let several backed-off retries fail, then drain.
+	env.Eng.RunUntil(sim.Time(2 * sim.Millisecond))
+	attemptsWhileFull := b.RetryAttempts
+	env.Dev.Ring(0)
+	env.Eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if !done {
+		t.Fatal("retried request never completed")
+	}
+	if attemptsWhileFull < 2 {
+		t.Fatalf("RetryAttempts = %d while queue stayed full, want several", attemptsWhileFull)
+	}
+	// Capped backoff: attempts over 2ms with a 320µs cap must be far fewer
+	// than the 200 a constant 10µs retry would make.
+	if attemptsWhileFull > 30 {
+		t.Fatalf("RetryAttempts = %d over 2ms; backoff cap not applied", attemptsWhileFull)
+	}
+}
+
+func TestHandleCancelRequeuesThenTerminal(t *testing.T) {
+	env := newEnv(t)
+	b := DefaultBase(env)
+	b.MaxRequeues = 2
+	resubmits := 0
+	b.AttachRecovery(func(rq *block.Request) sim.Duration {
+		resubmits++
+		// Simulate the device cancelling the command again.
+		env.Eng.After(sim.Microsecond, func() { b.handleCancel(rq) })
+		return 0
+	})
+	ten := &block.Tenant{ID: 1, Core: 0}
+	rq := &block.Request{ID: 1, Tenant: ten, Size: 4096, NSQ: -1}
+	completions := 0
+	rq.OnComplete = func(r *block.Request) { completions++ }
+	b.handleCancel(rq)
+	env.Eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if completions != 1 {
+		t.Fatalf("request completed %d times, want exactly 1", completions)
+	}
+	if rq.Err != ErrTerminal {
+		t.Fatalf("Err = %v, want ErrTerminal", rq.Err)
+	}
+	if resubmits != 2 {
+		t.Fatalf("resubmitted %d times, want MaxRequeues = 2", resubmits)
+	}
+	if b.CancelRequeues != 2 || b.TerminalFailures != 1 {
+		t.Fatalf("CancelRequeues=%d TerminalFailures=%d, want 2/1",
+			b.CancelRequeues, b.TerminalFailures)
+	}
+}
+
+func TestHandleCancelWithoutResubmitFailsImmediately(t *testing.T) {
+	env := newEnv(t)
+	b := DefaultBase(env)
+	ten := &block.Tenant{ID: 1, Core: 0}
+	rq := &block.Request{ID: 1, Tenant: ten, Size: 4096, NSQ: -1}
+	completions := 0
+	rq.OnComplete = func(r *block.Request) { completions++ }
+	b.handleCancel(rq)
+	env.Eng.RunUntil(sim.Time(sim.Millisecond))
+	if completions != 1 || rq.Err != ErrTerminal {
+		t.Fatalf("completions=%d err=%v, want immediate terminal failure", completions, rq.Err)
+	}
+}
+
+func TestRecoveryStatsSnapshot(t *testing.T) {
+	b := DefaultBase(newEnv(t))
+	b.Requeues, b.RetryAttempts, b.CancelRequeues, b.TerminalFailures = 1, 2, 3, 4
+	got := b.RecoveryStats()
+	want := RecoveryStats{Requeues: 1, RetryAttempts: 2, CancelRequeues: 3, TerminalFailures: 4}
+	if got != want {
+		t.Fatalf("RecoveryStats = %+v, want %+v", got, want)
+	}
+}

@@ -58,6 +58,7 @@ func New(env stackbase.Env, mode Mode, maxNQs int) *Stack {
 	default:
 		panic("staticpart: unknown mode")
 	}
+	s.AttachRecovery(s.Submit)
 	return s
 }
 

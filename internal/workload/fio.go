@@ -104,6 +104,15 @@ type Job struct {
 	SyncLat stats.Histogram
 	// Done counts completed operations since the last ResetStats.
 	Done stats.Counter
+	// Failed counts the subset of Done that completed with a terminal
+	// error (media failure or exhausted recovery); goodput is Done minus
+	// Failed.
+	Failed stats.Counter
+
+	// Observer, when set before Start, sees every counted completion after
+	// accounting (the ext-fault harness uses it to split latencies around
+	// fault windows and to measure recovery time).
+	Observer func(*block.Request)
 
 	// Optional per-window series (Fig. 8); enable before Start.
 	LatSeries  *stats.Series
@@ -226,6 +235,7 @@ func (j *Job) ResetStats() {
 	j.Lat.Reset()
 	j.SyncLat.Reset()
 	j.Done.Reset()
+	j.Failed.Reset()
 	if j.SubWait != nil {
 		j.SubWait.Reset()
 		j.CompDelay.Reset()
@@ -335,6 +345,12 @@ func (j *Job) onComplete(r *block.Request) {
 		j.SyncLat.Record(lat)
 	}
 	j.Done.Add(r.Size)
+	if r.Err != nil {
+		j.Failed.Add(r.Size)
+	}
+	if j.Observer != nil {
+		j.Observer(r)
+	}
 	if j.LatSeries != nil {
 		j.LatSeries.Add(now, lat.Milliseconds())
 	}

@@ -49,6 +49,19 @@ type Scenario struct {
 	PreconditionPct *int `json:"preconditionPct"`
 	ScramblePct     *int `json:"scramblePct"`
 
+	// Fault names a canned fault profile ("brownout", "lossy", "wearout")
+	// to run the scenario under: the fault window covers the second
+	// quarter of the measurement phase and host recovery (command expiry →
+	// Abort → controller reset, stack requeue) is armed. Empty runs a
+	// healthy device. The remaining fault fields only apply when it is
+	// set.
+	Fault string `json:"fault"`
+	// FaultSeed keys the dedicated fault RNG stream (default 42).
+	FaultSeed uint64 `json:"faultSeed"`
+	// CmdTimeoutUs overrides the host's per-command expiry in
+	// microseconds (default: a quarter of the measurement phase).
+	CmdTimeoutUs int64 `json:"cmdTimeoutUs"`
+
 	Jobs []ScenarioJob `json:"jobs"`
 }
 
@@ -108,6 +121,17 @@ func (sc Scenario) validate() error {
 		if err := sc.ftlConfig().Validate(); err != nil {
 			return fmt.Errorf("daredevil: invalid FTL scenario: %w", err)
 		}
+	}
+	switch sc.Fault {
+	case "", string(FaultBrownout), string(FaultLossy), string(FaultWearout):
+	default:
+		return fmt.Errorf("daredevil: unknown fault profile %q (want brownout, lossy, or wearout)", sc.Fault)
+	}
+	if sc.Fault == "" && (sc.FaultSeed != 0 || sc.CmdTimeoutUs != 0) {
+		return fmt.Errorf("daredevil: faultSeed/cmdTimeoutUs require \"fault\"")
+	}
+	if sc.CmdTimeoutUs < 0 {
+		return fmt.Errorf("daredevil: negative cmdTimeoutUs")
 	}
 	if len(sc.Jobs) == 0 {
 		return fmt.Errorf("daredevil: scenario has no jobs")
@@ -173,6 +197,30 @@ func (sc Scenario) Build() (*Simulation, Duration, Duration, error) {
 		fcfg := sc.ftlConfig()
 		m.FTL = &fcfg
 	}
+	warm := Duration(sc.WarmupMs) * Millisecond
+	if warm == 0 {
+		warm = 100 * Millisecond
+	}
+	measure := Duration(sc.MeasureMs) * Millisecond
+	if measure == 0 {
+		measure = 400 * Millisecond
+	}
+	if sc.Fault != "" {
+		seed := sc.FaultSeed
+		if seed == 0 {
+			seed = DefaultFaultSeed
+		}
+		fs := DefaultFaultSchedule(FaultProfile(sc.Fault), seed, warm, measure)
+		m.Fault = &fs
+		if sc.CmdTimeoutUs > 0 {
+			m.NVMe.CmdTimeout = Duration(sc.CmdTimeoutUs) * Microsecond
+		} else {
+			// Keep expiry well above the device's legitimate tail under
+			// load; a too-short timeout cascades into false-abort reset
+			// storms.
+			m.NVMe.CmdTimeout = measure / 4
+		}
+	}
 	sim := NewSimulation(m, kind)
 	if sc.Namespaces > 1 {
 		sim.CreateNamespaces(sc.Namespaces)
@@ -218,14 +266,6 @@ func (sc Scenario) Build() (*Simulation, Duration, Duration, error) {
 			sim.AddJob(cfg)
 			tenantIdx++
 		}
-	}
-	warm := Duration(sc.WarmupMs) * Millisecond
-	if warm == 0 {
-		warm = 100 * Millisecond
-	}
-	measure := Duration(sc.MeasureMs) * Millisecond
-	if measure == 0 {
-		measure = 400 * Millisecond
 	}
 	return sim, warm, measure, nil
 }
