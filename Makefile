@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-all benchguard figures svg json examples lint vet fmt cover clean
+.PHONY: all build test test-short race bench bench-all benchguard figures svg json obs examples lint vet fmt cover clean
 
 all: build test
 
@@ -29,8 +29,9 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fail if the engine benchmarks allocate more per op than the committed
-# baseline in BENCH_harness.json admits (zero-alloc baselines admit zero).
+# Fail if the guarded benchmarks (event core, obs-off device hot path)
+# allocate more per op than the committed baseline in BENCH_harness.json
+# admits (zero-alloc baselines admit zero).
 benchguard:
 	$(GO) run ./cmd/benchguard
 
@@ -43,6 +44,11 @@ svg:
 
 json:
 	$(GO) run ./cmd/ddbench -json out/results all
+
+# Instrumented demo cell: Perfetto trace, gauge CSV + SVG sparklines, and
+# the flight-recorder dump of its recovery escalations.
+obs:
+	$(GO) run ./cmd/ddbench -obs out/obs
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -290,6 +290,24 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOffDeviceHotPath pins the cost of the observability hooks
+// when observability is off — the common case for every experiment cell.
+// EnableObs is never called, so every span stamp, flight-ring record, and
+// tracer call must stay on its nil-check path; benchguard guards this
+// benchmark's allocs/op so a hook that starts allocating (or forces an
+// interface boxing) on the disabled path fails CI.
+func BenchmarkObsOffDeviceHotPath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := harness.NewEnv(harness.SVM(2), harness.DareFull)
+		mix := harness.NewMix(env)
+		mix.AddL(2, 0)
+		mix.AddT(2, 0)
+		mix.StartAll()
+		env.Eng.RunUntil(sim.Time(20 * sim.Millisecond))
+	}
+}
+
 // --- Extension benches ---
 
 // BenchmarkExtensionSchedulers regenerates the I/O-scheduler comparison.

@@ -1,9 +1,16 @@
-// Command benchguard defends the event core's allocation discipline in CI.
-// It re-runs the engine benchmarks with -benchmem, parses allocs/op, and
-// compares them against the committed baseline in BENCH_harness.json.
+// Command benchguard defends the simulator's allocation discipline in CI.
+// It re-runs the guarded benchmark suites with -benchmem, parses allocs/op,
+// and compares them against the committed baseline in BENCH_harness.json.
 //
-//	go run ./cmd/benchguard                  # engine benchmarks vs baseline
+//	go run ./cmd/benchguard                  # default suites vs baseline
 //	go run ./cmd/benchguard -tolerance 0.10  # explicit regression budget
+//	go run ./cmd/benchguard -suites ./internal/sim=BenchmarkEngine
+//
+// Two suites are guarded by default: the event-core benchmarks (the
+// allocation-free engine hot path) and the obs-off device benchmark, which
+// pins the cost of the observability hooks when no observer is attached —
+// a span stamp or flight-ring record that starts allocating on its disabled
+// path shows up here as an allocs/op regression.
 //
 // A benchmark whose fresh allocs/op exceeds its baseline by more than the
 // tolerance fails the run. Zero-allocation baselines get no budget at all:
@@ -35,43 +42,58 @@ type baseline struct {
 	} `json:"benchmarks"`
 }
 
+// defaultSuites lists the guarded pkg=pattern pairs.
+const defaultSuites = "./internal/sim=BenchmarkEngine,.=BenchmarkObsOff"
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_harness.json", "committed benchmark baseline")
-	pkg := flag.String("pkg", "./internal/sim", "package holding the guarded benchmarks")
-	pattern := flag.String("bench", "BenchmarkEngine", "benchmark name pattern to run and guard")
+	suites := flag.String("suites", defaultSuites, "comma-separated pkg=pattern benchmark suites to run and guard")
 	benchtime := flag.String("benchtime", "1000x", "iterations per benchmark (fixed count: allocs/op is exact)")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth over baseline")
 	flag.Parse()
 
-	base, err := loadBaseline(*baselinePath, *pattern)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(3)
-	}
-	if len(base) == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: no %s* benchmarks in %s\n", *pattern, *baselinePath)
-		os.Exit(3)
-	}
+	var problems []string
+	for _, suite := range strings.Split(*suites, ",") {
+		pkg, pattern, ok := strings.Cut(suite, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: bad -suites entry %q (want pkg=pattern)\n", suite)
+			os.Exit(3)
+		}
+		base, err := loadBaseline(*baselinePath, pattern)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(3)
+		}
+		if len(base) == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: no %s* benchmarks in %s\n", pattern, *baselinePath)
+			os.Exit(3)
+		}
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *pattern,
-		"-benchtime", *benchtime, "-benchmem", *pkg)
-	var out bytes.Buffer
-	cmd.Stdout = &out
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard: go test -bench:", err)
-		os.Exit(3)
-	}
-	fresh, err := parseAllocs(out.String())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(3)
-	}
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+			"-benchtime", *benchtime, "-benchmem", pkg)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard: go test -bench:", err)
+			os.Exit(3)
+		}
+		fresh, err := parseAllocs(out.String())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(3)
+		}
 
-	problems := compare(base, fresh, *tolerance)
-	for name := range base {
-		fmt.Printf("benchguard: %-32s baseline %d allocs/op, fresh %d allocs/op\n",
-			name, base[name], fresh[name])
+		problems = append(problems, compare(base, fresh, *tolerance)...)
+		names := make([]string, 0, len(base))
+		for name := range base {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("benchguard: %-32s baseline %d allocs/op, fresh %d allocs/op\n",
+				name, base[name], fresh[name])
+		}
 	}
 	if len(problems) > 0 {
 		for _, p := range problems {

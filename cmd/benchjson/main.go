@@ -83,6 +83,7 @@ func realMain() int {
 	runs := [][]string{
 		{"-bench", "BenchmarkEngine", "./internal/sim"},
 		{"-bench", "BenchmarkSimulatorThroughput", "."},
+		{"-bench", "BenchmarkObsOff", "."},
 	}
 	for _, r := range runs {
 		bs, err := runGoBench(r[1], r[2], benchtime)

@@ -44,6 +44,7 @@ func realMain() int {
 	svgDir := flag.String("svg", "", "also write <experiment>.svg charts into this directory")
 	jsonDir := flag.String("json", "", "also write machine-readable <experiment>.json results into this directory")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "run up to N experiment cells in parallel (results are identical to -j 1)")
+	obsDir := flag.String("obs", "", "run the instrumented demo cell and write trace.json, metrics.csv, metrics.svg, flight.txt into this directory (no experiment needed)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -97,6 +98,16 @@ func realMain() int {
 		sc.Measure = sim.Duration(measure.Nanoseconds())
 	}
 
+	if *obsDir != "" {
+		if err := runObs(*obsDir, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			return 1
+		}
+		if flag.NArg() == 0 {
+			return 0
+		}
+	}
+
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -121,6 +132,35 @@ func realMain() int {
 		}
 	}
 	return 0
+}
+
+// runObs runs the instrumented demo cell (Daredevil under brownout with
+// tracing, metrics sampling, and the flight recorder armed) and writes its
+// four exports into dir.
+func runObs(dir string, sc harness.Scale) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	d, err := harness.RunObsDemo(sc)
+	if err != nil {
+		return err
+	}
+	for _, out := range []struct {
+		name string
+		data []byte
+	}{
+		{"trace.json", d.Trace},
+		{"metrics.csv", d.Metrics},
+		{"metrics.svg", d.SVG},
+		{"flight.txt", d.Flight},
+	} {
+		path := filepath.Join(dir, out.name)
+		if err := os.WriteFile(path, out.data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote %s]\n", path)
+	}
+	return nil
 }
 
 // svgWriter is implemented by results that can render a chart.

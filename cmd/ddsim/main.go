@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"daredevil"
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	stack := flag.String("stack", "daredevil", "storage stack: vanilla | blk-switch | static-part | dare-base | dare-sched | daredevil")
-	compare := flag.Bool("compare", false, "run the scenario on every stack concurrently and print a comparison (ignores -stack, -breakdown, -trace)")
+	compare := flag.Bool("compare", false, "run the scenario on every stack concurrently and print a comparison (ignores -stack, -breakdown, -trace, -obs-window-us)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations with -compare")
 	cores := flag.Int("cores", 4, "CPU cores")
 	nL := flag.Int("l", 4, "L-tenants (4KB rand qd=1, real-time ionice)")
@@ -30,7 +31,9 @@ func main() {
 	warmup := flag.Duration("warmup", 100*time.Millisecond, "warmup window (virtual)")
 	measure := flag.Duration("measure", 400*time.Millisecond, "measurement window (virtual)")
 	breakdown := flag.Bool("breakdown", false, "report L-tenant path components (lock wait, completion delay, cross-core)")
-	traceN := flag.Int("trace", 0, "print the path timeline of the first N sampled requests")
+	tracePath := flag.String("trace", "", "write request lifecycle spans as Chrome trace-event JSON to this file (open at ui.perfetto.dev)")
+	traceLimit := flag.Int("trace-limit", 0, "cap the spans captured with -trace (0 = default budget)")
+	obsWindowUs := flag.Int("obs-window-us", 0, "sample queue/CPU/FTL/recovery gauges every N virtual microseconds and print the CSV after the summary")
 	config := flag.String("config", "", "run a JSON scenario file instead of the flag-built mix")
 	seed := flag.Uint64("seed", 0, "shift every tenant's random stream (0 = default streams)")
 	errorRate := flag.Float64("error-rate", 0, "inject per-command media errors with this probability (controller retries up to 3x)")
@@ -48,7 +51,7 @@ func main() {
 	daredevil.SetParallelism(*jobs)
 
 	if *config != "" {
-		if err := runConfig(*config, *breakdown, *traceN); err != nil {
+		if err := runConfig(*config, *breakdown, *tracePath, *traceLimit, *obsWindowUs); err != nil {
 			fmt.Fprintln(os.Stderr, "ddsim:", err)
 			os.Exit(1)
 		}
@@ -130,8 +133,11 @@ func main() {
 	if *breakdown {
 		sim.EnableBreakdown()
 	}
-	if *traceN > 0 {
-		sim.EnableTrace(*traceN, 1)
+	if *tracePath != "" {
+		sim.EnableTrace(*traceLimit)
+	}
+	if *obsWindowUs > 0 {
+		sim.EnableMetrics(daredevil.Duration(*obsWindowUs) * daredevil.Microsecond)
 	}
 
 	res := sim.Run(warm, meas)
@@ -152,10 +158,43 @@ func main() {
 			res.LCompletionDelay.Mean, res.LCompletionDelay.P99,
 			100*res.LCrossCoreFraction)
 	}
-	if *traceN > 0 {
-		fmt.Println()
-		sim.WriteTrace(os.Stdout)
+	if err := writeObsOutputs(sim, *tracePath, *obsWindowUs > 0); err != nil {
+		fmt.Fprintln(os.Stderr, "ddsim:", err)
+		os.Exit(1)
 	}
+}
+
+// writeObsOutputs emits whatever observability surfaces the run armed: the
+// Chrome trace JSON to tracePath, the sampled-gauge CSV to stdout, and —
+// whenever host recovery escalated — the flight-recorder dumps.
+func writeObsOutputs(sim *daredevil.Simulation, tracePath string, metrics bool) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := sim.WriteTraceJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  trace: wrote %s (open at ui.perfetto.dev)\n", tracePath)
+	}
+	if metrics {
+		fmt.Println()
+		if err := sim.WriteMetricsCSV(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if sim.FlightDumps() > 0 {
+		fmt.Println()
+		if err := sim.WriteFlight(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // allStacks is the -compare sweep order.
@@ -185,8 +224,12 @@ func runCompare(build func(daredevil.StackKind) *daredevil.Simulation,
 	}
 }
 
-// runConfig executes a JSON scenario file.
-func runConfig(path string, breakdown bool, traceN int) error {
+// runConfig executes a JSON scenario file. Observability comes from either
+// side: the scenario's trace/traceLimit/obsWindowUs fields arm the surfaces,
+// and the -trace / -trace-limit / -obs-window-us flags add to or override
+// them (the flag path wins for the trace output file; a scenario that set
+// "trace": true without a -trace flag writes next to the scenario file).
+func runConfig(path string, breakdown bool, tracePath string, traceLimit, obsWindowUs int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -202,9 +245,15 @@ func runConfig(path string, breakdown bool, traceN int) error {
 	if breakdown {
 		sim.EnableBreakdown()
 	}
-	if traceN > 0 {
-		sim.EnableTrace(traceN, 1)
+	if tracePath != "" {
+		sim.EnableTrace(traceLimit)
+	} else if sc.Trace {
+		tracePath = strings.TrimSuffix(path, ".json") + ".trace.json"
 	}
+	if obsWindowUs > 0 {
+		sim.EnableMetrics(daredevil.Duration(obsWindowUs) * daredevil.Microsecond)
+	}
+	metrics := obsWindowUs > 0 || sc.ObsWindowUs > 0
 	res := sim.Run(warm, measure)
 	fmt.Printf("scenario %s: stack=%s (measured %v virtual)\n", path, sim.StackName(), measure)
 	fmt.Printf("  L-tenants: avg=%v p99=%v p99.9=%v (%.2f kIOPS, %d ops)\n",
@@ -220,11 +269,7 @@ func runConfig(path string, breakdown bool, traceN int) error {
 		fmt.Printf("  L path components: lock-wait avg=%v | completion-delay avg=%v | cross-core %.0f%%\n",
 			res.LSubmissionWait.Mean, res.LCompletionDelay.Mean, 100*res.LCrossCoreFraction)
 	}
-	if traceN > 0 {
-		fmt.Println()
-		sim.WriteTrace(os.Stdout)
-	}
-	return nil
+	return writeObsOutputs(sim, tracePath, metrics)
 }
 
 // printFTL reports device-internal GC activity when the run used -ftl (or

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"daredevil"
@@ -40,13 +44,41 @@ func TestParsedKindsBuild(t *testing.T) {
 }
 
 func TestRunConfig(t *testing.T) {
-	if err := runConfig("../../examples/scenarios/mixed.json", false, 0); err != nil {
+	if err := runConfig("../../examples/scenarios/mixed.json", false, "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := runConfig("../../examples/scenarios/multins.json", true, 0); err != nil {
+	if err := runConfig("../../examples/scenarios/multins.json", true, "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := runConfig("/nonexistent.json", false, 0); err == nil {
+	if err := runConfig("/nonexistent.json", false, "", 0, 0); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+// TestRunConfigTraced runs the shipped traced scenario end to end: the
+// scenario file arms tracing and metrics itself, and the trace JSON lands
+// next to the scenario unless -trace overrides the path.
+func TestRunConfigTraced(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile("../../examples/scenarios/traced.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "traced.json")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConfig(path, false, "", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(filepath.Join(dir, "traced.trace.json"))
+	if err != nil {
+		t.Fatalf("scenario-armed trace not written: %v", err)
+	}
+	if !json.Valid(out) {
+		t.Fatal("trace output is not valid JSON")
+	}
+	if !strings.Contains(string(out), "traceEvents") {
+		t.Fatal("trace output missing traceEvents envelope")
 	}
 }

@@ -34,9 +34,9 @@ import (
 	"daredevil/internal/fault"
 	"daredevil/internal/ftl"
 	"daredevil/internal/harness"
+	"daredevil/internal/obs"
 	"daredevil/internal/sim"
 	"daredevil/internal/stats"
-	"daredevil/internal/trace"
 	"daredevil/internal/workload"
 )
 
@@ -203,7 +203,6 @@ type Simulation struct {
 	mix       *harness.Mix
 	apps      []app
 	breakdown bool
-	tracer    *trace.Collector
 	ran       bool
 }
 
@@ -356,20 +355,85 @@ type app interface {
 // draws. Zero keeps the default streams.
 func (s *Simulation) SetSeedShift(shift uint64) { s.mix.SeedShift = shift }
 
-// EnableTrace samples up to capacity completed requests' path timelines
-// (every sampleEvery-th completion). Call before Run; render the table
-// afterwards with WriteTrace.
-func (s *Simulation) EnableTrace(capacity, sampleEvery int) {
-	s.tracer = trace.NewCollector(capacity)
-	s.tracer.SampleEvery = sampleEvery
+// EnableTrace collects per-request lifecycle spans for up to limit requests
+// (a default budget when limit <= 0) and arms the flight recorder. Call
+// before Run; render afterwards with WriteTrace (phase table),
+// WriteTraceJSON (Chrome trace-event / Perfetto timeline), or WriteFlight
+// (recovery postmortems).
+func (s *Simulation) EnableTrace(limit int) {
+	if limit <= 0 {
+		limit = obs.DefaultTraceLimit
+	}
+	s.env.EnableObs(limit, 0)
 }
 
-// WriteTrace renders sampled request timelines (phase deltas: CPU+routing,
-// in-NSQ, device, delivery). No-op unless EnableTrace was called.
-func (s *Simulation) WriteTrace(w io.Writer) {
-	if s.tracer != nil {
-		s.tracer.WriteTable(w)
+// EnableMetrics samples the machine's gauge set (queue depths, per-core
+// busy/IRQ share, controller occupancy, FTL health, recovery deltas) every
+// window of virtual time. Call before Run; export with WriteMetricsCSV or
+// WriteMetricsJSON.
+func (s *Simulation) EnableMetrics(window Duration) {
+	if window <= 0 {
+		panic("daredevil: EnableMetrics needs a positive window")
 	}
+	s.env.EnableObs(0, window)
+}
+
+// WriteTrace renders collected request timelines as an aligned phase table
+// (cpu+route, in-NSQ, device, delivery). No-op unless EnableTrace was
+// called.
+func (s *Simulation) WriteTrace(w io.Writer) {
+	if s.env.Obs != nil && s.env.Obs.Tracer() != nil {
+		s.env.Obs.Tracer().WriteTable(w)
+	}
+}
+
+// WriteTraceJSON emits the collected trace as Chrome trace-event JSON with
+// one track per core, NSQ, chip, and GC die plus recovery instants — open
+// it at ui.perfetto.dev or chrome://tracing. No-op unless EnableTrace was
+// called.
+func (s *Simulation) WriteTraceJSON(w io.Writer) error {
+	if s.env.Obs == nil || s.env.Obs.Tracer() == nil {
+		return nil
+	}
+	return s.env.Obs.Tracer().WriteJSON(w)
+}
+
+// WriteMetricsCSV emits the sampled gauge series as a CSV matrix (first
+// column window start in µs, one column per gauge). No-op unless
+// EnableMetrics was called.
+func (s *Simulation) WriteMetricsCSV(w io.Writer) error {
+	if s.env.Obs == nil || s.env.Obs.Sampler() == nil {
+		return nil
+	}
+	return s.env.Obs.Sampler().WriteCSV(w)
+}
+
+// WriteMetricsJSON emits the sampled gauge series as JSON. No-op unless
+// EnableMetrics was called.
+func (s *Simulation) WriteMetricsJSON(w io.Writer) error {
+	if s.env.Obs == nil || s.env.Obs.Sampler() == nil {
+		return nil
+	}
+	return s.env.Obs.Sampler().WriteJSON(w)
+}
+
+// WriteFlight renders the flight-recorder dumps captured when host
+// recovery escalated (timeout/abort/reset): one block per escalation, the
+// recent event stream of every component merged in deterministic order.
+// No-op when tracing was off or nothing escalated.
+func (s *Simulation) WriteFlight(w io.Writer) error {
+	if s.env.Obs == nil {
+		return nil
+	}
+	return s.env.Obs.Flight().WriteText(w)
+}
+
+// FlightDumps reports how many recovery escalations captured a flight dump.
+func (s *Simulation) FlightDumps() int {
+	if s.env.Obs == nil {
+		return 0
+	}
+	return len(s.env.Obs.Flight().Dumps())
 }
 
 // EnableBreakdown records per-request path components for L-tenants
@@ -389,10 +453,11 @@ func (s *Simulation) Run(warmup, measure Duration) Result {
 			j.EnableComponents()
 		}
 	}
-	if s.tracer != nil {
+	if s.env.Obs != nil {
 		for _, j := range s.mix.AllJobs() {
-			j.Tracer = s.tracer
+			j.Obs = s.env.Obs
 		}
+		s.env.Obs.Start()
 	}
 	s.mix.StartAll()
 	for _, a := range s.apps {
@@ -407,6 +472,9 @@ func (s *Simulation) Run(warmup, measure Duration) Result {
 		s.env.FTL.ResetStats()
 	}
 	s.env.Eng.RunUntil(sim.Time(warmup + measure))
+	if s.env.Obs != nil {
+		s.env.Obs.Finish(sim.Time(warmup + measure))
+	}
 	r := s.mix.Collect(measure)
 	res := Result{
 		LTenantLatency:  r.L,

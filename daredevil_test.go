@@ -185,7 +185,7 @@ func TestNoBreakdownByDefault(t *testing.T) {
 
 func TestTraceCapture(t *testing.T) {
 	sim := NewSimulation(ServerMachine(2), StackDaredevil)
-	sim.EnableTrace(10, 1)
+	sim.EnableTrace(10)
 	sim.AddLTenants(2)
 	sim.Run(5*Millisecond, 30*Millisecond)
 	var buf bytes.Buffer

@@ -8,6 +8,7 @@ package block
 import (
 	"fmt"
 
+	"daredevil/internal/obs"
 	"daredevil/internal/sim"
 )
 
@@ -173,6 +174,11 @@ type Request struct {
 	// ISR processing). Set by the workload; stacks must preserve it.
 	OnComplete func(*Request)
 
+	// Span is the observability lifecycle record, nil unless tracing is
+	// enabled. Layers stamp it in place with a nil guard, so the disabled
+	// path is one pointer compare.
+	Span *obs.Span
+
 	// split bookkeeping
 	parent    *Request
 	remaining int
@@ -194,6 +200,15 @@ func (r *Request) CompletionDelay() sim.Duration { return r.CompleteTime.Sub(r.C
 // child does.
 func (r *Request) Complete(now sim.Time) {
 	r.CompleteTime = now
+	if sp := r.Span; sp != nil {
+		sp.Complete = now
+		sp.LockWait = r.LockWait
+		sp.CrossCore = r.CrossCore
+		sp.Failed = r.Err != nil
+		sp.Retries = r.Retries
+		sp.Requeues = r.Requeues
+		sp.End()
+	}
 	if r.parent != nil {
 		p := r.parent
 		p.remaining--
@@ -244,6 +259,10 @@ func (r *Request) Split(maxBytes int64, nextID func() uint64) []*Request {
 			IssueTime: r.IssueTime,
 			NSQ:       -1,
 			parent:    r,
+		}
+		c.Span = r.Span.Child(c.ID)
+		if c.Span != nil {
+			c.Span.Size = sz
 		}
 		children = append(children, c)
 	}

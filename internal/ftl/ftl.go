@@ -22,6 +22,7 @@ import (
 
 	"daredevil/internal/fault"
 	"daredevil/internal/flash"
+	"daredevil/internal/obs"
 	"daredevil/internal/sim"
 	"daredevil/internal/stats"
 )
@@ -205,6 +206,7 @@ type dieState struct {
 	gcVictim int      // victim block of the in-progress round (-1 between rounds)
 	gcScan   int      // next victim page slot to examine
 	gcStart  sim.Time // round start, for the pause histogram
+	gcMoved0 uint64   // GCPagesMoved at round start, for per-round deltas
 	gcGen    uint64   // invalidates scheduled GC continuations after a takeover
 
 	retired int // blocks taken out of service on this die (grown bad)
@@ -235,6 +237,10 @@ type Device struct {
 	aging bool
 	// inj, when attached, injects program failures that grow bad blocks.
 	inj *fault.Injector
+	// tracer, when attached, receives GC-round ranges for the trace
+	// timeline; fr receives flight-recorder events. Both nil-safe.
+	tracer *obs.Tracer
+	fr     *obs.Ring
 
 	st Stats
 	// GCPauses is the distribution of per-victim collection times (first
@@ -318,6 +324,24 @@ func (d *Device) Config() Config { return d.cfg }
 // AttachFault installs a fault injector; host page programs then draw
 // grown-bad-block failures from its stream. Pass nil to detach.
 func (d *Device) AttachFault(inj *fault.Injector) { d.inj = inj }
+
+// AttachObs connects the FTL to an observer: finished GC rounds land on the
+// trace timeline (one track per die) and in the "ftl" flight ring.
+func (d *Device) AttachObs(o *obs.Observer) {
+	if o == nil {
+		d.tracer, d.fr = nil, nil
+		return
+	}
+	d.tracer = o.Tracer()
+	if f := o.Flight(); f != nil {
+		d.fr = f.Ring("ftl")
+	}
+}
+
+// ForegroundGCCount reports writes that stalled for an inline GC; the
+// controller samples its delta across a command's service to attribute GC
+// waits to individual spans.
+func (d *Device) ForegroundGCCount() uint64 { return d.st.ForegroundGCs }
 
 // Stats returns accumulated counters.
 func (d *Device) Stats() Stats { return d.st }
@@ -629,6 +653,7 @@ func (d *Device) gcBeginRound(die int) {
 	ds.gcVictim = victim
 	ds.gcScan = 0
 	ds.gcStart = d.eng.Now()
+	ds.gcMoved0 = d.st.GCPagesMoved
 	d.gcStep(die)
 }
 
@@ -697,6 +722,8 @@ func (d *Device) gcFinishRound(die int) {
 	ds := &d.dies[die]
 	eraseDone := d.eraseBlock(die, ds.gcVictim)
 	d.GCPauses.Record(eraseDone.Sub(ds.gcStart))
+	d.tracer.RecordGC(die, ds.gcStart, eraseDone, int(d.st.GCPagesMoved-ds.gcMoved0))
+	d.fr.Record(d.eng.Now(), "gc-round", uint64(die), int64(len(ds.free)))
 	d.st.GCRuns++
 	ds.gcVictim = -1
 	ds.gcGen++
@@ -803,6 +830,7 @@ func (d *Device) foregroundGC(now sim.Time) int {
 			ds.gcVictim = victim
 			ds.gcScan = 0
 			ds.gcStart = now
+			ds.gcMoved0 = d.st.GCPagesMoved
 			d.relocate(die, victim, d.ppb)
 			d.gcFinishRound(die)
 		}

@@ -82,7 +82,20 @@ func RunFig8(sc Scale) Fig8Result {
 		for _, j := range mix.TJobs {
 			tputSets = append(tputSets, j.TputSeries.Finish(end))
 		}
-		n := int(sim.Duration(end) / window)
+		// Merge up to the longest series actually produced: a run end that is
+		// not window-aligned yields a final partial window (Series.Finish
+		// flushes it), and truncating to end/window would drop it.
+		n := 0
+		for _, s := range latSets {
+			if len(s) > n {
+				n = len(s)
+			}
+		}
+		for _, s := range tputSets {
+			if len(s) > n {
+				n = len(s)
+			}
+		}
 		ser := Fig8Series{Kind: kind}
 		for i := 0; i < n; i++ {
 			p := Fig8Point{At: sim.Time(sim.Duration(i) * window)}

@@ -15,6 +15,7 @@ import (
 	"daredevil/internal/fault"
 	"daredevil/internal/ftl"
 	"daredevil/internal/nvme"
+	"daredevil/internal/obs"
 	"daredevil/internal/sim"
 	"daredevil/internal/stackbase"
 	"daredevil/internal/staticpart"
@@ -88,6 +89,9 @@ type Env struct {
 	FTL *ftl.Device
 	// Fault is the cell's injector when Machine.Fault was set.
 	Fault *fault.Injector
+	// Obs is the cell's observer once EnableObs has been called; nil keeps
+	// every hook on its disabled (nil-check) path.
+	Obs *obs.Observer
 }
 
 // NewEnv constructs the simulated machine and the requested stack.

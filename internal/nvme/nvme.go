@@ -17,6 +17,7 @@ import (
 	"daredevil/internal/cpus"
 	"daredevil/internal/fault"
 	"daredevil/internal/flash"
+	"daredevil/internal/obs"
 	"daredevil/internal/sim"
 )
 
@@ -317,6 +318,14 @@ type Device struct {
 	resetting    bool
 	fetchAborted bool // a reset voided the in-flight fetch
 
+	// observability (obs.go): all nil unless AttachObs wired an observer.
+	tracer *obs.Tracer
+	flight *obs.Flight
+	frHost *obs.Ring // submission-side flight events
+	frDev  *obs.Ring // controller/device flight events
+	frRec  *obs.Ring // recovery-ladder flight events
+	ftlFG  fgGCCounter
+
 	// MediaErrors counts injected failures; FailedCommands counts commands
 	// completed with an error after exhausting retries.
 	MediaErrors    uint64
@@ -400,7 +409,10 @@ type FTL interface {
 }
 
 // AttachFTL interposes f on the media path. Pass nil to detach.
-func (d *Device) AttachFTL(f FTL) { d.ftl = f }
+func (d *Device) AttachFTL(f FTL) {
+	d.ftl = f
+	d.ftlFG, _ = f.(fgGCCounter)
+}
 
 // FTL returns the attached translation layer, or nil.
 func (d *Device) FTL() FTL { return d.ftl }
@@ -458,10 +470,12 @@ func (d *Device) Enqueue(now sim.Time, nsqID int, rq *block.Request, ring bool) 
 		// The controller is re-initializing after a reset: the doorbell is
 		// dead. The host treats this like a full queue and backs off.
 		d.ResetRejects++
+		d.frHost.Record(now, frRejectReset, rq.ID, int64(nsqID))
 		return false, 0
 	}
 	if q.Full() {
 		q.OverflowRejects++
+		d.frHost.Record(now, frRejectFull, rq.ID, int64(nsqID))
 		return false, 0
 	}
 	grant, wait := q.Lock.Acquire(now, d.cfg.SQLockHold)
@@ -469,6 +483,13 @@ func (d *Device) Enqueue(now sim.Time, nsqID int, rq *block.Request, ring bool) 
 	rq.LockWait = wait
 	rq.SubmitTime = enqAt
 	rq.NSQ = nsqID
+	if sp := rq.Span; sp != nil {
+		sp.Submit = enqAt
+		sp.NSQ = nsqID
+		sp.NSQDepth = q.Len()
+		sp.Prio = int(rq.Prio)
+	}
+	d.frHost.Record(enqAt, frEnqueue, rq.ID, int64(nsqID))
 	pages := d.media.Pages(d.resolve(rq.Namespace, rq.Offset), rq.Size)
 	if pages == 0 {
 		pages = 1 // zero-length requests still occupy an entry
@@ -609,7 +630,12 @@ func (d *Device) finishFetch() {
 	d.inflight++
 	q.ncq.InFlight++
 	cmd.state = cmdInflight
-	cmd.rq.FetchTime = d.eng.Now()
+	now := d.eng.Now()
+	cmd.rq.FetchTime = now
+	if sp := cmd.rq.Span; sp != nil {
+		sp.Fetch = now
+	}
+	d.frDev.Record(now, frFetch, cmd.rq.ID, int64(q.ID))
 	d.armExpiry(cmd)
 	d.dispatchToFlash(cmd)
 	d.fetchBusy = false
@@ -656,9 +682,18 @@ func (d *Device) dispatchToFlash(cmd *command) {
 			// it (recovery.go) — exactly the hang the timeout ladder exists
 			// for.
 			cmd.lost = true
+			d.frDev.Record(d.eng.Now(), frLost, rq.ID, int64(d.media.ChipIndexOf(abs)))
 			return
 		case fault.VerdictLate:
 			lateBy = delay
+		}
+	}
+	var fg0 uint64
+	sp := rq.Span
+	if sp != nil {
+		sp.Chip = d.media.ChipIndexOf(abs)
+		if d.ftlFG != nil {
+			fg0 = d.ftlFG.ForegroundGCCount()
 		}
 	}
 	var done sim.Time
@@ -674,6 +709,12 @@ func (d *Device) dispatchToFlash(cmd *command) {
 		done = d.ftl.SubmitIO(d.eng.Now(), abs, size, op)
 	default:
 		done = d.media.SubmitIO(d.eng.Now(), abs, size, op)
+	}
+	if sp != nil {
+		sp.Service = done
+		if d.ftlFG != nil {
+			sp.FGGCs += d.ftlFG.ForegroundGCCount() - fg0
+		}
 	}
 	cmd.pendingDone = true
 	d.eng.At(done.Add(d.cfg.CQEPostCost+lateBy), cmd.doneFn)
@@ -726,7 +767,12 @@ var ErrMedia = errors.New("nvme: unrecoverable media error")
 //ddvet:hotpath
 func (d *Device) postCQE(cmd *command) {
 	cq := cmd.nsq.ncq
-	cmd.rq.CQEPostTime = d.eng.Now()
+	now := d.eng.Now()
+	cmd.rq.CQEPostTime = now
+	if sp := cmd.rq.Span; sp != nil {
+		sp.CQEPost = now
+	}
+	d.frDev.Record(now, frCQE, cmd.rq.ID, int64(cq.ID))
 	if cq.pendingCQE == nil {
 		if n := len(cq.spare); n > 0 {
 			cq.pendingCQE = cq.spare[n-1]
@@ -804,10 +850,15 @@ func (cq *NCQ) deliver() {
 	}
 	cq.IRQs++
 	cost := d.cfg.ISREntry
+	arrive := d.eng.Now()
 	for _, cmd := range batch {
 		cost += d.cfg.ISRPerCQE
 		if cmd.rq.Tenant != nil && cmd.rq.Tenant.Core != cq.irqCore {
 			cost += d.cfg.CrossCoreCQE
+		}
+		if sp := cmd.rq.Span; sp != nil {
+			sp.Deliver = arrive
+			sp.DCore = cq.irqCore
 		}
 	}
 	core := d.pool.Core(cq.irqCore)

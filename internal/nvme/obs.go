@@ -1,0 +1,79 @@
+// Observability wiring for the device: flight-recorder rings, recovery
+// timeline instants, and the gauge accessors the harness samples. All hooks
+// are nil-guarded — an unattached observer costs one pointer compare per
+// hook site and zero allocations.
+package nvme
+
+import (
+	"daredevil/internal/obs"
+)
+
+// Flight-ring event kinds recorded by the device. Constants so the ring
+// store never builds strings.
+const (
+	frEnqueue     = "enqueue"
+	frRejectFull  = "reject-full"
+	frRejectReset = "reject-reset"
+	frFetch       = "fetch"
+	frLost        = "lost"
+	frCQE         = "cqe"
+	frTimeout     = "timeout"
+	frAbortRace   = "abort-race"
+	frAbortCancel = "abort-cancel"
+	frAbortEsc    = "abort-escalate"
+	frReset       = "reset"
+	frResetDone   = "reset-done"
+	frCancel      = "cancel"
+)
+
+// fgGCCounter is implemented by FTLs that count foreground GC stalls; the
+// tracer uses the delta across a command's service to attribute GC waits.
+type fgGCCounter interface{ ForegroundGCCount() uint64 }
+
+// AttachObs connects the device to an observer: recovery instants flow to
+// its tracer and recent events to its flight rings ("host" for the
+// submission side, "device" for fetch/service, "recovery" for the ladder).
+func (d *Device) AttachObs(o *obs.Observer) {
+	if o == nil {
+		d.tracer, d.flight, d.frHost, d.frDev, d.frRec = nil, nil, nil, nil, nil
+		return
+	}
+	d.tracer = o.Tracer()
+	d.flight = o.Flight()
+	if d.flight != nil {
+		d.frHost = d.flight.Ring("host")
+		d.frDev = d.flight.Ring("device")
+		d.frRec = d.flight.Ring("recovery")
+	}
+}
+
+// QueuedTotal reports entries sitting in NSQs awaiting fetch, summed over
+// all queues — the submission-side backlog gauge.
+func (d *Device) QueuedTotal() int {
+	n := 0
+	for _, q := range d.nsqs {
+		n += q.Len()
+	}
+	return n
+}
+
+// MaxNSQLen reports the deepest NSQ backlog — the HOL-blocking gauge.
+func (d *Device) MaxNSQLen() int {
+	m := 0
+	for _, q := range d.nsqs {
+		if l := q.Len(); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// PendingCQETotal reports CQEs posted but not yet claimed by an ISR or
+// poll batch, summed over all NCQs.
+func (d *Device) PendingCQETotal() int {
+	n := 0
+	for _, cq := range d.ncqs {
+		n += len(cq.pendingCQE)
+	}
+	return n
+}

@@ -62,10 +62,16 @@ func (d *Device) pollTick(cq *NCQ) {
 	batch := cq.pendingCQE
 	cq.pendingCQE = nil
 	cost := d.cfg.ISREntry / 2 // a poll probe is cheaper than an IRQ entry
+	arrive := d.eng.Now()
 	for _, cmd := range batch {
 		cost += d.cfg.ISRPerCQE
 		if cmd.rq.Tenant != nil && cmd.rq.Tenant.Core != cq.irqCore {
 			cost += d.cfg.CrossCoreCQE
+		}
+		if sp := cmd.rq.Span; sp != nil {
+			sp.Deliver = arrive
+			sp.DCore = cq.irqCore
+			sp.Polled = true
 		}
 	}
 	core := d.pool.Core(cq.irqCore)

@@ -146,6 +146,10 @@ func (d *Device) timeoutCommand(c *command) {
 	d.Timeouts++
 	c.state = cmdAborting
 	c.pendingAbort = true
+	now := d.eng.Now()
+	d.frRec.Record(now, frTimeout, c.rq.ID, int64(c.nsq.ID))
+	d.tracer.RecordInstant("timeout", now, "")
+	d.flight.Trigger("timeout", now)
 	d.eng.After(d.cfg.AbortCost, c.abortFn)
 }
 
@@ -160,6 +164,7 @@ func (c *command) abortDone() {
 		// The command completed or a reset swept it while the Abort was in
 		// flight.
 		d.AbortRaces++
+		d.frRec.Record(d.eng.Now(), frAbortRace, 0, 0)
 		d.maybeUnpark(c)
 		return
 	}
@@ -167,6 +172,8 @@ func (c *command) abortDone() {
 	if c.lost {
 		// Nothing is executing on the media: the abort succeeds and the
 		// host gets the request back for requeue.
+		d.frRec.Record(d.eng.Now(), frAbortCancel, c.rq.ID, 0)
+		d.tracer.RecordInstant("abort", d.eng.Now(), "cancelled")
 		d.cancelCommand(c)
 		return
 	}
@@ -175,6 +182,8 @@ func (c *command) abortDone() {
 	// The command itself is cancelled here — its expiry ref was consumed at
 	// timeout, so the reset's sweep cannot see it.
 	d.AbortFails++
+	d.frRec.Record(d.eng.Now(), frAbortEsc, c.rq.ID, 0)
+	d.tracer.RecordInstant("abort", d.eng.Now(), "escalate")
 	d.cancelCommand(c)
 	d.controllerReset()
 }
@@ -187,6 +196,7 @@ func (d *Device) cancelCommand(c *command) {
 	d.inflight--
 	c.nsq.ncq.InFlight--
 	d.CancelledCmds++
+	d.frRec.Record(d.eng.Now(), frCancel, rq.ID, 0)
 	if !c.pendingDone {
 		d.releaseCmd(c)
 	}
@@ -216,6 +226,10 @@ func (d *Device) controllerReset() {
 	}
 	d.resetting = true
 	d.Resets++
+	now := d.eng.Now()
+	d.frRec.Record(now, frReset, 0, 0)
+	d.tracer.RecordInstant("reset", now, "")
+	d.flight.Trigger("reset", now)
 	if d.fetchBusy {
 		d.fetchAborted = true
 	}
@@ -280,6 +294,8 @@ func (d *Device) controllerReset() {
 // finishReset re-enables the controller after the re-init delay.
 func (d *Device) finishReset() {
 	d.resetting = false
+	d.frRec.Record(d.eng.Now(), frResetDone, 0, 0)
+	d.tracer.RecordInstant("reset-done", d.eng.Now(), "")
 	d.maybeFetch()
 }
 

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"daredevil/internal/sim"
+)
+
+// FlightEvent is one entry in a component's flight ring. Kind values are
+// short constant strings supplied by the recording component (the string
+// header is stored by value — no allocation). Seq is a recorder-global
+// sequence that makes the merged dump ordering total and deterministic.
+type FlightEvent struct {
+	Seq  uint64
+	At   sim.Time
+	Kind string
+	ID   uint64
+	Arg  int64
+}
+
+// Ring is one component's bounded buffer of recent events. The buffer is
+// preallocated at registration; Record is an index store, safe on nil, and
+// never allocates.
+type Ring struct {
+	name string
+	fl   *Flight
+	buf  []FlightEvent
+	next int
+	n    int
+}
+
+// Record files an event, overwriting the oldest once the ring is full.
+//
+//ddvet:hotpath
+func (r *Ring) Record(at sim.Time, kind string, id uint64, arg int64) {
+	if r == nil {
+		return
+	}
+	r.fl.seq++
+	e := &r.buf[r.next]
+	e.Seq = r.fl.seq
+	e.At = at
+	e.Kind = kind
+	e.ID = id
+	e.Arg = arg
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Name returns the component name the ring was registered under.
+func (r *Ring) Name() string { return r.name }
+
+// Dump is a snapshot of all rings merged into one globally ordered event
+// list, taken when the recovery ladder escalated.
+type Dump struct {
+	Reason string
+	At     sim.Time
+	Events []dumpEvent
+}
+
+type dumpEvent struct {
+	Component string
+	FlightEvent
+}
+
+// Flight is the flight recorder: bounded per-component rings plus the
+// retained dumps. Components obtain a ring once at attach time and record
+// into it from their hot paths; recovery code calls Trigger at each ladder
+// escalation.
+type Flight struct {
+	depth    int
+	maxDumps int
+	seq      uint64
+	rings    []*Ring
+	dumps    []Dump
+}
+
+func newFlight(depth, maxDumps int) *Flight {
+	return &Flight{depth: depth, maxDumps: maxDumps}
+}
+
+// Ring registers (or returns the existing) component ring. Registration
+// order fixes tie-free dump ordering via the shared sequence; the buffer is
+// allocated here, once.
+func (f *Flight) Ring(name string) *Ring {
+	for _, r := range f.rings {
+		if r.name == name {
+			return r
+		}
+	}
+	r := &Ring{name: name, fl: f, buf: make([]FlightEvent, f.depth)}
+	f.rings = append(f.rings, r)
+	return r
+}
+
+// Trigger snapshots all rings into a dump labelled with the escalation
+// reason. Only the first maxDumps escalations are retained — the opening of
+// a reset storm is the interesting part.
+func (f *Flight) Trigger(reason string, at sim.Time) {
+	if f == nil || len(f.dumps) >= f.maxDumps {
+		return
+	}
+	var evs []dumpEvent
+	for _, r := range f.rings {
+		start := r.next - r.n
+		if start < 0 {
+			start += len(r.buf)
+		}
+		for i := 0; i < r.n; i++ {
+			evs = append(evs, dumpEvent{Component: r.name, FlightEvent: r.buf[(start+i)%len(r.buf)]})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	f.dumps = append(f.dumps, Dump{Reason: reason, At: at, Events: evs})
+}
+
+// Dumps returns the retained dumps in trigger order.
+func (f *Flight) Dumps() []Dump {
+	if f == nil {
+		return nil
+	}
+	return f.dumps
+}
+
+// WriteText renders the retained dumps as text: one block per dump, one line
+// per event in global sequence order.
+func (f *Flight) WriteText(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for i, d := range f.dumps {
+		fmt.Fprintf(bw, "=== flight dump %d: %s at %s (%d events) ===\n",
+			i+1, d.Reason, d.At, len(d.Events))
+		for _, e := range d.Events {
+			fmt.Fprintf(bw, "%12s  #%-8d %-10s %-12s id=%-8d arg=%d\n",
+				e.At, e.Seq, e.Component, e.Kind, e.ID, e.Arg)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,154 @@
+// Package obs is the observability layer of the simulated machine: request
+// lifecycle spans exported as Chrome trace-event JSON, a virtual-time
+// metrics sampler feeding stats.Series, and a bounded flight recorder that
+// snapshots the recent event stream when host recovery escalates.
+//
+// Everything is opt-in and zero-overhead when off: components hold nil
+// pointers (a *Span on the request, a *Ring per subsystem) and every
+// hot-path hook is a nil check followed by plain field stores — no
+// allocation, no interface boxing, no closure capture. Emission goes
+// through one Observer whose gauge Registry, span store, and flight rings
+// all iterate in registration/record order, so identical runs produce
+// byte-identical output at any experiment parallelism.
+package obs
+
+import (
+	"daredevil/internal/sim"
+	"daredevil/internal/stats"
+)
+
+// Defaults for the bounded stores.
+const (
+	// DefaultTraceLimit bounds spans (and device trace events) kept by the
+	// tracer.
+	DefaultTraceLimit = 20000
+	// DefaultFlightDepth is the per-component flight-ring capacity.
+	DefaultFlightDepth = 256
+	// DefaultMaxDumps bounds how many recovery-triggered flight dumps are
+	// retained (the first escalations are the interesting ones).
+	DefaultMaxDumps = 4
+)
+
+// Gauge is one registered metric source: a name and a pull function the
+// sampler calls once per window. Fn runs in simulation context and must be
+// cheap and side-effect-free beyond its own delta bookkeeping.
+type Gauge struct {
+	Name string
+	Fn   func() float64
+}
+
+// Registry holds gauges in registration order — the deterministic iteration
+// order every sampler tick and every export follows.
+type Registry struct {
+	gauges []Gauge
+}
+
+// Register appends a gauge. Registration order is sampling and export order.
+func (r *Registry) Register(name string, fn func() float64) {
+	r.gauges = append(r.gauges, Gauge{Name: name, Fn: fn})
+}
+
+// Gauges returns the registered gauges in registration order.
+func (r *Registry) Gauges() []Gauge { return r.gauges }
+
+// Observer owns the three observability surfaces of one simulation cell.
+// Build it with New, switch on the surfaces you need (EnableTrace,
+// EnableSampler; the flight recorder arms with the first Ring request), and
+// call Start before running the engine and Finish after.
+type Observer struct {
+	eng *sim.Engine
+
+	// Registry is the gauge registry the sampler reads.
+	Registry Registry
+
+	tracer  *Tracer
+	sampler *Sampler
+	flight  *Flight
+}
+
+// New builds an Observer on the cell's engine. Nothing records until a
+// surface is enabled.
+func New(eng *sim.Engine) *Observer {
+	return &Observer{eng: eng}
+}
+
+// EnableTrace switches on span collection, bounded to limit spans
+// (DefaultTraceLimit when limit <= 0). It also arms the flight recorder so
+// a traced run always yields a postmortem on escalation.
+func (o *Observer) EnableTrace(limit int) *Tracer {
+	if o.tracer == nil {
+		if limit <= 0 {
+			limit = DefaultTraceLimit
+		}
+		o.tracer = newTracer(limit)
+		o.EnableFlight(0, 0)
+	}
+	return o.tracer
+}
+
+// EnableSampler switches on the periodic metrics sampler with the given
+// window. Gauges registered in o.Registry are sampled once per window into
+// one stats.Series each. Enabling twice keeps the first window.
+func (o *Observer) EnableSampler(window sim.Duration) *Sampler {
+	if o.sampler == nil {
+		o.sampler = newSampler(o.eng, &o.Registry, window)
+	}
+	return o.sampler
+}
+
+// EnableFlight arms the flight recorder with the given per-component ring
+// depth and dump cap (defaults when <= 0). Enabling twice keeps the first
+// configuration.
+func (o *Observer) EnableFlight(depth, maxDumps int) *Flight {
+	if o.flight == nil {
+		if depth <= 0 {
+			depth = DefaultFlightDepth
+		}
+		if maxDumps <= 0 {
+			maxDumps = DefaultMaxDumps
+		}
+		o.flight = newFlight(depth, maxDumps)
+	}
+	return o.flight
+}
+
+// Tracer returns the span tracer, or nil when tracing is off.
+func (o *Observer) Tracer() *Tracer { return o.tracer }
+
+// Sampler returns the metrics sampler, or nil when sampling is off.
+func (o *Observer) Sampler() *Sampler { return o.sampler }
+
+// Flight returns the flight recorder, or nil when it is off.
+func (o *Observer) Flight() *Flight { return o.flight }
+
+// StartSpan allocates a span for a new request, or returns nil when tracing
+// is off or the span budget is exhausted. Callers stamp stages only through
+// the returned pointer, so a nil result keeps the hot path untouched.
+func (o *Observer) StartSpan() *Span {
+	if o.tracer == nil {
+		return nil
+	}
+	return o.tracer.startSpan()
+}
+
+// Start arms the sampler's periodic engine event. Call once, before running
+// the engine.
+func (o *Observer) Start() {
+	if o.sampler != nil {
+		o.sampler.start()
+	}
+}
+
+// Finish flushes the sampler's final (possibly partial) window at the run
+// end t. Idempotent.
+func (o *Observer) Finish(t sim.Time) {
+	if o.sampler != nil {
+		o.sampler.finish(t)
+	}
+}
+
+// SampledSeries is one gauge's windowed series after Finish.
+type SampledSeries struct {
+	Name   string
+	Points []stats.SeriesPoint
+}

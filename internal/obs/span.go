@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"daredevil/internal/sim"
+)
+
+// Span is the per-request lifecycle record: one compact struct stamped in
+// place by each layer as the request moves block split → stack NQ → NSQ
+// entry → controller fetch → FTL/chip service → CQE post → IRQ-or-poll
+// delivery → completion. Layers write fields directly (nil-guarded), so a
+// disabled tracer costs one pointer compare per hook.
+//
+// Identity fields are scalars and strings rather than block types: obs sits
+// below block in the import graph.
+type Span struct {
+	// Seq is the tracer-global span sequence (request IDs are per-job and
+	// collide across jobs).
+	Seq uint64
+	// ReqID is the job-local request ID.
+	ReqID uint64
+	// Parent is the Seq of the parent span for split children, 0 for roots.
+	Parent uint64
+
+	Tenant   string
+	TenantID int
+	Class    string
+	Op       string
+	Size     int64
+	Prio     int
+
+	// Core is the submitting core; DCore the core the completion was
+	// delivered on.
+	Core  int
+	DCore int
+	// NSQ is the NVMe submission queue the command landed on; Chip the
+	// flash chip that serviced it. -1 until known.
+	NSQ  int
+	Chip int
+	// NSQDepth is the queue length observed at NSQ entry (HOL evidence).
+	NSQDepth int
+
+	// Lifecycle stamps, in virtual time. Zero means "stage not reached".
+	Issue    sim.Time // request created by the workload
+	Submit   sim.Time // accepted into the NSQ
+	Fetch    sim.Time // fetched by the controller
+	Service  sim.Time // FTL/chip service done (before CQE post cost)
+	CQEPost  sim.Time // CQE posted to the completion queue
+	Deliver  sim.Time // IRQ fired or poll batch reaped
+	Complete sim.Time // host-side completion ran
+
+	LockWait sim.Duration
+	// FGGCs counts foreground GC stalls this command absorbed.
+	FGGCs uint64
+
+	Polled    bool
+	CrossCore bool
+	Failed    bool
+	Retries   int
+	Requeues  int
+
+	tr   *Tracer
+	done bool
+}
+
+// Child allocates a span for a split child request, inheriting identity
+// from the parent. Returns nil when the parent is untraced or the budget
+// is exhausted.
+func (s *Span) Child(reqID uint64) *Span {
+	if s == nil || s.tr == nil {
+		return nil
+	}
+	c := s.tr.startSpan()
+	if c == nil {
+		return nil
+	}
+	c.ReqID = reqID
+	c.Parent = s.Seq
+	c.Tenant = s.Tenant
+	c.TenantID = s.TenantID
+	c.Class = s.Class
+	c.Op = s.Op
+	c.Prio = s.Prio
+	c.Core = s.Core
+	c.Issue = s.Issue
+	return c
+}
+
+// End marks the span complete and files it with the tracer. Completion
+// order is engine event order, so the done list is deterministic. Safe on
+// nil and idempotent.
+func (s *Span) End() {
+	if s == nil || s.done || s.tr == nil {
+		return
+	}
+	s.done = true
+	s.tr.done = append(s.tr.done, s)
+}
+
+// Phase durations derived from the stamps; zero when a stage was skipped.
+
+// QueueWait is the time spent queued in the NSQ before the controller
+// fetched the command.
+func (s *Span) QueueWait() sim.Duration {
+	if s.Fetch == 0 || s.Submit == 0 {
+		return 0
+	}
+	return s.Fetch.Sub(s.Submit)
+}
+
+// DeviceTime is fetch → CQE post: FTL mapping, GC waits, chip service and
+// CQE post cost.
+func (s *Span) DeviceTime() sim.Duration {
+	if s.CQEPost == 0 || s.Fetch == 0 {
+		return 0
+	}
+	return s.CQEPost.Sub(s.Fetch)
+}
+
+// DeliveryTime is CQE post → host completion (coalescing, IRQ-or-poll,
+// softirq).
+func (s *Span) DeliveryTime() sim.Duration {
+	if s.Complete == 0 || s.CQEPost == 0 {
+		return 0
+	}
+	return s.Complete.Sub(s.CQEPost)
+}
+
+// HostTime is issue → NSQ entry: stack routing, submission cost, lock waits.
+func (s *Span) HostTime() sim.Duration {
+	if s.Submit == 0 || s.Issue == 0 {
+		return 0
+	}
+	return s.Submit.Sub(s.Issue)
+}
+
+// Total is issue → completion.
+func (s *Span) Total() sim.Duration {
+	if s.Complete == 0 {
+		return 0
+	}
+	return s.Complete.Sub(s.Issue)
+}
+
+// WriteTable renders completed spans as an aligned phase table, one row per
+// span in completion order.
+func (t *Tracer) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "req\ttenant\tclass\top\tsize\tNSQ\tchip\tcpu+route\tin-NSQ\tdevice\tdelivery\ttotal\txcore")
+	for _, s := range t.done {
+		mode := ""
+		if s.CrossCore {
+			mode = "x"
+		}
+		if s.Polled {
+			mode += "p"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			s.ReqID, s.Tenant, s.Class, s.Op, s.Size, s.NSQ, s.Chip,
+			s.HostTime(), s.QueueWait(), s.DeviceTime(), s.DeliveryTime(),
+			s.Total(), mode)
+	}
+	return tw.Flush()
+}

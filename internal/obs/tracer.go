@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"daredevil/internal/sim"
+)
+
+// Chrome trace-event track layout: one process per machine layer, one
+// thread per instance within it.
+const (
+	pidCores    = 1 // submit + delivery slices, one thread per host core
+	pidNSQ      = 2 // NSQ residency, one thread per submission queue
+	pidChips    = 3 // media service, one thread per flash chip
+	pidGC       = 4 // background GC rounds, one thread per die
+	pidRecovery = 5 // recovery-ladder instants
+)
+
+// GCRange is one background garbage-collection round on a die, recorded by
+// the FTL for the timeline.
+type GCRange struct {
+	Die        int
+	Start, End sim.Time
+	PagesMoved int
+}
+
+// Instant is a point event on the recovery track (timeout, abort, reset).
+type Instant struct {
+	Name string
+	At   sim.Time
+	Arg  string
+}
+
+// Tracer collects request spans and device timeline events, bounded by the
+// configured limit. Spans are filed in completion order and device events
+// in record order — both are engine event order, hence deterministic.
+type Tracer struct {
+	limit   int
+	started int
+	dropped int
+
+	done     []*Span
+	gc       []GCRange
+	instants []Instant
+}
+
+func newTracer(limit int) *Tracer {
+	return &Tracer{limit: limit}
+}
+
+func (t *Tracer) startSpan() *Span {
+	if t.started >= t.limit {
+		t.dropped++
+		return nil
+	}
+	t.started++
+	return &Span{Seq: uint64(t.started), NSQ: -1, Chip: -1, Core: -1, DCore: -1, tr: t}
+}
+
+// Spans returns the completed spans in completion order.
+func (t *Tracer) Spans() []*Span { return t.done }
+
+// Started reports how many spans were handed out; Dropped how many requests
+// arrived after the budget was exhausted.
+func (t *Tracer) Started() int { return t.started }
+func (t *Tracer) Dropped() int { return t.dropped }
+
+// RecordGC files a finished GC round for the device timeline. Safe on nil.
+// Bounded by the span limit so a GC storm cannot grow the trace without
+// bound.
+func (t *Tracer) RecordGC(die int, start, end sim.Time, pagesMoved int) {
+	if t == nil || len(t.gc) >= t.limit {
+		return
+	}
+	t.gc = append(t.gc, GCRange{Die: die, Start: start, End: end, PagesMoved: pagesMoved})
+}
+
+// RecordInstant files a recovery-ladder point event (timeout/abort/reset).
+// Safe on nil.
+func (t *Tracer) RecordInstant(name string, at sim.Time, arg string) {
+	if t == nil || len(t.instants) >= t.limit {
+		return
+	}
+	t.instants = append(t.instants, Instant{Name: name, At: at, Arg: arg})
+}
+
+// Instants returns the recorded recovery instants in record order.
+func (t *Tracer) Instants() []Instant { return t.instants }
+
+// GCRanges returns the recorded GC rounds in record order.
+func (t *Tracer) GCRanges() []GCRange { return t.gc }
+
+// usec renders a virtual timestamp as microseconds with nanosecond
+// precision, the unit Chrome trace events use.
+func usec(ts sim.Time) string {
+	n := int64(ts)
+	return fmt.Sprintf("%d.%03d", n/1000, n%1000)
+}
+
+func usecDur(d sim.Duration) string {
+	n := int64(d)
+	return fmt.Sprintf("%d.%03d", n/1000, n%1000)
+}
+
+// jsonEmitter writes trace events with deterministic field order and comma
+// placement.
+type jsonEmitter struct {
+	w     *bufio.Writer
+	first bool
+}
+
+func (e *jsonEmitter) event(body string) {
+	if !e.first {
+		e.w.WriteString(",\n")
+	}
+	e.first = false
+	e.w.WriteString(body)
+}
+
+// WriteJSON emits the collected trace as Chrome trace-event JSON
+// ({"traceEvents":[...]}), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Tracks: per-core submit/deliver slices, per-NSQ
+// residency, per-chip service, per-die GC rounds, and recovery instants.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	e := &jsonEmitter{w: bw, first: true}
+
+	e.event(meta("process_name", pidCores, 0, "cores"))
+	e.event(meta("process_name", pidNSQ, 0, "nsq"))
+	e.event(meta("process_name", pidChips, 0, "chips"))
+	e.event(meta("process_name", pidGC, 0, "gc"))
+	e.event(meta("process_name", pidRecovery, 0, "recovery"))
+
+	// Thread-name metadata for every track instance actually used, in
+	// ascending id order per process.
+	for _, tid := range usedTids(t, pidCores) {
+		e.event(meta("thread_name", pidCores, tid, fmt.Sprintf("core %d", tid)))
+	}
+	for _, tid := range usedTids(t, pidNSQ) {
+		e.event(meta("thread_name", pidNSQ, tid, fmt.Sprintf("nsq %d", tid)))
+	}
+	for _, tid := range usedTids(t, pidChips) {
+		e.event(meta("thread_name", pidChips, tid, fmt.Sprintf("chip %d", tid)))
+	}
+	for _, tid := range usedTids(t, pidGC) {
+		e.event(meta("thread_name", pidGC, tid, fmt.Sprintf("die %d", tid)))
+	}
+	if len(t.instants) > 0 {
+		e.event(meta("thread_name", pidRecovery, 0, "ladder"))
+	}
+
+	for _, s := range t.done {
+		id := spanID(s)
+		if s.Submit > s.Issue && s.Core >= 0 {
+			e.event(slice("submit", pidCores, s.Core, s.Issue, s.Submit.Sub(s.Issue),
+				fmt.Sprintf("%s,\"lock_wait_us\":%s", id, usecDur(s.LockWait))))
+		}
+		if s.Fetch > s.Submit && s.Submit > 0 && s.NSQ >= 0 {
+			e.event(slice("queued", pidNSQ, s.NSQ, s.Submit, s.Fetch.Sub(s.Submit),
+				fmt.Sprintf("%s,\"depth\":%d", id, s.NSQDepth)))
+		}
+		if s.Service > s.Fetch && s.Fetch > 0 && s.Chip >= 0 {
+			e.event(slice(s.Op, pidChips, s.Chip, s.Fetch, s.Service.Sub(s.Fetch),
+				fmt.Sprintf("%s,\"fg_gcs\":%d", id, s.FGGCs)))
+		}
+		if s.Complete > s.CQEPost && s.CQEPost > 0 && s.DCore >= 0 {
+			mode := "irq"
+			if s.Polled {
+				mode = "poll"
+			}
+			e.event(slice("deliver", pidCores, s.DCore, s.CQEPost, s.Complete.Sub(s.CQEPost),
+				fmt.Sprintf("%s,\"mode\":%s,\"xcore\":%t", id, strconv.Quote(mode), s.CrossCore)))
+		}
+	}
+
+	for _, g := range t.gc {
+		if g.End <= g.Start {
+			continue
+		}
+		e.event(slice("gc", pidGC, g.Die, g.Start, g.End.Sub(g.Start),
+			fmt.Sprintf("\"pages_moved\":%d", g.PagesMoved)))
+	}
+
+	for _, in := range t.instants {
+		arg := ""
+		if in.Arg != "" {
+			arg = fmt.Sprintf(",\"args\":{\"detail\":%s}", strconv.Quote(in.Arg))
+		}
+		e.event(fmt.Sprintf("{\"name\":%s,\"ph\":\"i\",\"s\":\"g\",\"pid\":%d,\"tid\":0,\"ts\":%s%s}",
+			strconv.Quote(in.Name), pidRecovery, usec(in.At), arg))
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func spanID(s *Span) string {
+	return fmt.Sprintf("\"span\":%d,\"req\":%d,\"tenant\":%s,\"size\":%d",
+		s.Seq, s.ReqID, strconv.Quote(s.Tenant), s.Size)
+}
+
+func meta(kind string, pid, tid int, name string) string {
+	return fmt.Sprintf("{\"name\":%s,\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}",
+		strconv.Quote(kind), pid, tid, strconv.Quote(name))
+}
+
+func slice(name string, pid, tid int, start sim.Time, dur sim.Duration, args string) string {
+	return fmt.Sprintf("{\"name\":%s,\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{%s}}",
+		strconv.Quote(name), pid, tid, usec(start), usecDur(dur), args)
+}
+
+// usedTids returns the sorted distinct track ids a process uses. Linear
+// insertion keeps this map-free (deterministic iteration) and the id sets
+// are small (cores, queues, chips, dies).
+func usedTids(t *Tracer, pid int) []int {
+	var ids []int
+	add := func(id int) {
+		if id < 0 {
+			return
+		}
+		for i, v := range ids {
+			if v == id {
+				return
+			}
+			if v > id {
+				ids = append(ids, 0)
+				copy(ids[i+1:], ids[i:])
+				ids[i] = id
+				return
+			}
+		}
+		ids = append(ids, id)
+	}
+	switch pid {
+	case pidCores:
+		for _, s := range t.done {
+			if s.Submit > s.Issue {
+				add(s.Core)
+			}
+			if s.Complete > s.CQEPost && s.CQEPost > 0 {
+				add(s.DCore)
+			}
+		}
+	case pidNSQ:
+		for _, s := range t.done {
+			if s.Fetch > s.Submit && s.Submit > 0 {
+				add(s.NSQ)
+			}
+		}
+	case pidChips:
+		for _, s := range t.done {
+			if s.Service > s.Fetch && s.Fetch > 0 {
+				add(s.Chip)
+			}
+		}
+	case pidGC:
+		for _, g := range t.gc {
+			if g.End > g.Start {
+				add(g.Die)
+			}
+		}
+	}
+	return ids
+}

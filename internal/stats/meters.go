@@ -93,11 +93,13 @@ func (s *Series) flushWindow() {
 }
 
 // Finish closes the window containing t (if any samples are pending) and
-// returns all points.
+// returns all points. The partial window advances like a full one, so
+// Finish is idempotent and a later Add cannot double-count it.
 func (s *Series) Finish(t sim.Time) []SeriesPoint {
 	s.rollTo(t)
 	if s.n > 0 {
 		s.flushWindow()
+		s.winStart = s.winStart.Add(s.Window)
 	}
 	return s.points
 }

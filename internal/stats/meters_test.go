@@ -82,6 +82,51 @@ func TestSeriesEmptyWindowsMeanZero(t *testing.T) {
 	}
 }
 
+// TestSeriesFinishPartialWindow pins the final-partial-window flush: a run
+// end that is not window-aligned must still emit the samples of the last
+// (incomplete) window as one point.
+func TestSeriesFinishPartialWindow(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(10, 2)
+	s.Add(120, 4)
+	s.Add(130, 6)
+	pts := s.Finish(150) // end mid-window: [100,200) has data but never rolled
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2 (partial window dropped)", len(pts))
+	}
+	if pts[1].At != 100 || pts[1].Value != 5 {
+		t.Fatalf("partial window = %+v, want {100 5}", pts[1])
+	}
+}
+
+// TestSeriesFinishIdempotent checks that flushing the partial window
+// advances it like a full one: a second Finish (or a stray Add at the end
+// instant) cannot double-count the same samples.
+func TestSeriesFinishIdempotent(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(110, 8)
+	first := len(s.Finish(150))
+	second := len(s.Finish(150))
+	if first != second {
+		t.Fatalf("repeated Finish grew the series: %d then %d points", first, second)
+	}
+}
+
+// TestSeriesFinishAlignedEnd checks no spurious extra point appears when
+// the end lands exactly on a window boundary.
+func TestSeriesFinishAlignedEnd(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(10, 2)
+	s.Add(110, 4)
+	pts := s.Finish(200)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].Value != 2 || pts[1].Value != 4 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
 func TestSeriesPanicsOnBadWindow(t *testing.T) {
 	defer func() {
 		if recover() == nil {

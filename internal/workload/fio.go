@@ -10,9 +10,9 @@ import (
 
 	"daredevil/internal/block"
 	"daredevil/internal/cpus"
+	"daredevil/internal/obs"
 	"daredevil/internal/sim"
 	"daredevil/internal/stats"
-	"daredevil/internal/trace"
 )
 
 // Pattern selects the access pattern of a FIO job.
@@ -124,9 +124,10 @@ type Job struct {
 	CompDelay *stats.Histogram // CQE-post to delivery
 	CrossCore uint64           // completions delivered via another core's IRQ
 
-	// Tracer, when set before Start, samples completed requests' path
-	// timelines (ddsim -trace).
-	Tracer *trace.Collector
+	// Obs, when set before Start, opens a lifecycle span on every issued
+	// request; the layers below stamp it as the request moves (ddsim
+	// -trace). Nil keeps the issue path span-free.
+	Obs *obs.Observer
 
 	eng   *sim.Engine
 	pool  *cpus.Pool
@@ -298,7 +299,29 @@ func (j *Job) buildRequest() *block.Request {
 		IssueTime: j.eng.Now(), NSQ: -1,
 	}
 	rq.OnComplete = j.completeFn
+	j.openSpan(rq)
 	return rq
+}
+
+// openSpan starts the request's lifecycle span when tracing is on, filling
+// the identity fields only the workload knows.
+func (j *Job) openSpan(rq *block.Request) {
+	if j.Obs == nil {
+		return
+	}
+	sp := j.Obs.StartSpan()
+	if sp == nil {
+		return
+	}
+	sp.ReqID = rq.ID
+	sp.Tenant = j.Cfg.Name
+	sp.TenantID = j.Tenant.ID
+	sp.Class = j.Tenant.Class.String()
+	sp.Op = rq.Op.String()
+	sp.Size = rq.Size
+	sp.Core = j.Tenant.Core
+	sp.Issue = rq.IssueTime
+	rq.Span = sp
 }
 
 // buildTrim builds a Deallocate sweeping the job's span: 4 blocks per trim,
@@ -323,6 +346,7 @@ func (j *Job) buildTrim() *block.Request {
 		IssueTime: j.eng.Now(), NSQ: -1,
 	}
 	rq.OnComplete = j.completeFn
+	j.openSpan(rq)
 	return rq
 }
 
@@ -363,9 +387,6 @@ func (j *Job) onComplete(r *block.Request) {
 		if r.CrossCore {
 			j.CrossCore++
 		}
-	}
-	if j.Tracer != nil {
-		j.Tracer.Observe(r)
 	}
 	if j.Cfg.Arrival > 0 {
 		return // open loop: arrivals are completion-independent

@@ -62,6 +62,17 @@ type Scenario struct {
 	// microseconds (default: a quarter of the measurement phase).
 	CmdTimeoutUs int64 `json:"cmdTimeoutUs"`
 
+	// Trace captures per-request lifecycle spans (and arms the flight
+	// recorder). ddsim writes the Chrome trace-event JSON next to the
+	// scenario file unless its -trace flag names another path.
+	Trace bool `json:"trace"`
+	// TraceLimit caps the captured spans (0 = default budget). Requires
+	// "trace": true.
+	TraceLimit int `json:"traceLimit"`
+	// ObsWindowUs samples the machine's gauge set every this many virtual
+	// microseconds; ddsim prints the CSV after the summary.
+	ObsWindowUs int64 `json:"obsWindowUs"`
+
 	Jobs []ScenarioJob `json:"jobs"`
 }
 
@@ -132,6 +143,12 @@ func (sc Scenario) validate() error {
 	}
 	if sc.CmdTimeoutUs < 0 {
 		return fmt.Errorf("daredevil: negative cmdTimeoutUs")
+	}
+	if !sc.Trace && sc.TraceLimit != 0 {
+		return fmt.Errorf("daredevil: traceLimit requires \"trace\": true")
+	}
+	if sc.TraceLimit < 0 || sc.ObsWindowUs < 0 {
+		return fmt.Errorf("daredevil: negative traceLimit/obsWindowUs")
 	}
 	if len(sc.Jobs) == 0 {
 		return fmt.Errorf("daredevil: scenario has no jobs")
@@ -222,6 +239,12 @@ func (sc Scenario) Build() (*Simulation, Duration, Duration, error) {
 		}
 	}
 	sim := NewSimulation(m, kind)
+	if sc.Trace {
+		sim.EnableTrace(sc.TraceLimit)
+	}
+	if sc.ObsWindowUs > 0 {
+		sim.EnableMetrics(Duration(sc.ObsWindowUs) * Microsecond)
+	}
 	if sc.Namespaces > 1 {
 		sim.CreateNamespaces(sc.Namespaces)
 	}

@@ -1,6 +1,8 @@
 package daredevil
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -106,21 +108,60 @@ func TestScenarioNamespaces(t *testing.T) {
 
 func TestScenarioValidationErrors(t *testing.T) {
 	cases := map[string]string{
-		"bad json":       `{`,
-		"no jobs":        `{"jobs":[]}`,
-		"bad class":      `{"jobs":[{"name":"x","class":"Z","count":1}]}`,
-		"zero count":     `{"jobs":[{"name":"x","class":"L","count":0}]}`,
-		"bad machine":    `{"machine":"pdp11","jobs":[{"name":"x","class":"L","count":1}]}`,
-		"bad stack":      `{"stack":"btrfs","jobs":[{"name":"x","class":"L","count":1}]}`,
-		"bad pattern":    `{"jobs":[{"name":"x","class":"L","count":1,"pattern":"zigzag"}]}`,
-		"bad namespace":  `{"namespaces":2,"jobs":[{"name":"x","class":"L","count":1,"namespace":5}]}`,
-		"negative param": `{"jobs":[{"name":"x","class":"L","count":1,"bs":-1}]}`,
-		"negative ms":    `{"measureMs":-5,"jobs":[{"name":"x","class":"L","count":1}]}`,
+		"bad json":                 `{`,
+		"no jobs":                  `{"jobs":[]}`,
+		"bad class":                `{"jobs":[{"name":"x","class":"Z","count":1}]}`,
+		"zero count":               `{"jobs":[{"name":"x","class":"L","count":0}]}`,
+		"bad machine":              `{"machine":"pdp11","jobs":[{"name":"x","class":"L","count":1}]}`,
+		"bad stack":                `{"stack":"btrfs","jobs":[{"name":"x","class":"L","count":1}]}`,
+		"bad pattern":              `{"jobs":[{"name":"x","class":"L","count":1,"pattern":"zigzag"}]}`,
+		"bad namespace":            `{"namespaces":2,"jobs":[{"name":"x","class":"L","count":1,"namespace":5}]}`,
+		"negative param":           `{"jobs":[{"name":"x","class":"L","count":1,"bs":-1}]}`,
+		"negative ms":              `{"measureMs":-5,"jobs":[{"name":"x","class":"L","count":1}]}`,
+		"traceLimit without trace": `{"traceLimit":100,"jobs":[{"name":"x","class":"L","count":1}]}`,
+		"negative traceLimit":      `{"trace":true,"traceLimit":-1,"jobs":[{"name":"x","class":"L","count":1}]}`,
+		"negative obsWindowUs":     `{"obsWindowUs":-5,"jobs":[{"name":"x","class":"L","count":1}]}`,
 	}
 	for name, src := range cases {
 		if _, err := ParseScenario([]byte(src)); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+// TestScenarioObservabilityFields checks that trace/traceLimit/obsWindowUs
+// arm the simulation straight from JSON: after a run, the trace JSON and
+// metrics CSV exports carry data.
+func TestScenarioObservabilityFields(t *testing.T) {
+	src := `{
+	  "warmupMs": 5, "measureMs": 20,
+	  "trace": true, "traceLimit": 50, "obsWindowUs": 2000,
+	  "jobs": [{"name": "db", "class": "L", "count": 2}]
+	}`
+	sc, err := ParseScenario([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, warm, measure, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(warm, measure)
+	var trace, csv bytes.Buffer
+	if err := sim.WriteTraceJSON(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(trace.Bytes()) {
+		t.Fatal("scenario trace is not valid JSON")
+	}
+	if !strings.Contains(trace.String(), `"name":"read"`) && !strings.Contains(trace.String(), `"name":"write"`) {
+		t.Fatal("scenario trace has no device slices")
+	}
+	if err := sim.WriteMetricsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines < 3 {
+		t.Fatalf("metrics CSV too short (%d lines):\n%s", lines, csv.String())
 	}
 }
 
