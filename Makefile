@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-all benchguard figures svg json obs examples lint vet fmt cover clean
+.PHONY: all build test test-short race bench bench-all benchguard figures svg json obs examples serve serve-smoke lint vet fmt cover clean
 
 all: build test
 
@@ -49,6 +49,14 @@ json:
 # the flight-recorder dump of its recovery escalations.
 obs:
 	$(GO) run ./cmd/ddbench -obs out/obs
+
+# Run the capacity-planning daemon on the default local port.
+serve:
+	$(GO) run ./cmd/ddserve
+
+# End-to-end daemon smoke test: sweep, cache hit, what-if, SIGTERM drain.
+serve-smoke:
+	./scripts/ddserve_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -238,7 +238,7 @@ func runConfig(path string, breakdown bool, tracePath string, traceLimit, obsWin
 	if err != nil {
 		return err
 	}
-	sim, warm, measure, err := sc.Build()
+	sim, warm, measure, err := daredevil.BuildScenario(sc)
 	if err != nil {
 		return err
 	}

@@ -34,7 +34,6 @@ import (
 	"daredevil/internal/fault"
 	"daredevil/internal/ftl"
 	"daredevil/internal/harness"
-	"daredevil/internal/obs"
 	"daredevil/internal/sim"
 	"daredevil/internal/stats"
 	"daredevil/internal/workload"
@@ -131,55 +130,16 @@ type RecoveryCounters = harness.RecoveryCounters
 // LatencySnapshot summarizes a latency distribution.
 type LatencySnapshot = stats.Snapshot
 
-// Result aggregates one measurement window.
-type Result struct {
-	// LTenantLatency is the merged L-tenant latency distribution.
-	LTenantLatency LatencySnapshot
-	// TTenantLatency is the merged T-tenant latency distribution.
-	TTenantLatency LatencySnapshot
-	// LTenantKIOPS is the aggregate L-tenant rate in thousands of IOPS.
-	LTenantKIOPS float64
-	// TThroughputMBps is the aggregate T-tenant throughput.
-	TThroughputMBps float64
-	// CPUUtilization is the mean core utilization in [0,1].
-	CPUUtilization float64
-
-	// Breakdown components (populated when EnableBreakdown was called):
-	// LSubmissionWait is the L-tenants' NSQ lock wait distribution,
-	// LCompletionDelay the CQE-post-to-delivery distribution, and
-	// LCrossCoreFraction the share of L completions delivered via another
-	// core's interrupt.
-	LSubmissionWait    LatencySnapshot
-	LCompletionDelay   LatencySnapshot
-	LCrossCoreFraction float64
-
-	// FTL reports device-internal activity over the window when the
-	// machine ran with Machine.FTL set; nil otherwise.
-	FTL *FTLResult
-
-	// Recovery reports error-path counters over the whole run (not just
-	// the measurement window): media errors, timeouts, aborts, controller
-	// resets, requeues, terminal failures, and injected fault hits.
-	Recovery RecoveryCounters
-}
+// Result aggregates one measurement window: merged L-/T-tenant latency
+// distributions, rates, CPU utilization, optional breakdown components and
+// FTL activity, and the recovery counters. It aliases the harness cell
+// result so library consumers (ddserve, the experiment grids) and this
+// facade return the same typed value.
+type Result = harness.CellResult
 
 // FTLResult summarizes the translation layer's work during a measurement
 // window.
-type FTLResult struct {
-	// WriteAmplification is flash pages written per host page written.
-	WriteAmplification float64
-	// GCRuns counts collected victim blocks; GCPagesMoved the valid pages
-	// relocated; Erases the block erases.
-	GCRuns       uint64
-	GCPagesMoved uint64
-	Erases       uint64
-	// ForegroundGCs counts host writes that stalled for inline collection.
-	ForegroundGCs uint64
-	// TrimmedPages counts pages invalidated by NVMe Deallocate.
-	TrimmedPages uint64
-	// GCPauses is the distribution of per-victim collection times.
-	GCPauses LatencySnapshot
-}
+type FTLResult = harness.FTLSummary
 
 // JobConfig customizes a tenant workload (see DefaultLTenantConfig /
 // DefaultTTenantConfig for the paper's shapes).
@@ -197,49 +157,40 @@ func DefaultTTenantConfig(name string, core int) JobConfig {
 	return workload.DefaultTTenant(name, core)
 }
 
-// Simulation is a configured machine + stack + tenant set.
+// Simulation is a configured machine + stack + tenant set — a facade over
+// the harness cell API (harness.Cell) that adds the application workloads
+// (YCSB-driven KV, mailserver).
 type Simulation struct {
-	env       *harness.Env
-	mix       *harness.Mix
-	apps      []app
-	breakdown bool
-	ran       bool
+	cell *harness.Cell
+	apps []app
 }
 
 // NewSimulation builds a simulated machine running the given stack.
 func NewSimulation(m Machine, kind StackKind) *Simulation {
-	env := harness.NewEnv(m, kind)
-	return &Simulation{env: env, mix: harness.NewMix(env)}
+	return &Simulation{cell: harness.NewCell(m, kind)}
 }
 
 // StackName reports the active stack implementation's name.
-func (s *Simulation) StackName() string { return s.env.Stack.Name() }
+func (s *Simulation) StackName() string { return s.cell.Env.Stack.Name() }
 
 // CreateNamespaces divides the SSD into n namespaces (call before adding
 // tenants that target them).
-func (s *Simulation) CreateNamespaces(n int) { s.env.CreateNamespaces(n) }
+func (s *Simulation) CreateNamespaces(n int) { s.cell.Env.CreateNamespaces(n) }
 
 // AddLTenants adds n paper-shaped L-tenants in namespace 0.
-func (s *Simulation) AddLTenants(n int) { s.mix.AddL(n, 0) }
+func (s *Simulation) AddLTenants(n int) { s.cell.Mix.AddL(n, 0) }
 
 // AddTTenants adds n paper-shaped T-tenants in namespace 0.
-func (s *Simulation) AddTTenants(n int) { s.mix.AddT(n, 0) }
+func (s *Simulation) AddTTenants(n int) { s.cell.Mix.AddT(n, 0) }
 
 // AddLTenantsNS / AddTTenantsNS place tenants in a specific namespace.
-func (s *Simulation) AddLTenantsNS(n, ns int) { s.mix.AddL(n, ns) }
+func (s *Simulation) AddLTenantsNS(n, ns int) { s.cell.Mix.AddL(n, ns) }
 
 // AddTTenantsNS places n T-tenants in namespace ns.
-func (s *Simulation) AddTTenantsNS(n, ns int) { s.mix.AddT(n, ns) }
+func (s *Simulation) AddTTenantsNS(n, ns int) { s.cell.Mix.AddT(n, ns) }
 
 // AddJob adds a fully custom tenant job.
-func (s *Simulation) AddJob(cfg JobConfig) {
-	job := workload.NewJob(1000+len(s.mix.LJobs)+len(s.mix.TJobs), cfg)
-	if cfg.Class == ClassLatencySensitive {
-		s.mix.LJobs = append(s.mix.LJobs, job)
-	} else {
-		s.mix.TJobs = append(s.mix.TJobs, job)
-	}
-}
+func (s *Simulation) AddJob(cfg JobConfig) { s.cell.AddJob(cfg) }
 
 // YCSBKind selects a YCSB workload mix (A, B, E, F).
 type YCSBKind = workload.YCSBKind
@@ -281,7 +232,7 @@ func (s *Simulation) AddYCSB(kind YCSBKind, core, clients int) *KVApp {
 	}
 	cfg := workload.DefaultKVConfig("rocksdb", core)
 	kv := workload.NewKV(5000+len(s.apps)*10, cfg)
-	kv.BGTenant.Core = (core + 1) % s.env.Pool.N()
+	kv.BGTenant.Core = (core + 1) % s.cell.Env.Pool.N()
 	app := &KVApp{kv: kv}
 	for i := 0; i < clients; i++ {
 		app.drivers = append(app.drivers, workload.NewYCSB(kind, kv, 71+uint64(i)))
@@ -350,22 +301,24 @@ type app interface {
 	reset()
 }
 
+// auxApp adapts the unexported app interface to harness.AuxApp so apps ride
+// inside the cell's run loop.
+type auxApp struct{ a app }
+
+func (x auxApp) Start(e *harness.Env) { x.a.start(e) }
+func (x auxApp) Reset()               { x.a.reset() }
+
 // SetSeedShift perturbs the random streams of every tenant added
 // afterwards, for re-running an otherwise-identical experiment with fresh
 // draws. Zero keeps the default streams.
-func (s *Simulation) SetSeedShift(shift uint64) { s.mix.SeedShift = shift }
+func (s *Simulation) SetSeedShift(shift uint64) { s.cell.Mix.SeedShift = shift }
 
 // EnableTrace collects per-request lifecycle spans for up to limit requests
 // (a default budget when limit <= 0) and arms the flight recorder. Call
 // before Run; render afterwards with WriteTrace (phase table),
 // WriteTraceJSON (Chrome trace-event / Perfetto timeline), or WriteFlight
 // (recovery postmortems).
-func (s *Simulation) EnableTrace(limit int) {
-	if limit <= 0 {
-		limit = obs.DefaultTraceLimit
-	}
-	s.env.EnableObs(limit, 0)
-}
+func (s *Simulation) EnableTrace(limit int) { s.cell.EnableTrace(limit) }
 
 // EnableMetrics samples the machine's gauge set (queue depths, per-core
 // busy/IRQ share, controller occupancy, FTL health, recovery deltas) every
@@ -375,143 +328,54 @@ func (s *Simulation) EnableMetrics(window Duration) {
 	if window <= 0 {
 		panic("daredevil: EnableMetrics needs a positive window")
 	}
-	s.env.EnableObs(0, window)
+	s.cell.EnableMetrics(window)
 }
 
 // WriteTrace renders collected request timelines as an aligned phase table
 // (cpu+route, in-NSQ, device, delivery). No-op unless EnableTrace was
 // called.
-func (s *Simulation) WriteTrace(w io.Writer) {
-	if s.env.Obs != nil && s.env.Obs.Tracer() != nil {
-		s.env.Obs.Tracer().WriteTable(w)
-	}
-}
+func (s *Simulation) WriteTrace(w io.Writer) { s.cell.WriteTraceTable(w) }
 
 // WriteTraceJSON emits the collected trace as Chrome trace-event JSON with
 // one track per core, NSQ, chip, and GC die plus recovery instants — open
 // it at ui.perfetto.dev or chrome://tracing. No-op unless EnableTrace was
 // called.
-func (s *Simulation) WriteTraceJSON(w io.Writer) error {
-	if s.env.Obs == nil || s.env.Obs.Tracer() == nil {
-		return nil
-	}
-	return s.env.Obs.Tracer().WriteJSON(w)
-}
+func (s *Simulation) WriteTraceJSON(w io.Writer) error { return s.cell.WriteTraceJSON(w) }
 
 // WriteMetricsCSV emits the sampled gauge series as a CSV matrix (first
 // column window start in µs, one column per gauge). No-op unless
 // EnableMetrics was called.
-func (s *Simulation) WriteMetricsCSV(w io.Writer) error {
-	if s.env.Obs == nil || s.env.Obs.Sampler() == nil {
-		return nil
-	}
-	return s.env.Obs.Sampler().WriteCSV(w)
-}
+func (s *Simulation) WriteMetricsCSV(w io.Writer) error { return s.cell.WriteMetricsCSV(w) }
 
 // WriteMetricsJSON emits the sampled gauge series as JSON. No-op unless
 // EnableMetrics was called.
-func (s *Simulation) WriteMetricsJSON(w io.Writer) error {
-	if s.env.Obs == nil || s.env.Obs.Sampler() == nil {
-		return nil
-	}
-	return s.env.Obs.Sampler().WriteJSON(w)
-}
+func (s *Simulation) WriteMetricsJSON(w io.Writer) error { return s.cell.WriteMetricsJSON(w) }
 
 // WriteFlight renders the flight-recorder dumps captured when host
 // recovery escalated (timeout/abort/reset): one block per escalation, the
 // recent event stream of every component merged in deterministic order.
 // No-op when tracing was off or nothing escalated.
-func (s *Simulation) WriteFlight(w io.Writer) error {
-	if s.env.Obs == nil {
-		return nil
-	}
-	return s.env.Obs.Flight().WriteText(w)
-}
+func (s *Simulation) WriteFlight(w io.Writer) error { return s.cell.WriteFlight(w) }
 
 // FlightDumps reports how many recovery escalations captured a flight dump.
-func (s *Simulation) FlightDumps() int {
-	if s.env.Obs == nil {
-		return 0
-	}
-	return len(s.env.Obs.Flight().Dumps())
-}
+func (s *Simulation) FlightDumps() int { return s.cell.FlightDumps() }
 
 // EnableBreakdown records per-request path components for L-tenants
 // (submission-side lock wait, completion delivery delay, cross-core
 // fraction), exposed through the Result. Call before Run.
-func (s *Simulation) EnableBreakdown() { s.breakdown = true }
+func (s *Simulation) EnableBreakdown() { s.cell.Breakdown = true }
 
 // Run starts every tenant, warms up, measures, and aggregates. It may be
 // called once per Simulation.
 func (s *Simulation) Run(warmup, measure Duration) Result {
-	if s.ran {
+	if s.cell.Ran() {
 		panic("daredevil: Simulation.Run called twice; build a new Simulation")
 	}
-	s.ran = true
-	if s.breakdown {
-		for _, j := range s.mix.LJobs {
-			j.EnableComponents()
-		}
-	}
-	if s.env.Obs != nil {
-		for _, j := range s.mix.AllJobs() {
-			j.Obs = s.env.Obs
-		}
-		s.env.Obs.Start()
-	}
-	s.mix.StartAll()
+	s.cell.Aux = s.cell.Aux[:0]
 	for _, a := range s.apps {
-		a.start(s.env)
+		s.cell.Aux = append(s.cell.Aux, auxApp{a})
 	}
-	s.env.Eng.RunUntil(sim.Time(warmup))
-	s.mix.ResetStats()
-	for _, a := range s.apps {
-		a.reset()
-	}
-	if s.env.FTL != nil {
-		s.env.FTL.ResetStats()
-	}
-	s.env.Eng.RunUntil(sim.Time(warmup + measure))
-	if s.env.Obs != nil {
-		s.env.Obs.Finish(sim.Time(warmup + measure))
-	}
-	r := s.mix.Collect(measure)
-	res := Result{
-		LTenantLatency:  r.L,
-		TTenantLatency:  r.T,
-		LTenantKIOPS:    r.LKIOPS,
-		TThroughputMBps: r.TMBps,
-		CPUUtilization:  r.CPUUtil,
-	}
-	if s.breakdown {
-		var sub, comp stats.Histogram
-		var cross, total uint64
-		for _, j := range s.mix.LJobs {
-			sub.Merge(j.SubWait)
-			comp.Merge(j.CompDelay)
-			cross += j.CrossCore
-			total += j.Done.Ops
-		}
-		res.LSubmissionWait = sub.Snapshot()
-		res.LCompletionDelay = comp.Snapshot()
-		if total > 0 {
-			res.LCrossCoreFraction = float64(cross) / float64(total)
-		}
-	}
-	if s.env.FTL != nil {
-		st := s.env.FTL.Stats()
-		res.FTL = &FTLResult{
-			WriteAmplification: st.WriteAmplification(),
-			GCRuns:             st.GCRuns,
-			GCPagesMoved:       st.GCPagesMoved,
-			Erases:             st.Erases,
-			ForegroundGCs:      st.ForegroundGCs,
-			TrimmedPages:       st.TrimmedPages,
-			GCPauses:           s.env.FTL.GCPauses.Snapshot(),
-		}
-	}
-	res.Recovery = s.env.Recovery()
-	return res
+	return s.cell.Run(warmup, measure)
 }
 
 // SetParallelism sets how many experiment cells the harness runs

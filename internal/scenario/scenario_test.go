@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"daredevil/internal/harness"
+)
+
+const base = `{"cores":2,"warmupMs":5,"measureMs":20,
+  "jobs":[{"name":"db","class":"L","count":1},{"name":"bg","class":"T","count":2}]}`
+
+func mustParse(t *testing.T, s string) Scenario {
+	t.Helper()
+	sc, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestExpandGridOrder(t *testing.T) {
+	sc := mustParse(t, `{"cores":2,"measureMs":10,
+	  "jobs":[{"name":"bg","class":"T","count":1}],
+	  "sweep":[
+	    {"param":"stack","stacks":["vanilla","daredevil"]},
+	    {"param":"count:bg","values":[1,2,4]}
+	  ]}`)
+	if got := sc.GridSize(); got != 6 {
+		t.Fatalf("GridSize = %d, want 6", got)
+	}
+	points, err := sc.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("expanded to %d points, want 6", len(points))
+	}
+	// Last axis varies fastest, like nested loops in axis order.
+	wantLabels := [][]string{
+		{"stack=vanilla", "count:bg=1"},
+		{"stack=vanilla", "count:bg=2"},
+		{"stack=vanilla", "count:bg=4"},
+		{"stack=daredevil", "count:bg=1"},
+		{"stack=daredevil", "count:bg=2"},
+		{"stack=daredevil", "count:bg=4"},
+	}
+	for i, p := range points {
+		if !reflect.DeepEqual(p.Labels, wantLabels[i]) {
+			t.Fatalf("point %d labels = %v, want %v", i, p.Labels, wantLabels[i])
+		}
+		if len(p.Scenario.Sweep) != 0 {
+			t.Fatalf("point %d still carries sweep axes", i)
+		}
+	}
+	if points[3].Scenario.Stack != "daredevil" || points[3].Scenario.Jobs[0].Count != 1 {
+		t.Fatalf("point 3 = stack %q count %d, want daredevil/1",
+			points[3].Scenario.Stack, points[3].Scenario.Jobs[0].Count)
+	}
+}
+
+func TestWithParamDeepCopies(t *testing.T) {
+	sc := mustParse(t, base)
+	out, err := sc.WithParam("count:bg", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Jobs[1].Count != 7 {
+		t.Fatalf("override lost: count = %d", out.Jobs[1].Count)
+	}
+	if sc.Jobs[1].Count != 2 {
+		t.Fatalf("WithParam mutated the receiver: count = %d", sc.Jobs[1].Count)
+	}
+	if _, err := sc.WithParam("count:nope", 3); err == nil {
+		t.Fatal("unknown job name accepted")
+	}
+	if _, err := sc.WithParam("bogus", 3); err == nil {
+		t.Fatal("unknown param accepted")
+	}
+	dup := mustParse(t, `{"jobs":[{"name":"x","class":"L","count":1},{"name":"x","class":"T","count":1}]}`)
+	if _, err := dup.WithParam("count:x", 2); err == nil || !strings.Contains(err.Error(), "not unique") {
+		t.Fatalf("duplicate job name not rejected: %v", err)
+	}
+}
+
+func TestValidateSweepAxes(t *testing.T) {
+	for _, tc := range []struct{ name, doc string }{
+		{"values on stack axis", `{"jobs":[{"name":"x","class":"L","count":1}],
+		  "sweep":[{"param":"stack","values":[1]}]}`},
+		{"stacks on numeric axis", `{"jobs":[{"name":"x","class":"L","count":1}],
+		  "sweep":[{"param":"cores","stacks":["vanilla"]}]}`},
+		{"empty axis", `{"jobs":[{"name":"x","class":"L","count":1}],
+		  "sweep":[{"param":"cores"}]}`},
+		{"unknown stack", `{"jobs":[{"name":"x","class":"L","count":1}],
+		  "sweep":[{"param":"stack","stacks":["ext4"]}]}`},
+		{"zero count", `{"jobs":[{"name":"x","class":"L","count":1}],
+		  "sweep":[{"param":"count:x","values":[0]}]}`},
+	} {
+		if _, err := Parse([]byte(tc.doc)); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestHashIgnoresSweepTracksSeed(t *testing.T) {
+	plain := mustParse(t, base)
+	swept := plain
+	swept.Sweep = []Axis{{Param: "cores", Values: []int{2, 4}}}
+	if plain.Hash() != swept.Hash() {
+		t.Fatal("sweep axes leaked into the cell hash")
+	}
+	seeded := plain
+	seeded.Seed = 7
+	if plain.Hash() == seeded.Hash() {
+		t.Fatal("seed change did not change the hash")
+	}
+	if plain.Hash() != mustParse(t, base).Hash() {
+		t.Fatal("hash is not stable across parses")
+	}
+}
+
+func TestCellSpecRejectsSweep(t *testing.T) {
+	sc := mustParse(t, base)
+	sc.Sweep = []Axis{{Param: "cores", Values: []int{2}}}
+	if _, err := sc.CellSpec(); err == nil || !strings.Contains(err.Error(), "sweep") {
+		t.Fatalf("sweep-bearing scenario built a cell spec: %v", err)
+	}
+}
+
+func TestCellSpecSeedShift(t *testing.T) {
+	sc := mustParse(t, base)
+	spec, err := sc.CellSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Jobs) != 3 {
+		t.Fatalf("%d jobs, want 3 (1 L + 2 T)", len(spec.Jobs))
+	}
+	sc.Seed = 11
+	shifted, err := sc.CellSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spec.Jobs {
+		if shifted.Jobs[i].Seed != spec.Jobs[i].Seed+11 {
+			t.Fatalf("job %d seed %d, want %d shifted by 11",
+				i, shifted.Jobs[i].Seed, spec.Jobs[i].Seed)
+		}
+	}
+}
+
+func TestStackKindOf(t *testing.T) {
+	for _, k := range harness.AllKinds {
+		got, err := StackKindOf(string(k))
+		if err != nil || got != k {
+			t.Fatalf("StackKindOf(%q) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := StackKindOf("ext4"); err == nil {
+		t.Fatal("unknown stack accepted")
+	}
+}

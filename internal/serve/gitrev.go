@@ -1,0 +1,23 @@
+package serve
+
+import (
+	"os"
+	"runtime/debug"
+)
+
+// detectGitRev resolves the modeling-code revision baked into the cache
+// key: an explicit DDSERVE_GITREV wins (CI sets it), then the VCS revision
+// stamped into the binary, then "dev" for plain `go run` trees.
+func detectGitRev() string {
+	if v := os.Getenv("DDSERVE_GITREV"); v != "" {
+		return v
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "dev"
+}

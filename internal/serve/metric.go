@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"daredevil/internal/harness"
+	"daredevil/internal/stats"
+)
+
+// zeroResult is a throwaway result used to validate metric names up front.
+var zeroResult harness.CellResult
+
+// metricNames maps the what-if metric vocabulary onto the cell result:
+// "<class>_<stat>" where class is l (latency tenants) or t (throughput
+// tenants) and stat is a distribution summary.
+var metricNames = map[string]func(harness.CellResult) stats.Snapshot{
+	"l": func(r harness.CellResult) stats.Snapshot { return r.LTenantLatency },
+	"t": func(r harness.CellResult) stats.Snapshot { return r.TTenantLatency },
+}
+
+// metricUs extracts a named latency metric from a cell result, in
+// microseconds.
+func metricUs(name string, r harness.CellResult) (float64, error) {
+	class, stat, ok := strings.Cut(name, "_")
+	if !ok {
+		return 0, fmt.Errorf("unknown metric %q (want %s)", name, metricVocabulary())
+	}
+	pick, ok := metricNames[class]
+	if !ok {
+		return 0, fmt.Errorf("unknown metric %q (want %s)", name, metricVocabulary())
+	}
+	s := pick(r)
+	switch stat {
+	case "mean":
+		return s.Mean.Microseconds(), nil
+	case "p50":
+		return s.P50.Microseconds(), nil
+	case "p90":
+		return s.P90.Microseconds(), nil
+	case "p99":
+		return s.P99.Microseconds(), nil
+	case "p999":
+		return s.P999.Microseconds(), nil
+	case "max":
+		return s.Max.Microseconds(), nil
+	}
+	return 0, fmt.Errorf("unknown metric %q (want %s)", name, metricVocabulary())
+}
+
+// metricVocabulary renders the accepted metric names for error messages.
+func metricVocabulary() string {
+	classes := make([]string, 0, len(metricNames))
+	for c := range metricNames {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	return fmt.Sprintf("{%s}_{mean,p50,p90,p99,p999,max}", strings.Join(classes, ","))
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+
+	"daredevil/internal/scenario"
+)
+
+// What-if queries answer capacity-planning thresholds — "how many backup
+// tenants can this machine host before L-tenant p99.9 blows the SLO?" —
+// without evaluating the whole axis. The predicate "metric(value) ≤ SLO"
+// is monotone along every supported axis in practice (more tenants, deeper
+// queues, faster arrivals never make tails better), so a binary search over
+// [min, max] finds the largest passing value in at most ⌈log₂ n⌉+1 cell
+// runs. Probes flow through the shared result cache, so a follow-up query
+// over an overlapping range (a tighter SLO, a different percentile of the
+// same cells) reuses earlier runs instead of re-simulating.
+
+// whatIfQuery names the swept parameter, its range, and the SLO.
+type whatIfQuery struct {
+	// Param is a numeric sweep parameter ("cores", "namespaces",
+	// "count:<job>", ...; "stack" and "seed" are not thresholds).
+	Param string `json:"param"`
+	// Min and Max bound the searched range, inclusive.
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// Metric names the observed latency statistic, e.g. "l_p999".
+	Metric string `json:"metric"`
+	// SLOUs is the ceiling in microseconds the metric must stay under.
+	SLOUs float64 `json:"sloUs"`
+}
+
+// whatIfRequest is the POST /v1/whatif body: a concrete base scenario plus
+// the threshold query.
+type whatIfRequest struct {
+	Scenario scenario.Scenario `json:"scenario"`
+	Query    whatIfQuery       `json:"query"`
+}
+
+// validate checks the query against its base scenario.
+func (q whatIfQuery) validate(base scenario.Scenario) error {
+	if q.Param == "" {
+		return fmt.Errorf("whatif: missing \"param\"")
+	}
+	if q.Param == "stack" || q.Param == "seed" {
+		return fmt.Errorf("whatif: param %q is not a threshold axis", q.Param)
+	}
+	if q.Min < 1 || q.Max < q.Min {
+		return fmt.Errorf("whatif: need 1 <= min <= max, got [%d, %d]", q.Min, q.Max)
+	}
+	if q.SLOUs <= 0 {
+		return fmt.Errorf("whatif: sloUs must be positive")
+	}
+	if _, err := metricUs(q.Metric, zeroResult); err != nil {
+		return fmt.Errorf("whatif: %w", err)
+	}
+	// Both range endpoints must produce valid scenarios; binary search
+	// only ever probes values in between.
+	if _, err := base.WithParam(q.Param, q.Min); err != nil {
+		return fmt.Errorf("whatif: %w", err)
+	}
+	if _, err := base.WithParam(q.Param, q.Max); err != nil {
+		return fmt.Errorf("whatif: %w", err)
+	}
+	return nil
+}
+
+// rangeSize is the number of candidate values.
+func (q whatIfQuery) rangeSize() int { return q.Max - q.Min + 1 }
+
+// probeBound is the worst-case probe count of findThreshold over n
+// candidates: ⌈log₂(n+1)⌉, which is ≤ ⌈log₂ n⌉ + 1. ddserve admits a
+// query only when this bound fits the per-request cell budget.
+func probeBound(n int) int {
+	b := 0
+	for v := n; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// findThreshold binary-searches [lo, hi] for the largest value where ok
+// holds, assuming ok is monotone non-increasing in value. It returns lo-1
+// when no value passes. probes is the number of ok() calls, at most
+// probeBound(hi-lo+1).
+func findThreshold(lo, hi int, ok func(v int) (bool, error)) (answer, probes int, err error) {
+	answer = lo - 1
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		probes++
+		pass, err := ok(mid)
+		if err != nil {
+			return answer, probes, err
+		}
+		if pass {
+			answer = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return answer, probes, nil
+}
+
+// runWhatIf executes a what-if job: binary search with every probe routed
+// through the cell cache.
+func (s *Server) runWhatIf(jb *job) error {
+	q := jb.query
+	var log []probeRecord
+	cached := 0
+	answer, _, err := findThreshold(q.Min, q.Max, func(v int) (bool, error) {
+		sc, err := jb.base.WithParam(q.Param, v)
+		if err != nil {
+			return false, err
+		}
+		out, hit, err := s.runCachedPoint(sc)
+		if err != nil {
+			return false, fmt.Errorf("probe %s=%d: %w", q.Param, v, err)
+		}
+		if hit {
+			cached++
+		}
+		m, err := metricUs(q.Metric, out.result)
+		if err != nil {
+			return false, err
+		}
+		pass := m <= q.SLOUs
+		log = append(log, probeRecord{Value: v, MetricUs: m, OK: pass})
+		return pass, nil
+	})
+	if err != nil {
+		return err
+	}
+	feasible := answer >= q.Min
+	if !feasible {
+		answer = -1
+	}
+	jb.setWhatIfResult(log, answer, feasible, cached)
+	return nil
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"net/http"
+	"testing"
+
+	"daredevil/internal/harness"
+	"daredevil/internal/scenario"
+	"daredevil/internal/sim"
+)
+
+// ceilLog2 returns ⌈log₂ n⌉ for n ≥ 1.
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// TestFindThresholdExhaustive sweeps every range size and threshold
+// position and checks correctness plus the ⌈log₂ n⌉+1 probe bound the
+// ISSUE acceptance criteria require.
+func TestFindThresholdExhaustive(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		lo, hi := 1, n
+		for threshold := 0; threshold <= n; threshold++ { // 0 = infeasible
+			probesUsed := 0
+			answer, probes, err := findThreshold(lo, hi, func(v int) (bool, error) {
+				probesUsed++
+				return v <= threshold, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if probes != probesUsed {
+				t.Fatalf("n=%d: reported %d probes, used %d", n, probes, probesUsed)
+			}
+			want := threshold
+			if threshold == 0 {
+				want = lo - 1
+			}
+			if answer != want {
+				t.Fatalf("n=%d threshold=%d: answer %d, want %d", n, threshold, answer, want)
+			}
+			if probes > ceilLog2(n)+1 {
+				t.Fatalf("n=%d threshold=%d: %d probes exceeds ⌈log₂ n⌉+1 = %d",
+					n, threshold, probes, ceilLog2(n)+1)
+			}
+			if probes > probeBound(n) {
+				t.Fatalf("n=%d: %d probes exceeds probeBound %d", n, probes, probeBound(n))
+			}
+		}
+	}
+}
+
+// TestProbeBoundWithinLog2 pins probeBound ≤ ⌈log₂ n⌉+1, the budget the
+// admission check charges.
+func TestProbeBoundWithinLog2(t *testing.T) {
+	for n := 1; n <= 4096; n++ {
+		if probeBound(n) > ceilLog2(n)+1 {
+			t.Fatalf("probeBound(%d) = %d > %d", n, probeBound(n), ceilLog2(n)+1)
+		}
+	}
+}
+
+// stubByCount fakes a monotone system: L-tenant p99 grows 10µs per "bg"
+// tenant, so SLO thresholds land at predictable counts.
+func stubByCount(calls *[]int) func(scenario.Scenario) (cellOutput, error) {
+	return func(sc scenario.Scenario) (cellOutput, error) {
+		count := 0
+		for _, j := range sc.Jobs {
+			if j.Name == "bg" {
+				count = j.Count
+			}
+		}
+		if calls != nil {
+			*calls = append(*calls, count)
+		}
+		var out cellOutput
+		out.result = harness.CellResult{}
+		out.result.LTenantLatency.P99 = sim.Duration(count) * 10 * sim.Microsecond
+		return out, nil
+	}
+}
+
+const whatIfBase = `{"cores":2,"warmupMs":5,"measureMs":20,
+  "jobs":[{"name":"db","class":"L","count":1},{"name":"bg","class":"T","count":1}]}`
+
+func whatIfBody(minV, maxV int, metric string, sloUs float64) string {
+	return fmt.Sprintf(`{"scenario":%s,"query":{"param":"count:bg","min":%d,"max":%d,"metric":%q,"sloUs":%g}}`,
+		whatIfBase, minV, maxV, metric, sloUs)
+}
+
+// TestWhatIfEndpoint answers a threshold query against the stubbed system
+// and checks the answer, the probe bound, and cache reuse across queries.
+func TestWhatIfEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	var calls []int
+	s.runPoint = stubByCount(&calls)
+	defer s.Close()
+
+	// p99(count) = count*10µs, SLO 45µs over [1,8] → largest passing is 4.
+	code, body, _ := post(t, ts.URL+"/v1/whatif?wait=1", whatIfBody(1, 8, "l_p99", 45))
+	if code != http.StatusOK {
+		t.Fatalf("whatif: got %d (%s)", code, body)
+	}
+	_, res, _ := get(t, ts.URL+"/v1/jobs/"+jobID(t, body)+"/result")
+	var doc whatIfResultDoc
+	if err := json.Unmarshal(res, &doc); err != nil {
+		t.Fatalf("decoding %s: %v", res, err)
+	}
+	if !doc.Feasible || doc.Answer != 4 {
+		t.Fatalf("answer = %d (feasible=%v), want 4", doc.Answer, doc.Feasible)
+	}
+	if doc.Probes > ceilLog2(8)+1 {
+		t.Fatalf("%d probes exceeds ⌈log₂ 8⌉+1 = %d", doc.Probes, ceilLog2(8)+1)
+	}
+	if len(calls) != doc.Probes {
+		t.Fatalf("stub saw %d calls, doc reports %d probes", len(calls), doc.Probes)
+	}
+
+	// A tighter SLO over the same range revisits some of the same cells;
+	// those probes must come from the cache, not fresh runs.
+	callsBefore := len(calls)
+	code, body, _ = post(t, ts.URL+"/v1/whatif?wait=1", whatIfBody(1, 8, "l_p99", 25))
+	if code != http.StatusOK {
+		t.Fatalf("second whatif: got %d (%s)", code, body)
+	}
+	var st jobStatusDoc
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CachedCells == 0 {
+		t.Fatalf("second query reused no cached probes (status %s)", body)
+	}
+	if fresh := len(calls) - callsBefore; fresh+st.CachedCells != st.Cells {
+		t.Fatalf("fresh %d + cached %d != probes %d", fresh, st.CachedCells, st.Cells)
+	}
+	_, res, _ = get(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if err := json.Unmarshal(res, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Feasible || doc.Answer != 2 {
+		t.Fatalf("tighter SLO answer = %d (feasible=%v), want 2", doc.Answer, doc.Feasible)
+	}
+}
+
+// TestWhatIfInfeasible reports -1 when even the minimum violates the SLO.
+func TestWhatIfInfeasible(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.runPoint = stubByCount(nil)
+	defer s.Close()
+	code, body, _ := post(t, ts.URL+"/v1/whatif?wait=1", whatIfBody(1, 8, "l_p99", 5))
+	if code != http.StatusOK {
+		t.Fatalf("whatif: got %d (%s)", code, body)
+	}
+	_, res, _ := get(t, ts.URL+"/v1/jobs/"+jobID(t, body)+"/result")
+	var doc whatIfResultDoc
+	if err := json.Unmarshal(res, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Feasible || doc.Answer != -1 {
+		t.Fatalf("answer = %d (feasible=%v), want infeasible -1", doc.Answer, doc.Feasible)
+	}
+}
+
+// TestWhatIfValidation rejects malformed queries with 400.
+func TestWhatIfValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, CellBudget: 3})
+	defer s.Close()
+	for _, tc := range []struct{ name, body string }{
+		{"bad metric", whatIfBody(1, 8, "nope", 45)},
+		{"bad range", whatIfBody(8, 1, "l_p99", 45)},
+		{"zero slo", whatIfBody(1, 8, "l_p99", 0)},
+		{"seed param", fmt.Sprintf(`{"scenario":%s,"query":{"param":"seed","min":1,"max":8,"metric":"l_p99","sloUs":45}}`, whatIfBase)},
+		{"unknown job", fmt.Sprintf(`{"scenario":%s,"query":{"param":"count:nope","min":1,"max":8,"metric":"l_p99","sloUs":45}}`, whatIfBase)},
+		{"over budget", whatIfBody(1, 1024, "l_p99", 45)}, // needs 11 probes > budget 3
+	} {
+		if code, body, _ := post(t, ts.URL+"/v1/whatif", tc.body); code != http.StatusBadRequest {
+			t.Fatalf("%s: got %d, want 400 (%s)", tc.name, code, body)
+		}
+	}
+}
+
+// TestWhatIfRealSim runs a real threshold query end to end on tiny cells:
+// the probe bound must hold with the actual simulator, and a repeated
+// query must be answered entirely from the cache.
+func TestWhatIfRealSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-simulation what-if in -short mode")
+	}
+	s, ts := newTestServer(t, Config{Workers: 1})
+	defer s.Close()
+	// A generous SLO keeps every count feasible → answer = max.
+	body := whatIfBody(1, 4, "l_p99", 1e9)
+	code, resp, _ := post(t, ts.URL+"/v1/whatif?wait=1", body)
+	if code != http.StatusOK {
+		t.Fatalf("whatif: got %d (%s)", code, resp)
+	}
+	_, res, _ := get(t, ts.URL+"/v1/jobs/"+jobID(t, resp)+"/result")
+	var doc whatIfResultDoc
+	if err := json.Unmarshal(res, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Feasible || doc.Answer != 4 {
+		t.Fatalf("answer = %d (feasible=%v), want 4: %s", doc.Answer, doc.Feasible, res)
+	}
+	if doc.Probes > ceilLog2(4)+1 {
+		t.Fatalf("%d probes exceeds bound %d", doc.Probes, ceilLog2(4)+1)
+	}
+	for _, p := range doc.ProbeLog {
+		if p.MetricUs <= 0 {
+			t.Fatalf("probe %d reported non-positive p99 %v", p.Value, p.MetricUs)
+		}
+	}
+
+	// Identical query again: every probe cached, byte-identical document.
+	code, resp2, _ := post(t, ts.URL+"/v1/whatif?wait=1", body)
+	if code != http.StatusOK {
+		t.Fatalf("repeat whatif: got %d (%s)", code, resp2)
+	}
+	var st jobStatusDoc
+	if err := json.Unmarshal(resp2, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CachedCells != st.Cells {
+		t.Fatalf("repeat query ran fresh cells: cached %d of %d", st.CachedCells, st.Cells)
+	}
+	_, res2, _ := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if string(res) != string(res2) {
+		t.Fatalf("cached what-if differs from fresh:\n%s\nvs\n%s", res, res2)
+	}
+}

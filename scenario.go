@@ -1,316 +1,33 @@
 package daredevil
 
 import (
-	"encoding/json"
-	"fmt"
-
-	"daredevil/internal/workload"
+	"daredevil/internal/harness"
+	"daredevil/internal/scenario"
 )
 
-// Scenario is a declarative multi-tenant experiment, loadable from JSON
-// (ddsim -config). Example:
-//
-//	{
-//	  "machine": "svm", "cores": 4, "stack": "daredevil",
-//	  "namespaces": 1, "warmupMs": 100, "measureMs": 400,
-//	  "jobs": [
-//	    {"name": "db",     "class": "L", "count": 4},
-//	    {"name": "backup", "class": "T", "count": 16, "outlierEvery": 8}
-//	  ]
-//	}
-//
-// Job fields omit to the paper's defaults for the class (4KB rand qd=1 for
-// L, 128KB qd=32 streaming writes for T).
-type Scenario struct {
-	// Machine is "svm" (default) or "wsm".
-	Machine string `json:"machine"`
-	// Cores applies to the svm machine (default 4).
-	Cores int `json:"cores"`
-	// Stack names the storage stack (default "daredevil").
-	Stack string `json:"stack"`
-	// Namespaces divides the SSD (default 1).
-	Namespaces int `json:"namespaces"`
-	// WarmupMs and MeasureMs set the windows in virtual milliseconds
-	// (defaults 100/400).
-	WarmupMs  int `json:"warmupMs"`
-	MeasureMs int `json:"measureMs"`
-
-	// FTL runs the scenario on an aged device with the page-mapped
-	// translation layer (garbage collection, wear leveling, TRIM) between
-	// the controller and the media. The remaining FTL fields only apply
-	// when it is true.
-	FTL bool `json:"ftl"`
-	// OPPct overrides the device's over-provisioning percentage
-	// (default 7).
-	OPPct float64 `json:"opPct"`
-	// PreconditionPct / ScramblePct override how much of the logical space
-	// preconditioning fills and then overwrites (defaults 100/30). Nil
-	// keeps the default; explicit 0 disables that phase.
-	PreconditionPct *int `json:"preconditionPct"`
-	ScramblePct     *int `json:"scramblePct"`
-
-	// Fault names a canned fault profile ("brownout", "lossy", "wearout")
-	// to run the scenario under: the fault window covers the second
-	// quarter of the measurement phase and host recovery (command expiry →
-	// Abort → controller reset, stack requeue) is armed. Empty runs a
-	// healthy device. The remaining fault fields only apply when it is
-	// set.
-	Fault string `json:"fault"`
-	// FaultSeed keys the dedicated fault RNG stream (default 42).
-	FaultSeed uint64 `json:"faultSeed"`
-	// CmdTimeoutUs overrides the host's per-command expiry in
-	// microseconds (default: a quarter of the measurement phase).
-	CmdTimeoutUs int64 `json:"cmdTimeoutUs"`
-
-	// Trace captures per-request lifecycle spans (and arms the flight
-	// recorder). ddsim writes the Chrome trace-event JSON next to the
-	// scenario file unless its -trace flag names another path.
-	Trace bool `json:"trace"`
-	// TraceLimit caps the captured spans (0 = default budget). Requires
-	// "trace": true.
-	TraceLimit int `json:"traceLimit"`
-	// ObsWindowUs samples the machine's gauge set every this many virtual
-	// microseconds; ddsim prints the CSV after the summary.
-	ObsWindowUs int64 `json:"obsWindowUs"`
-
-	Jobs []ScenarioJob `json:"jobs"`
-}
+// Scenario is a declarative multi-tenant experiment, loadable from JSON.
+// The format lives in internal/scenario and is shared verbatim by the
+// ddsim CLI (-config) and the ddserve capacity-planning daemon, so one
+// document runs identically in both. See scenario.Scenario for the field
+// reference, including the ddserve extensions (seed, sweep axes).
+type Scenario = scenario.Scenario
 
 // ScenarioJob describes one group of identical tenants.
-type ScenarioJob struct {
-	Name  string `json:"name"`
-	Class string `json:"class"` // "L" or "T"
-	Count int    `json:"count"`
+type ScenarioJob = scenario.Job
 
-	// Optional overrides (zero = class default).
-	BS           int64  `json:"bs"`
-	IODepth      int    `json:"iodepth"`
-	ReadPct      *int   `json:"readPct"`
-	Pattern      string `json:"pattern"` // "random" or "sequential"
-	Core         *int   `json:"core"`
-	Namespace    int    `json:"namespace"`
-	OutlierEvery int    `json:"outlierEvery"`
-	// ArrivalUs switches the job to an open loop with this mean
-	// inter-arrival time in microseconds.
-	ArrivalUs int64 `json:"arrivalUs"`
-	SpanMB    int64 `json:"spanMB"`
-	// TrimEvery replaces every Nth request with an NVMe Deallocate (TRIM)
-	// sweeping the job's span. Only meaningful on an FTL-backed device.
-	TrimEvery int `json:"trimEvery"`
-}
+// ScenarioAxis is one ddserve sweep dimension (param + values).
+type ScenarioAxis = scenario.Axis
 
 // ParseScenario decodes and validates a JSON scenario.
-func ParseScenario(data []byte) (Scenario, error) {
-	var sc Scenario
-	if err := json.Unmarshal(data, &sc); err != nil {
-		return sc, fmt.Errorf("daredevil: invalid scenario JSON: %w", err)
-	}
-	if err := sc.validate(); err != nil {
-		return sc, err
-	}
-	return sc, nil
-}
+func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) }
 
-func (sc Scenario) validate() error {
-	switch sc.Machine {
-	case "", "svm", "wsm":
-	default:
-		return fmt.Errorf("daredevil: unknown machine %q (want svm or wsm)", sc.Machine)
-	}
-	if sc.Cores < 0 || sc.Namespaces < 0 || sc.WarmupMs < 0 || sc.MeasureMs < 0 {
-		return fmt.Errorf("daredevil: negative scenario parameter")
-	}
-	if sc.Stack != "" {
-		if _, err := stackKindOf(sc.Stack); err != nil {
-			return err
-		}
-	}
-	if !sc.FTL && (sc.OPPct != 0 || sc.PreconditionPct != nil || sc.ScramblePct != nil) {
-		return fmt.Errorf("daredevil: opPct/preconditionPct/scramblePct require \"ftl\": true")
-	}
-	if sc.FTL {
-		if err := sc.ftlConfig().Validate(); err != nil {
-			return fmt.Errorf("daredevil: invalid FTL scenario: %w", err)
-		}
-	}
-	switch sc.Fault {
-	case "", string(FaultBrownout), string(FaultLossy), string(FaultWearout):
-	default:
-		return fmt.Errorf("daredevil: unknown fault profile %q (want brownout, lossy, or wearout)", sc.Fault)
-	}
-	if sc.Fault == "" && (sc.FaultSeed != 0 || sc.CmdTimeoutUs != 0) {
-		return fmt.Errorf("daredevil: faultSeed/cmdTimeoutUs require \"fault\"")
-	}
-	if sc.CmdTimeoutUs < 0 {
-		return fmt.Errorf("daredevil: negative cmdTimeoutUs")
-	}
-	if !sc.Trace && sc.TraceLimit != 0 {
-		return fmt.Errorf("daredevil: traceLimit requires \"trace\": true")
-	}
-	if sc.TraceLimit < 0 || sc.ObsWindowUs < 0 {
-		return fmt.Errorf("daredevil: negative traceLimit/obsWindowUs")
-	}
-	if len(sc.Jobs) == 0 {
-		return fmt.Errorf("daredevil: scenario has no jobs")
-	}
-	for i, j := range sc.Jobs {
-		switch j.Class {
-		case "L", "T":
-		default:
-			return fmt.Errorf("daredevil: job %d (%q): class must be \"L\" or \"T\"", i, j.Name)
-		}
-		if j.Count <= 0 {
-			return fmt.Errorf("daredevil: job %d (%q): count must be positive", i, j.Name)
-		}
-		switch j.Pattern {
-		case "", "random", "sequential":
-		default:
-			return fmt.Errorf("daredevil: job %d (%q): unknown pattern %q", i, j.Name, j.Pattern)
-		}
-		if j.BS < 0 || j.IODepth < 0 || j.OutlierEvery < 0 || j.ArrivalUs < 0 || j.SpanMB < 0 || j.TrimEvery < 0 {
-			return fmt.Errorf("daredevil: job %d (%q): negative parameter", i, j.Name)
-		}
-		ns := max(sc.Namespaces, 1)
-		if j.Namespace < 0 || j.Namespace >= ns {
-			return fmt.Errorf("daredevil: job %d (%q): namespace %d out of [0,%d)", i, j.Name, j.Namespace, ns)
-		}
-	}
-	return nil
-}
-
-func stackKindOf(name string) (StackKind, error) {
-	for _, k := range []StackKind{
-		StackVanilla, StackBlkSwitch, StackStaticPart,
-		StackDareBase, StackDareSched, StackDaredevil,
-	} {
-		if string(k) == name {
-			return k, nil
-		}
-	}
-	return "", fmt.Errorf("daredevil: unknown stack %q", name)
-}
-
-// Build constructs the Simulation and the run windows described by the
-// scenario.
-func (sc Scenario) Build() (*Simulation, Duration, Duration, error) {
-	if err := sc.validate(); err != nil {
+// BuildScenario constructs the Simulation and the run windows described by
+// the scenario. Scenarios carrying sweep axes describe grids, not single
+// cells, and are rejected here — submit those to ddserve.
+func BuildScenario(sc Scenario) (*Simulation, Duration, Duration, error) {
+	spec, err := sc.CellSpec()
+	if err != nil {
 		return nil, 0, 0, err
 	}
-	var m Machine
-	if sc.Machine == "wsm" {
-		m = WorkstationMachine()
-	} else {
-		cores := sc.Cores
-		if cores == 0 {
-			cores = 4
-		}
-		m = ServerMachine(cores)
-	}
-	kind := StackDaredevil
-	if sc.Stack != "" {
-		kind, _ = stackKindOf(sc.Stack)
-	}
-	if sc.FTL {
-		fcfg := sc.ftlConfig()
-		m.FTL = &fcfg
-	}
-	warm := Duration(sc.WarmupMs) * Millisecond
-	if warm == 0 {
-		warm = 100 * Millisecond
-	}
-	measure := Duration(sc.MeasureMs) * Millisecond
-	if measure == 0 {
-		measure = 400 * Millisecond
-	}
-	if sc.Fault != "" {
-		seed := sc.FaultSeed
-		if seed == 0 {
-			seed = DefaultFaultSeed
-		}
-		fs := DefaultFaultSchedule(FaultProfile(sc.Fault), seed, warm, measure)
-		m.Fault = &fs
-		if sc.CmdTimeoutUs > 0 {
-			m.NVMe.CmdTimeout = Duration(sc.CmdTimeoutUs) * Microsecond
-		} else {
-			// Keep expiry well above the device's legitimate tail under
-			// load; a too-short timeout cascades into false-abort reset
-			// storms.
-			m.NVMe.CmdTimeout = measure / 4
-		}
-	}
-	sim := NewSimulation(m, kind)
-	if sc.Trace {
-		sim.EnableTrace(sc.TraceLimit)
-	}
-	if sc.ObsWindowUs > 0 {
-		sim.EnableMetrics(Duration(sc.ObsWindowUs) * Microsecond)
-	}
-	if sc.Namespaces > 1 {
-		sim.CreateNamespaces(sc.Namespaces)
-	}
-	tenantIdx := 0
-	for _, j := range sc.Jobs {
-		for i := 0; i < j.Count; i++ {
-			core := tenantIdx % m.Cores
-			if j.Core != nil {
-				core = *j.Core % m.Cores
-			}
-			var cfg JobConfig
-			if j.Class == "L" {
-				cfg = workload.DefaultLTenant(j.Name, core)
-			} else {
-				cfg = workload.DefaultTTenant(j.Name, core)
-			}
-			if j.BS > 0 {
-				cfg.BS = j.BS
-			}
-			if j.IODepth > 0 {
-				cfg.IODepth = j.IODepth
-			}
-			if j.ReadPct != nil {
-				cfg.ReadPct = *j.ReadPct
-			}
-			switch j.Pattern {
-			case "random":
-				cfg.Pattern = workload.Random
-			case "sequential":
-				cfg.Pattern = workload.Sequential
-			}
-			cfg.Namespace = j.Namespace
-			cfg.OutlierEvery = j.OutlierEvery
-			if j.ArrivalUs > 0 {
-				cfg.Arrival = Duration(j.ArrivalUs) * Microsecond
-			}
-			if j.SpanMB > 0 {
-				cfg.Span = j.SpanMB << 20
-			}
-			cfg.TrimEvery = j.TrimEvery
-			cfg.Seed += uint64(tenantIdx) * 9176
-			sim.AddJob(cfg)
-			tenantIdx++
-		}
-	}
-	return sim, warm, measure, nil
-}
-
-// ftlConfig materializes the scenario's FTL fields over the defaults.
-func (sc Scenario) ftlConfig() FTLConfig {
-	cfg := DefaultFTLConfig()
-	if sc.OPPct != 0 {
-		cfg.OPPct = sc.OPPct
-	}
-	if sc.PreconditionPct != nil {
-		cfg.PreconditionPct = *sc.PreconditionPct
-	}
-	if sc.ScramblePct != nil {
-		cfg.ScramblePct = *sc.ScramblePct
-	}
-	return cfg
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return &Simulation{cell: harness.BuildCell(spec)}, spec.Warmup, spec.Measure, nil
 }

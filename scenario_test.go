@@ -31,7 +31,7 @@ func TestScenarioBuildAndRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, warm, measure, err := sc.Build()
+	sim, warm, measure, err := BuildScenario(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestScenarioDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, warm, measure, err := sc.Build()
+	sim, warm, measure, err := BuildScenario(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestScenarioOpenLoopAndOverrides(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, warm, measure, err := sc.Build()
+	sim, warm, measure, err := BuildScenario(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestScenarioNamespaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, warm, measure, err := sc.Build()
+	sim, warm, measure, err := BuildScenario(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestScenarioObservabilityFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, warm, measure, err := sc.Build()
+	sim, warm, measure, err := BuildScenario(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
