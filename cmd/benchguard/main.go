@@ -1,24 +1,40 @@
-// Command benchguard defends the simulator's allocation discipline in CI.
-// It re-runs the guarded benchmark suites with -benchmem, parses allocs/op,
-// and compares them against the committed baseline in BENCH_harness.json.
+// Command benchguard defends the simulator's allocation and wall-time
+// discipline in CI. It re-runs the guarded benchmark suites with -benchmem,
+// parses allocs/op and ns/op, and compares both against the committed
+// baseline in BENCH_harness.json.
 //
-//	go run ./cmd/benchguard                  # default suites vs baseline
-//	go run ./cmd/benchguard -tolerance 0.10  # explicit regression budget
+//	go run ./cmd/benchguard                     # default suites vs baseline
+//	go run ./cmd/benchguard -tolerance 0.10     # explicit allocs/op budget
+//	go run ./cmd/benchguard -ns-tolerance 0.25  # looser wall-time budget
+//	go run ./cmd/benchguard -ns-tolerance -1    # allocs-only (old behavior)
 //	go run ./cmd/benchguard -suites ./internal/sim=BenchmarkEngine
 //
-// Two suites are guarded by default: the event-core benchmarks (the
-// allocation-free engine hot path) and the obs-off device benchmark, which
+// Three suites are guarded by default: the event-core benchmarks (the
+// allocation-free engine hot path), the obs-off device benchmark, which
 // pins the cost of the observability hooks when no observer is attached —
 // a span stamp or flight-ring record that starts allocating on its disabled
-// path shows up here as an allocs/op regression.
+// path shows up here as an allocs/op regression — and the whole-simulator
+// throughput benchmark, which locks in the timing-wheel and slab-allocation
+// wins end to end (a regression there means a hot path started allocating
+// per event again, not that one microbenchmark wobbled).
 //
 // A benchmark whose fresh allocs/op exceeds its baseline by more than the
 // tolerance fails the run. Zero-allocation baselines get no budget at all:
 // the first allocation on the event hot path is the regression, which is
-// the property BenchmarkEngineEventThroughput exists to pin. ns/op is NOT
-// guarded — wall time is too noisy on shared CI runners — allocation
-// counts are exact and deterministic, which is what makes this check
-// stable enough to gate merges on.
+// the property BenchmarkEngineEventThroughput exists to pin.
+//
+// ns/op is guarded too, with its own, deliberately wider tolerance
+// (default +15%): wall time on shared runners is noisy in a way allocation
+// counts are not, so the ns gate is meant to catch step regressions — a
+// closure binding per event, a lost fast path — not single-digit drift.
+// The gate only applies to benchmarks whose baseline ns/op is at least
+// -ns-floor (default 10 µs/op): below that, the fixed iteration count
+// measures microseconds of wall time and per-op cost can depend on b.N
+// (heap-depth benchmarks), so the comparison against an adaptive-benchtime
+// baseline would be noise gating noise. Benchmarks whose baseline records
+// no ns/op are skipped, and a negative -ns-tolerance disables the
+// wall-time gate entirely for machines whose noise floor exceeds any
+// useful budget.
 package main
 
 import (
@@ -37,19 +53,29 @@ import (
 // baseline mirrors the fields of BENCH_harness.json this command reads.
 type baseline struct {
 	Benchmarks []struct {
-		Name        string `json:"name"`
-		AllocsPerOp int64  `json:"allocs_per_op"`
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
 	} `json:"benchmarks"`
 }
 
+// measure is one benchmark's guarded numbers, from the baseline file or a
+// fresh run.
+type measure struct {
+	allocs  int64
+	nsPerOp float64
+}
+
 // defaultSuites lists the guarded pkg=pattern pairs.
-const defaultSuites = "./internal/sim=BenchmarkEngine,.=BenchmarkObsOff"
+const defaultSuites = "./internal/sim=BenchmarkEngine,.=BenchmarkObsOff,.=BenchmarkSimulatorThroughput"
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_harness.json", "committed benchmark baseline")
 	suites := flag.String("suites", defaultSuites, "comma-separated pkg=pattern benchmark suites to run and guard")
 	benchtime := flag.String("benchtime", "1000x", "iterations per benchmark (fixed count: allocs/op is exact)")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth over baseline")
+	nsTolerance := flag.Float64("ns-tolerance", 0.15, "allowed fractional ns/op growth over baseline (negative disables the wall-time gate)")
+	nsFloor := flag.Float64("ns-floor", 10_000, "minimum baseline ns/op for the wall-time gate to apply")
 	flag.Parse()
 
 	var problems []string
@@ -78,21 +104,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchguard: go test -bench:", err)
 			os.Exit(3)
 		}
-		fresh, err := parseAllocs(out.String())
+		fresh, err := parseBench(out.String())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchguard:", err)
 			os.Exit(3)
 		}
 
-		problems = append(problems, compare(base, fresh, *tolerance)...)
+		problems = append(problems, compare(base, fresh, *tolerance, *nsTolerance, *nsFloor)...)
 		names := make([]string, 0, len(base))
 		for name := range base {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("benchguard: %-32s baseline %d allocs/op, fresh %d allocs/op\n",
-				name, base[name], fresh[name])
+			fmt.Printf("benchguard: %-32s baseline %d allocs/op %.4g ns/op, fresh %d allocs/op %.4g ns/op\n",
+				name, base[name].allocs, base[name].nsPerOp, fresh[name].allocs, fresh[name].nsPerOp)
 		}
 	}
 	if len(problems) > 0 {
@@ -104,8 +130,9 @@ func main() {
 	fmt.Println("benchguard: OK")
 }
 
-// loadBaseline reads allocs/op for benchmarks matching the name prefix.
-func loadBaseline(path, prefix string) (map[string]int64, error) {
+// loadBaseline reads allocs/op and ns/op for benchmarks matching the name
+// prefix.
+func loadBaseline(path, prefix string) (map[string]measure, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -114,19 +141,19 @@ func loadBaseline(path, prefix string) (map[string]int64, error) {
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
-	out := map[string]int64{}
+	out := map[string]measure{}
 	for _, bm := range b.Benchmarks {
 		if strings.HasPrefix(bm.Name, prefix) {
-			out[bm.Name] = bm.AllocsPerOp
+			out[bm.Name] = measure{allocs: bm.AllocsPerOp, nsPerOp: bm.NsPerOp}
 		}
 	}
 	return out, nil
 }
 
-// parseAllocs extracts "<name>-N ... M allocs/op" lines from go test -bench
-// output, keyed by the bare benchmark name (GOMAXPROCS suffix stripped).
-func parseAllocs(output string) (map[string]int64, error) {
-	out := map[string]int64{}
+// parseBench extracts allocs/op and ns/op from go test -bench output,
+// keyed by the bare benchmark name (GOMAXPROCS suffix stripped).
+func parseBench(output string) (map[string]measure, error) {
+	out := map[string]measure{}
 	sc := bufio.NewScanner(strings.NewReader(output))
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -137,14 +164,27 @@ func parseAllocs(output string) (map[string]int64, error) {
 		if i := strings.LastIndex(name, "-"); i > 0 {
 			name = name[:i]
 		}
+		m := out[name]
+		seen := false
 		for i := 1; i < len(fields)-1; i++ {
-			if fields[i+1] == "allocs/op" {
+			switch fields[i+1] {
+			case "allocs/op":
 				n, err := strconv.ParseInt(fields[i], 10, 64)
 				if err != nil {
 					return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
 				}
-				out[name] = n
+				m.allocs = n
+				seen = true
+			case "ns/op":
+				ns, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+				}
+				m.nsPerOp = ns
 			}
+		}
+		if seen {
+			out[name] = m
 		}
 	}
 	if len(out) == 0 {
@@ -156,10 +196,12 @@ func parseAllocs(output string) (map[string]int64, error) {
 // compare returns one problem string per regression. A baseline of zero
 // allocs/op admits zero fresh allocations regardless of tolerance; nonzero
 // baselines may grow by at most the tolerance fraction (rounded up, so a
-// baseline of 1 with 10% tolerance still only admits 1). Benchmarks present
-// in the baseline but missing from the fresh run are failures too: a
-// deleted benchmark silently un-guards its invariant.
-func compare(base, fresh map[string]int64, tolerance float64) []string {
+// baseline of 1 with 10% tolerance still only admits 1). ns/op is gated
+// against its own wider budget when the baseline records at least nsFloor
+// and nsTolerance is non-negative. Benchmarks present in the baseline but
+// missing from the fresh run are failures too: a deleted benchmark
+// silently un-guards its invariant.
+func compare(base, fresh map[string]measure, tolerance, nsTolerance, nsFloor float64) []string {
 	var problems []string
 	names := make([]string, 0, len(base))
 	for name := range base {
@@ -167,16 +209,23 @@ func compare(base, fresh map[string]int64, tolerance float64) []string {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		baseAllocs := base[name]
-		freshAllocs, ok := fresh[name]
+		b := base[name]
+		f, ok := fresh[name]
 		if !ok {
 			problems = append(problems, fmt.Sprintf("%s: in baseline but not in fresh run", name))
 			continue
 		}
-		limit := baseAllocs + int64(float64(baseAllocs)*tolerance)
-		if freshAllocs > limit {
+		limit := b.allocs + int64(float64(b.allocs)*tolerance)
+		if f.allocs > limit {
 			problems = append(problems, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d (limit %d)",
-				name, freshAllocs, baseAllocs, limit))
+				name, f.allocs, b.allocs, limit))
+		}
+		if nsTolerance >= 0 && b.nsPerOp >= nsFloor && b.nsPerOp > 0 {
+			nsLimit := b.nsPerOp + b.nsPerOp*nsTolerance
+			if f.nsPerOp > nsLimit {
+				problems = append(problems, fmt.Sprintf("%s: %.4g ns/op exceeds baseline %.4g (limit %.4g)",
+					name, f.nsPerOp, b.nsPerOp, nsLimit))
+			}
 		}
 	}
 	return problems

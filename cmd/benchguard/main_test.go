@@ -16,47 +16,88 @@ PASS
 ok  	daredevil/internal/sim	1.234s
 `
 
-func TestParseAllocs(t *testing.T) {
-	got, err := parseAllocs(sampleOutput)
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(sampleOutput)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]int64{
-		"BenchmarkEngineEventThroughput": 0,
-		"BenchmarkEngineFanout":          0,
-		"BenchmarkEngineTimerChurn":      1,
+	want := map[string]measure{
+		"BenchmarkEngineEventThroughput": {allocs: 0, nsPerOp: 11.78},
+		"BenchmarkEngineFanout":          {allocs: 0, nsPerOp: 526.5},
+		"BenchmarkEngineTimerChurn":      {allocs: 1, nsPerOp: 20.48},
 	}
-	for name, allocs := range want {
-		if got[name] != allocs {
-			t.Errorf("%s = %d allocs/op, want %d", name, got[name], allocs)
+	for name, m := range want {
+		if got[name] != m {
+			t.Errorf("%s = %+v, want %+v", name, got[name], m)
 		}
 	}
 	if len(got) != len(want) {
 		t.Errorf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
 	}
-	if _, err := parseAllocs("PASS\nok\n"); err == nil {
+	if _, err := parseBench("PASS\nok\n"); err == nil {
 		t.Error("no allocs/op lines must be an error")
 	}
 }
 
 func TestCompare(t *testing.T) {
-	base := map[string]int64{"Zero": 0, "Ten": 10, "One": 1, "Gone": 5}
-	fresh := map[string]int64{"Zero": 0, "Ten": 11, "One": 1}
-	if problems := compare(base, fresh, 0.10); len(problems) != 1 ||
+	base := map[string]measure{"Zero": {}, "Ten": {allocs: 10}, "One": {allocs: 1}, "Gone": {allocs: 5}}
+	fresh := map[string]measure{"Zero": {}, "Ten": {allocs: 11}, "One": {allocs: 1}}
+	if problems := compare(base, fresh, 0.10, 0.15, 0); len(problems) != 1 ||
 		!strings.Contains(problems[0], "Gone") {
 		t.Errorf("within-tolerance run must only flag the missing benchmark, got %v", problems)
 	}
 
 	// The first allocation on a zero-alloc baseline is the regression.
-	if problems := compare(map[string]int64{"Zero": 0}, map[string]int64{"Zero": 1}, 0.10); len(problems) != 1 {
+	if problems := compare(map[string]measure{"Zero": {}}, map[string]measure{"Zero": {allocs: 1}}, 0.10, 0.15, 0); len(problems) != 1 {
 		t.Errorf("zero baseline must admit zero fresh allocs, got %v", problems)
 	}
 	// 10% over a baseline of 10 is 11: allowed. 12 is not.
-	if problems := compare(map[string]int64{"Ten": 10}, map[string]int64{"Ten": 12}, 0.10); len(problems) != 1 {
+	if problems := compare(map[string]measure{"Ten": {allocs: 10}}, map[string]measure{"Ten": {allocs: 12}}, 0.10, 0.15, 0); len(problems) != 1 {
 		t.Errorf("12 allocs over baseline 10 must fail, got %v", problems)
 	}
 	// A baseline of 1 with 10% tolerance truncates to limit 1.
-	if problems := compare(map[string]int64{"One": 1}, map[string]int64{"One": 2}, 0.10); len(problems) != 1 {
+	if problems := compare(map[string]measure{"One": {allocs: 1}}, map[string]measure{"One": {allocs: 2}}, 0.10, 0.15, 0); len(problems) != 1 {
 		t.Errorf("2 allocs over baseline 1 must fail, got %v", problems)
+	}
+}
+
+func TestCompareNs(t *testing.T) {
+	base := map[string]measure{"B": {allocs: 5, nsPerOp: 100}}
+
+	// +15% budget: 115 ns/op passes, 116 fails.
+	if problems := compare(base, map[string]measure{"B": {allocs: 5, nsPerOp: 115}}, 0.10, 0.15, 0); len(problems) != 0 {
+		t.Errorf("115 ns/op within +15%% of 100 must pass, got %v", problems)
+	}
+	problems := compare(base, map[string]measure{"B": {allocs: 5, nsPerOp: 116}}, 0.10, 0.15, 0)
+	if len(problems) != 1 || !strings.Contains(problems[0], "ns/op") {
+		t.Errorf("116 ns/op over +15%% of 100 must fail on the ns gate, got %v", problems)
+	}
+
+	// Negative tolerance disables the wall-time gate entirely.
+	if problems := compare(base, map[string]measure{"B": {allocs: 5, nsPerOp: 1000}}, 0.10, -1, 0); len(problems) != 0 {
+		t.Errorf("negative ns tolerance must disable the ns gate, got %v", problems)
+	}
+
+	// A baseline without ns/op recorded is skipped by the ns gate.
+	noNs := map[string]measure{"B": {allocs: 5}}
+	if problems := compare(noNs, map[string]measure{"B": {allocs: 5, nsPerOp: 1e9}}, 0.10, 0.15, 0); len(problems) != 0 {
+		t.Errorf("missing baseline ns/op must skip the ns gate, got %v", problems)
+	}
+
+	// Both gates can fire on the same benchmark.
+	problems = compare(base, map[string]measure{"B": {allocs: 50, nsPerOp: 500}}, 0.10, 0.15, 0)
+	if len(problems) != 2 {
+		t.Errorf("alloc and ns regressions must both report, got %v", problems)
+	}
+
+	// Baselines under the ns floor are not wall-time gated: a nanosecond-
+	// scale benchmark measured for 1000 fixed iterations is pure noise.
+	if problems := compare(base, map[string]measure{"B": {allocs: 5, nsPerOp: 1e6}}, 0.10, 0.15, 10_000); len(problems) != 0 {
+		t.Errorf("baseline under the ns floor must skip the ns gate, got %v", problems)
+	}
+	// At or above the floor the gate applies.
+	macro := map[string]measure{"B": {allocs: 5, nsPerOp: 20_000}}
+	if problems := compare(macro, map[string]measure{"B": {allocs: 5, nsPerOp: 40_000}}, 0.10, 0.15, 10_000); len(problems) != 1 {
+		t.Errorf("macro benchmark over budget must fail the ns gate, got %v", problems)
 	}
 }

@@ -6,7 +6,9 @@
 //
 // The file is the artifact `make bench` and CI publish: it locks in ns/op
 // and allocs/op for the allocation-free event core and the wall-clock
-// speedup of the experiment fan-out, per machine.
+// speedup of the experiment fan-out, per machine. When the output file
+// already exists, the old contents are kept next to it with a .prev.json
+// suffix so a re-baseline commit carries both sides of the comparison.
 //
 // Usage:
 //
@@ -114,6 +116,17 @@ func realMain() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
+	}
+	// Snapshot the baseline being replaced as <out-minus-.json>.prev.json:
+	// a deliberate re-baseline then carries its before/after pair in one
+	// commit, and benchguard's limits stay auditable against the numbers
+	// they superseded.
+	if prior, err := os.ReadFile(*out); err == nil {
+		prev := strings.TrimSuffix(*out, ".json") + ".prev.json"
+		if err := os.WriteFile(prev, prior, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: keeping previous baseline:", err)
+			return 1
+		}
 	}
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

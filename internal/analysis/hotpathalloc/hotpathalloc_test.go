@@ -19,3 +19,15 @@ func TestHot(t *testing.T) {
 		"daredevil/internal/analysis/hotpathalloc/testdata/hot",
 		hotpathalloc.New(cfg))
 }
+
+// TestWheel pins the analyzer on the shapes the timing-wheel and SoA-sweep
+// roots rely on: arena carving and in-place slot truncation pass, while
+// arena growth by append-in-loop, per-event boxing during a flush, and a
+// per-batch capturing closure in the sweep are flagged. The two sanctioned
+// amortized appends (heap backing, spare list) ride on allow directives.
+func TestWheel(t *testing.T) {
+	cfg := config.Default()
+	analysistest.Run(t, cfg, "testdata/wheel",
+		"daredevil/internal/analysis/hotpathalloc/testdata/wheel",
+		hotpathalloc.New(cfg))
+}

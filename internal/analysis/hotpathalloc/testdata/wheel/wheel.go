@@ -1,0 +1,83 @@
+// Package wheel is a golden fixture for the timing-wheel and slab-sweep
+// roots hotpathalloc now guards: insert carves slot backings from a
+// pre-grown arena (no per-insert make), advance flushes a slot into the
+// heap without boxing, and the completion sweep recycles its batch in
+// place. Each root also shows the shape that would give the discipline
+// back, flagged.
+package wheel
+
+type entry struct {
+	at  int64
+	seq uint64
+	id  int32
+}
+
+type tracer interface{ emit(any) }
+
+var trace tracer
+
+type ring struct {
+	slots [8][]entry
+	arena []entry
+	heap  []entry
+	spare [][]entry
+}
+
+// insert is the wheelInsert shape: first touch of a slot takes its backing
+// from the arena; the steady-state append stays within capacity. Growing
+// the arena itself with append-in-loop is the regression.
+//
+//ddvet:hotpath
+func (r *ring) insert(ev entry) {
+	s := int(ev.at) & 7
+	sl := r.slots[s]
+	if cap(sl) == 0 {
+		if len(r.arena) < 4 {
+			for i := 0; i < 32; i++ {
+				r.arena = append(r.arena, entry{}) // want "append inside a loop on hot path"
+			}
+		}
+		sl = r.arena[:0:4]
+		r.arena = r.arena[4:]
+	}
+	r.slots[s] = append(sl, ev)
+}
+
+// advance is the flush shape: drain one slot into the heap, truncating the
+// slot in place so its backing is reused next rotation. Reporting each
+// flushed event through an interface would box it per event.
+//
+//ddvet:hotpath
+func (r *ring) advance(now int64) {
+	s := int(now) & 7
+	for _, ev := range r.slots[s] {
+		r.push(ev)
+		trace.emit(ev.seq) // want "value of type uint64 boxed"
+	}
+	r.slots[s] = r.slots[s][:0]
+}
+
+// push is reached transitively from advance; a single append outside any
+// loop is the engine's own heap-push shape and is not a finding — growth
+// amortizes against the engine-lifetime backing.
+func (r *ring) push(ev entry) {
+	r.heap = append(r.heap, ev) // not in a loop: fine
+}
+
+// sweep is the SoA completion-sweep shape (isrRun/pollReapRun): iterate a
+// reaped batch, recycle its backing via the spare list, and never bind a
+// per-batch closure — the capturing literal is the regression.
+//
+//ddvet:hotpath
+func (r *ring) sweep(batch []entry) int {
+	n := 0
+	for _, ev := range batch {
+		if ev.id >= 0 {
+			n++
+		}
+	}
+	done := func() int { return n } // want "closure on hot path .* captures n"
+	_ = done
+	r.spare = append(r.spare, batch[:0]) // not in a loop, backing recycled: fine
+	return n
+}

@@ -235,13 +235,22 @@ func (r *Request) Complete(now sim.Time) {
 // mirroring the kernel's I/O splitting (§2.3). The parent completes when
 // all children have. Requests at or below the limit return themselves.
 func (r *Request) Split(maxBytes int64, nextID func() uint64) []*Request {
+	return r.SplitInto(nil, maxBytes, nextID)
+}
+
+// SplitInto is Split appending into a caller-owned slice (usually a
+// reusable scratch), so the common unsplit case builds no one-element
+// slice per request. The returned slice aliases dst's backing array.
+//
+//ddvet:hotpath
+func (r *Request) SplitInto(dst []*Request, maxBytes int64, nextID func() uint64) []*Request {
 	if maxBytes <= 0 {
 		panic("block: non-positive split size")
 	}
 	if r.Size <= maxBytes {
-		return []*Request{r}
+		return append(dst, r)
 	}
-	var children []*Request
+	children := dst
 	for off := int64(0); off < r.Size; off += maxBytes {
 		sz := r.Size - off
 		if sz > maxBytes {
@@ -264,9 +273,9 @@ func (r *Request) Split(maxBytes int64, nextID func() uint64) []*Request {
 		if c.Span != nil {
 			c.Span.Size = sz
 		}
-		children = append(children, c)
+		children = append(children, c) //lint:ddvet:allow hotpathalloc appends into the caller's reusable scratch, growth amortizes across requests
 	}
-	r.remaining = len(children)
+	r.remaining = len(children) - len(dst)
 	return children
 }
 

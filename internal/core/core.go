@@ -137,6 +137,11 @@ type Stack struct {
 	cfg Config
 	reg *nqreg
 
+	// ringProxyFn is the doorbell-flush continuation shared by every
+	// nproxy's batching timer (the timer carries the proxy as its event
+	// argument), bound once at construction.
+	ringProxyFn func(any)
+
 	// ScheduleQueries counts nqreg queries from troute.
 	ScheduleQueries uint64
 	// OutlierRoutes counts outlier L-requests routed to the high group.
@@ -157,6 +162,7 @@ func New(env stackbase.Env, cfg Config) *Stack {
 	}
 	s := &Stack{Base: stackbase.DefaultBase(env), cfg: cfg}
 	s.reg = newNqreg(env.Dev, cfg)
+	s.ringProxyFn = func(a any) { s.ringNow(a.(*nproxy)) }
 	if env.Dev.Config().Arbitration == nvme.ArbWeightedRoundRobin {
 		// When the controller supports WRR arbitration (an extension the
 		// paper's default setting avoids, §2.1), align the hardware classes
@@ -306,9 +312,7 @@ func (s *Stack) route(rq *block.Request, target *nproxy) sim.Duration {
 		if target.pendingDoorbell >= s.cfg.DoorbellBatch {
 			s.ringNow(target)
 		} else if target.doorbellTimer == nil || !target.doorbellTimer.Active() {
-			target.doorbellTimer = s.Eng.AfterTimer(s.cfg.DoorbellDelay, func() {
-				s.ringNow(target)
-			})
+			target.doorbellTimer = s.Eng.AfterTimerArg(s.cfg.DoorbellDelay, s.ringProxyFn, target)
 		}
 		return overhead
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"daredevil/internal/block"
 	"daredevil/internal/nvme"
@@ -19,29 +18,45 @@ type nproxy struct {
 
 	merit    float64
 	lastPick uint64
-	// claims maps core → number of tenants using this NSQ as default or
-	// outlier NSQ; its key-set is the §5.2 bitmap.
-	claims map[int]int
+	// claims[core] counts tenants using this NSQ as default or outlier NSQ
+	// from that core, grown on demand; the non-zero entries are the §5.2
+	// bitmap and claimed caches their count. A dense slice replaces the
+	// obvious map so hot-path claim updates never hash or allocate.
+	claims  []int
+	claimed int
 
 	// doorbell batching state (nqreg submission dispatching, LevelFull).
+	// The batching timer runs the Stack's shared ringProxyFn with this
+	// proxy as the event argument, so arming it on the submission hot
+	// path allocates nothing.
 	pendingDoorbell int
 	doorbellTimer   *sim.Timer
 }
 
 func (p *nproxy) claimCore(core int) {
+	for core >= len(p.claims) {
+		p.claims = append(p.claims, 0)
+	}
+	if p.claims[core] == 0 {
+		p.claimed++
+	}
 	p.claims[core]++
 }
 
 func (p *nproxy) unclaimCore(core int) {
+	if core >= len(p.claims) || p.claims[core] == 0 {
+		return
+	}
 	if p.claims[core] > 1 {
 		p.claims[core]--
 		return
 	}
-	delete(p.claims, core)
+	p.claims[core] = 0
+	p.claimed--
 }
 
 // claimedCores is nq.nr_claimed_cores in Algorithm 2.
-func (p *nproxy) claimedCores() int { return len(p.claims) }
+func (p *nproxy) claimedCores() int { return p.claimed }
 
 // meritK computes the NSQ's instantaneous merit (Algorithm 2 line 6): the
 // per-request lock-contention latency times the number of claiming cores —
@@ -52,7 +67,7 @@ func (p *nproxy) meritK() float64 {
 		return 0
 	}
 	inLockUs := p.nsq.InLockTime().Microseconds()
-	return inLockUs / sub * float64(len(p.claims))
+	return inLockUs / sub * float64(p.claimed)
 }
 
 // ncqNode is nqreg's view of an NCQ with its attached NSQ leaves (the
@@ -115,19 +130,41 @@ func newNqreg(dev *nvme.Device, cfg Config) *nqreg {
 	}
 	r := &nqreg{cfg: cfg}
 	half := dev.NumNCQ() / 2
+	// Nodes and proxies live in two backing arrays with pointers handed
+	// out: one allocation per kind instead of one per NQ, mirroring the
+	// device's own queue construction. The arrays are never appended to,
+	// so the pointers stay valid.
+	nodeArr := make([]ncqNode, dev.NumNCQ())
 	nodes := make([]*ncqNode, dev.NumNCQ())
-	for i := 0; i < dev.NumNCQ(); i++ {
-		nodes[i] = &ncqNode{ncq: dev.NCQOf(i), mru: cfg.MRU}
+	for i := range nodeArr {
+		n := &nodeArr[i]
+		n.ncq, n.mru = dev.NCQOf(i), cfg.MRU
+		nodes[i] = n
 	}
-	proxies := make([]*nproxy, dev.NumNSQ())
+	// Each node's leaf list is a capped carve of one shared backing array,
+	// sized from the NSQ→NCQ pairing, so attaching leaves allocates twice
+	// total rather than once per node.
+	leafCount := make([]int, dev.NumNCQ())
 	for i := 0; i < dev.NumNSQ(); i++ {
-		p := &nproxy{id: i, nsq: dev.NSQ(i), claims: make(map[int]int)}
-		proxies[i] = p
+		leafCount[dev.NSQ(i).NCQ().ID]++
+	}
+	leafBacking := make([]*nproxy, dev.NumNSQ())
+	off := 0
+	for i, n := range nodes {
+		n.nsqs = leafBacking[off : off : off+leafCount[i]]
+		off += leafCount[i]
+	}
+	proxyArr := make([]nproxy, dev.NumNSQ())
+	for i := range proxyArr {
+		p := &proxyArr[i]
+		p.id, p.nsq = i, dev.NSQ(i)
 		owner := nodes[dev.NSQ(i).NCQ().ID]
 		owner.nsqs = append(owner.nsqs, p)
 	}
 	high := &nqGroup{prio: block.PrioHigh, mru: cfg.MRU}
 	low := &nqGroup{prio: block.PrioLow, mru: cfg.MRU}
+	high.ncqs = make([]*ncqNode, 0, half)
+	low.ncqs = make([]*ncqNode, 0, dev.NumNCQ()-half)
 	for i, n := range nodes {
 		g := low
 		if i < half {
@@ -172,12 +209,7 @@ func (r *nqreg) fetchTopNCQ(g *nqGroup, m int, cost *sim.Duration) *ncqNode {
 		for _, n := range g.ncqs {
 			n.merit = r.cfg.Alpha*n.meritK() + (1-r.cfg.Alpha)*n.merit
 		}
-		sort.SliceStable(g.ncqs, func(i, j int) bool {
-			if g.ncqs[i].merit != g.ncqs[j].merit {
-				return g.ncqs[i].merit < g.ncqs[j].merit
-			}
-			return g.ncqs[i].lastPick < g.ncqs[j].lastPick
-		})
+		sortNCQs(g.ncqs)
 		g.mru = r.cfg.MRU
 		r.Resorts++
 		*cost += sim.Duration(len(g.ncqs)) * r.cfg.ResortCostPerNQ
@@ -199,17 +231,43 @@ func (r *nqreg) fetchTopNSQ(n *ncqNode, m int, cost *sim.Duration) *nproxy {
 		for _, p := range n.nsqs {
 			p.merit = r.cfg.Alpha*p.meritK() + (1-r.cfg.Alpha)*p.merit
 		}
-		sort.SliceStable(n.nsqs, func(i, j int) bool {
-			if n.nsqs[i].merit != n.nsqs[j].merit {
-				return n.nsqs[i].merit < n.nsqs[j].merit
-			}
-			return n.nsqs[i].lastPick < n.nsqs[j].lastPick
-		})
+		sortNSQs(n.nsqs)
 		n.mru = r.cfg.MRU
 		r.Resorts++
 		*cost += sim.Duration(len(n.nsqs)) * r.cfg.ResortCostPerNQ
 	}
 	return top
+}
+
+// sortNCQs orders nodes by (merit, lastPick) ascending. Insertion sort:
+// the lists hold a handful of NQs, resorts run on the submission path, and
+// sort.SliceStable's reflection swapper allocates per call — for n this
+// small a stable in-place shift beats it on both counts.
+func sortNCQs(nodes []*ncqNode) {
+	for i := 1; i < len(nodes); i++ {
+		n := nodes[i]
+		j := i - 1
+		for j >= 0 && (nodes[j].merit > n.merit ||
+			(nodes[j].merit == n.merit && nodes[j].lastPick > n.lastPick)) {
+			nodes[j+1] = nodes[j]
+			j--
+		}
+		nodes[j+1] = n
+	}
+}
+
+// sortNSQs is sortNCQs for nproxy leaves.
+func sortNSQs(proxies []*nproxy) {
+	for i := 1; i < len(proxies); i++ {
+		p := proxies[i]
+		j := i - 1
+		for j >= 0 && (proxies[j].merit > p.merit ||
+			(proxies[j].merit == p.merit && proxies[j].lastPick > p.lastPick)) {
+			proxies[j+1] = proxies[j]
+			j--
+		}
+		proxies[j+1] = p
+	}
 }
 
 // GroupSize reports (NCQs, NSQs) of the group with the given priority.

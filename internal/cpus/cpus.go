@@ -27,6 +27,13 @@ type Work struct {
 	// time (e.g. time spent spinning on an NSQ lock), which extends the
 	// core's occupancy before the next item starts.
 	Fn func() sim.Duration
+	// ArgFn is the allocation-free alternative to Fn: a long-lived
+	// function (bound once per device, not per submission) receiving Arg.
+	// Binding a method value per queue or per interrupt allocates a
+	// closure; passing the receiver through Arg does not. When ArgFn is
+	// set it runs instead of Fn.
+	ArgFn func(any) sim.Duration
+	Arg   any
 }
 
 // Config holds per-core cost knobs.
@@ -52,8 +59,12 @@ func (q *fifo) pop() (Work, bool) {
 	if q.head >= len(q.items) {
 		return Work{}, false
 	}
+	// The popped entry is left stale rather than zeroed: its referents
+	// (pre-bound continuations and pooled queues) live as long as the
+	// machine anyway, and zeroing three pointer words per executed work
+	// item is pure write-barrier traffic. Compaction below overwrites
+	// stale entries wholesale.
 	w := q.items[q.head]
-	q.items[q.head] = Work{}
 	q.head++
 	if q.head > 64 && q.head*2 >= len(q.items) {
 		q.items = append(q.items[:0], q.items[q.head:]...)
@@ -81,6 +92,8 @@ type Core struct {
 	// dispatch path allocates nothing. finishFn/dispatchFn are the two
 	// continuations, bound once at construction.
 	curFn      func() sim.Duration
+	curArgFn   func(any) sim.Duration
+	curArg     any
 	curCost    sim.Duration
 	curIRQ     bool
 	finishFn   func()
@@ -109,6 +122,11 @@ func NewPool(eng *sim.Engine, n int, cfg Config) *Pool {
 	p := &Pool{cfg: cfg}
 	for i := 0; i < n; i++ {
 		c := &Core{ID: i, eng: eng, cfg: cfg, lastOwner: OwnerNone}
+		// Seed both queues with a page of capacity: the append-growth
+		// ladder from nil would otherwise be paid per core on every fresh
+		// cell, and busy cores reach tens of queued work items routinely.
+		c.taskQ.items = make([]Work, 0, 64)
+		c.irqQ.items = make([]Work, 0, 16)
 		c.finishFn = c.finish
 		c.dispatchFn = c.dispatch
 		p.cores = append(p.cores, c)
@@ -203,7 +221,7 @@ func (c *Core) dispatch() {
 		}
 		c.lastOwner = w.Owner
 	}
-	c.curFn, c.curCost, c.curIRQ = w.Fn, cost, isIRQ
+	c.curFn, c.curArgFn, c.curArg, c.curCost, c.curIRQ = w.Fn, w.ArgFn, w.Arg, cost, isIRQ
 	c.eng.After(cost, c.finishFn)
 }
 
@@ -215,12 +233,16 @@ func (c *Core) dispatch() {
 //ddvet:hotpath
 func (c *Core) finish() {
 	var extra sim.Duration
-	if c.curFn != nil {
+	switch {
+	case c.curArgFn != nil:
+		extra = c.curArgFn(c.curArg)
+		c.curArgFn, c.curArg = nil, nil
+	case c.curFn != nil:
 		extra = c.curFn()
-		if extra < 0 {
-			extra = 0
-		}
 		c.curFn = nil
+	}
+	if extra < 0 {
+		extra = 0
 	}
 	total := c.curCost + extra
 	c.BusyTime += total

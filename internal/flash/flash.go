@@ -123,6 +123,34 @@ type Device struct {
 	channels []sim.FIFORes
 	stats    Stats
 	allocRR  int64 // FTL write-allocation cursor
+
+	// Shift/mask fast paths for the page-mapping arithmetic, precomputed
+	// at New. The default geometry is power-of-two everywhere, and the
+	// div/mod chain in chipOf/Pages was the hottest flat cost in the
+	// whole-simulator profile; a negative shift means that dimension is
+	// not a power of two and the exact divide runs instead. The two
+	// paths produce identical values for the non-negative operands used
+	// here.
+	pageShift int8  // log2(PageSize), or -1
+	unitShift int8  // log2(pagesPerUnit), or -1
+	chShift   int8  // log2(Channels), or -1
+	chipShift int8  // log2(ChipsPerChannel), or -1
+	chMask    int64 // Channels-1 when pow2
+	chipMask  int64 // ChipsPerChannel-1 when pow2
+	dieMask   int64 // len(chips)-1 when pow2, else -1
+}
+
+// pow2shift returns log2(x) when x is a positive power of two.
+func pow2shift(x int64) (int8, bool) {
+	if x <= 0 || x&(x-1) != 0 {
+		return -1, false
+	}
+	var s int8
+	for x > 1 {
+		x >>= 1
+		s++
+	}
+	return s, true
 }
 
 // New builds a device; it panics on invalid configuration (construction-time
@@ -131,11 +159,35 @@ func New(cfg Config) *Device {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Device{
-		cfg:      cfg,
-		chips:    make([]sim.FIFORes, cfg.Channels*cfg.ChipsPerChannel),
-		channels: make([]sim.FIFORes, cfg.Channels),
+	d := &Device{
+		cfg:       cfg,
+		chips:     make([]sim.FIFORes, cfg.Channels*cfg.ChipsPerChannel),
+		channels:  make([]sim.FIFORes, cfg.Channels),
+		pageShift: -1, unitShift: -1, chShift: -1, chipShift: -1,
+		dieMask: -1,
 	}
+	if s, ok := pow2shift(cfg.PageSize); ok {
+		d.pageShift = s
+	}
+	per := cfg.InterleaveBytes / cfg.PageSize
+	if cfg.InterleaveBytes <= 0 {
+		per = 1
+	}
+	if s, ok := pow2shift(per); ok {
+		d.unitShift = s
+	}
+	if s, ok := pow2shift(int64(cfg.Channels)); ok {
+		d.chShift = s
+		d.chMask = int64(cfg.Channels) - 1
+	}
+	if s, ok := pow2shift(int64(cfg.ChipsPerChannel)); ok {
+		d.chipShift = s
+		d.chipMask = int64(cfg.ChipsPerChannel) - 1
+	}
+	if _, ok := pow2shift(int64(len(d.chips))); ok {
+		d.dieMask = int64(len(d.chips)) - 1
+	}
+	return d
 }
 
 // Config returns the device configuration.
@@ -149,9 +201,14 @@ func (d *Device) NumChips() int { return len(d.chips) }
 
 // Pages reports how many media pages the byte range [offset, offset+size)
 // touches.
+//
+//ddvet:hotpath
 func (d *Device) Pages(offset, size int64) int {
 	if size <= 0 {
 		return 0
+	}
+	if s := d.pageShift; s >= 0 {
+		return int(((offset+size-1)>>s - offset>>s) + 1)
 	}
 	first := offset / d.cfg.PageSize
 	last := (offset + size - 1) / d.cfg.PageSize
@@ -161,7 +218,13 @@ func (d *Device) Pages(offset, size int64) int {
 // chipOf maps an absolute page index to its (channel, chip) placement:
 // InterleaveBytes-sized units stripe across channels first, then across
 // chips, so consecutive pages within a unit share one die.
+//
+//ddvet:hotpath
 func (d *Device) chipOf(page int64) (channel, chip int) {
+	if d.unitShift >= 0 && d.chShift >= 0 && d.chipShift >= 0 {
+		unit := page >> d.unitShift
+		return int(unit & d.chMask), int((unit >> d.chShift) & d.chipMask)
+	}
 	unit := page
 	if per := d.pagesPerUnit(); per > 1 {
 		unit = page / per
@@ -179,7 +242,13 @@ func (d *Device) chipOf(page int64) (channel, chip int) {
 //
 //ddvet:hotpath
 func (d *Device) ChipIndexOf(offset int64) int {
-	ch, chip := d.chipOf(offset / d.cfg.PageSize)
+	var page int64
+	if s := d.pageShift; s >= 0 {
+		page = offset >> s
+	} else {
+		page = offset / d.cfg.PageSize
+	}
+	ch, chip := d.chipOf(page)
 	return ch*d.cfg.ChipsPerChannel + chip
 }
 
@@ -197,24 +266,33 @@ func (d *Device) pagesPerUnit() int64 {
 //
 //ddvet:hotpath
 func (d *Device) SubmitPage(now sim.Time, page int64, op Op) sim.Time {
-	ch, chip := d.chipOf(page)
-	die := &d.chips[ch*d.cfg.ChipsPerChannel+chip]
-	bus := &d.channels[ch]
 	switch op {
 	case Read:
+		ch, chip := d.chipOf(page)
+		die := &d.chips[ch*d.cfg.ChipsPerChannel+chip]
+		bus := &d.channels[ch]
 		d.stats.PagesRead++
 		grant, _ := die.Acquire(now, d.cfg.ReadLatency)
 		mediaDone := grant.Add(d.cfg.ReadLatency)
 		busGrant, _ := bus.Acquire(mediaDone, d.cfg.XferLatency)
 		return busGrant.Add(d.cfg.XferLatency)
 	case Program:
-		// Log-structured allocation: ignore the page's LBA placement and
-		// append to the next die in round-robin order.
+		// Log-structured allocation: the page's LBA placement is ignored —
+		// the program appends to the next die in round-robin order, so the
+		// chipOf lookup is skipped entirely.
 		d.stats.PagesWritten++
 		d.allocRR++
-		idx := d.allocRR % int64(len(d.chips))
-		die = &d.chips[idx]
-		bus = &d.channels[int(idx)/d.cfg.ChipsPerChannel]
+		var idx int64
+		var busIdx int
+		if d.dieMask >= 0 && d.chipShift >= 0 {
+			idx = d.allocRR & d.dieMask
+			busIdx = int(idx >> d.chipShift)
+		} else {
+			idx = d.allocRR % int64(len(d.chips))
+			busIdx = int(idx) / d.cfg.ChipsPerChannel
+		}
+		die := &d.chips[idx]
+		bus := &d.channels[busIdx]
 		busGrant, _ := bus.Acquire(now, d.cfg.XferLatency)
 		xferDone := busGrant.Add(d.cfg.XferLatency)
 		grant, _ := die.Acquire(xferDone, d.cfg.ProgramLatency)
@@ -265,11 +343,58 @@ func (d *Device) SubmitIO(now sim.Time, offset, size int64, op Op) sim.Time {
 	if n == 0 {
 		return now
 	}
-	first := offset / d.cfg.PageSize
+	var first int64
+	if s := d.pageShift; s >= 0 {
+		first = offset >> s
+	} else {
+		first = offset / d.cfg.PageSize
+	}
+	if n == 1 {
+		return d.SubmitPage(now, first, op)
+	}
+	// Multi-page requests run the per-page logic open-coded: SubmitPage is
+	// too large to inline, and bulky T-requests put tens of pages through
+	// this loop per command, so the per-page call and op re-dispatch are
+	// measurable. The resource-acquire sequence is exactly SubmitPage's.
 	done := now
-	for i := int64(0); i < int64(n); i++ {
-		if t := d.SubmitPage(now, first+i, op); t > done {
-			done = t
+	switch op {
+	case Read:
+		rd, xf := d.cfg.ReadLatency, d.cfg.XferLatency
+		d.stats.PagesRead += uint64(n)
+		for i := int64(0); i < int64(n); i++ {
+			ch, chip := d.chipOf(first + i)
+			grant, _ := d.chips[ch*d.cfg.ChipsPerChannel+chip].Acquire(now, rd)
+			busGrant, _ := d.channels[ch].Acquire(grant.Add(rd), xf)
+			if t := busGrant.Add(xf); t > done {
+				done = t
+			}
+		}
+	case Program:
+		xf, pg := d.cfg.XferLatency, d.cfg.ProgramLatency
+		fast := d.dieMask >= 0 && d.chipShift >= 0
+		d.stats.PagesWritten += uint64(n)
+		for i := 0; i < n; i++ {
+			d.allocRR++
+			var idx int64
+			var busIdx int
+			if fast {
+				idx = d.allocRR & d.dieMask
+				busIdx = int(idx >> d.chipShift)
+			} else {
+				idx = d.allocRR % int64(len(d.chips))
+				busIdx = int(idx) / d.cfg.ChipsPerChannel
+			}
+			busGrant, _ := d.channels[busIdx].Acquire(now, xf)
+			grant, _ := d.chips[idx].Acquire(busGrant.Add(xf), pg)
+			if t := grant.Add(pg); t > done {
+				done = t
+			}
+		}
+	default:
+		for i := int64(0); i < int64(n); i++ {
+			if t := d.SubmitPage(now, first+i, op); t > done {
+				done = t
+			}
 		}
 	}
 	return done

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"daredevil/internal/ftl"
+	"daredevil/internal/workload"
+)
+
+// The golden cells pin the simulator's output bytes across performance
+// work: the fixtures under testdata/golden were generated before the
+// timing wheel and the SoA/slab hot-path rewrite landed, so a run that
+// produces different JSON means an optimization changed simulated
+// behavior, not just its speed. Regenerate with
+//
+//	go test ./internal/harness -run TestGoldenCells -update-golden
+//
+// only when a deliberate, reviewed model change moves the numbers.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden CellResult fixtures")
+
+// goldenScale keeps the pinned cells fast while still exercising GC (the
+// aged device needs enough writes to trigger collection — shorter windows
+// never reach a GC run) and the full fault window (onset, steady faults,
+// recovery) inside measurement.
+var goldenScale = QuickScale
+
+// goldenSpecs returns the pinned cells: one ext-gc-shaped aged-device cell
+// and one ext-fault-shaped brownout cell, mirroring RunExtGCCell and
+// RunExtFaultCell's configurations through the CellSpec API.
+func goldenSpecs() map[string]CellSpec {
+	// ext-gc: aged device at 7% OP with TRIM, 4 L-tenants vs 4
+	// overwrite-heavy T-tenants at depth 4 (RunExtGCCell's shape).
+	gcMachine := SVM(4)
+	fcfg := ftl.DefaultConfig()
+	fcfg.OPPct = 7
+	gcMachine.FTL = &fcfg
+	gcJobs := make([]workload.FIOConfig, 0, 8)
+	for i := 0; i < 4; i++ {
+		gcJobs = append(gcJobs, workload.DefaultLTenant("fio-L", i%4))
+	}
+	for i := 0; i < 4; i++ {
+		cfg := workload.DefaultTTenant("fio-T", i%4)
+		cfg.Pattern = workload.Random
+		cfg.ReadPct = 0
+		cfg.IODepth = 4
+		cfg.TrimEvery = 8
+		gcJobs = append(gcJobs, cfg)
+	}
+
+	// ext-fault: brownout window spanning the second quarter of the
+	// measurement phase, host recovery armed (RunExtFaultCell's shape).
+	winStart := goldenScale.Warmup + goldenScale.Measure/4
+	winEnd := goldenScale.Warmup + goldenScale.Measure/2
+	faultMachine := SVM(4)
+	sched := ExtFaultSchedule(FaultBrownout, 42, winStart, winEnd)
+	faultMachine.Fault = &sched
+	faultMachine.NVMe.CmdTimeout = goldenScale.Measure / 8
+	faultJobs := make([]workload.FIOConfig, 0, 6)
+	for i := 0; i < 4; i++ {
+		faultJobs = append(faultJobs, workload.DefaultLTenant("fio-L", i%4))
+	}
+	for i := 0; i < 2; i++ {
+		faultJobs = append(faultJobs, workload.DefaultTTenant("fio-T", i%4))
+	}
+
+	return map[string]CellSpec{
+		"extgc-aged-op7-trim": {
+			Machine: gcMachine, Kind: DareFull,
+			Warmup: goldenScale.Warmup, Measure: goldenScale.Measure,
+			Jobs: gcJobs,
+		},
+		"extfault-brownout": {
+			Machine: faultMachine, Kind: DareFull,
+			Warmup: goldenScale.Warmup, Measure: goldenScale.Measure,
+			Jobs: faultJobs,
+		},
+	}
+}
+
+// goldenJSON renders a CellResult exactly as the fixtures store it.
+func goldenJSON(t *testing.T, res CellResult) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal CellResult: %v", err)
+	}
+	return append(data, '\n')
+}
+
+// TestGoldenCells asserts the pinned cells' CellResult JSON is
+// byte-identical to the committed fixtures.
+func TestGoldenCells(t *testing.T) {
+	for name, spec := range goldenSpecs() {
+		t.Run(name, func(t *testing.T) {
+			got := goldenJSON(t, RunCellSpec(spec))
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read fixture (regenerate with -update-golden): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("%s: CellResult JSON diverged from golden fixture.\nThe simulator's output bytes changed — a hot-path optimization must not move results.\ngot %d bytes, want %d bytes", name, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestGoldenCellsRepeatable asserts a fresh build of the same spec
+// reproduces the same bytes within one process — the cheap precondition
+// for the cross-change fixture comparison above.
+func TestGoldenCellsRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: golden cells run twice here")
+	}
+	spec := goldenSpecs()["extfault-brownout"]
+	a := goldenJSON(t, RunCellSpec(spec))
+	b := goldenJSON(t, RunCellSpec(spec))
+	if string(a) != string(b) {
+		t.Fatal("same spec produced different CellResult JSON in one process")
+	}
+}

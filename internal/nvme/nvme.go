@@ -149,15 +149,15 @@ type CompletionPolicy struct {
 	CoalesceDelay sim.Duration
 }
 
-// command is an in-flight NVMe command. Commands are recycled through the
-// device's free-list, so doneFn — the flash-completion continuation — is
-// bound once per command object and reused for its whole pooled lifetime.
+// command is an in-flight NVMe command. Commands are carved from the
+// device's slab in chunks and recycled through its free-list; their
+// continuations (flash completion, Abort completion) are the device's two
+// pre-bound argument-carrying functions, so a command needs no per-object
+// closures at all.
 type command struct {
 	rq      *block.Request
 	nsq     *NSQ
 	dev     *Device
-	doneFn  func()
-	abortFn func() // Abort admin-command continuation, bound like doneFn
 	pages   int
 	retries int
 
@@ -184,11 +184,6 @@ type NSQ struct {
 
 	// class is the WRR priority class (ignored under round-robin).
 	class QueueClass
-
-	// ringFn publishes the queue's entries to the controller at the
-	// doorbell instant; bound once so Enqueue schedules it without
-	// allocating a closure.
-	ringFn func()
 
 	// Lock serializes tail updates from multiple cores; its wait times are
 	// the submission-side contention that feeds NSQ merits (§5.3).
@@ -228,12 +223,16 @@ type NCQ struct {
 	// spare recycles drained CQE batch slices; several batches can be in
 	// flight at once (a new batch may post while an earlier ISR is still
 	// queued on its core), hence a small pool rather than a single buffer.
-	spare      [][]*command
-	irqArmed   bool
-	timer      *sim.Timer
-	deliverFn  func() // IRQ delivery continuation (irqArmed serializes it)
-	coalesceFn func() // coalescing-timer continuation
-	pollFn     func() // poll-tick continuation (pollArmed serializes it)
+	spare    [][]*command
+	irqArmed bool
+	timer    *sim.Timer
+	// isrQ carries detached CQE batches from delivery to the reap running
+	// on the vector's core. Core IRQ work is FIFO and each delivery submits
+	// exactly one reap, so batches are consumed in delivery order — which
+	// lets the reap continuations (the device's isrWorkFn for interrupts,
+	// pollReapWorkFn for polling) be shared across every NCQ instead of
+	// closed over each batch or bound per queue.
+	isrQ [][]*command
 
 	// polling-mode state (see polling.go)
 	polled    bool
@@ -302,8 +301,25 @@ type Device struct {
 	errRNG    *sim.Rand
 
 	// freeCmds recycles command objects so the steady-state submission path
-	// does not allocate.
+	// does not allocate; cmdSlab is the current carve chunk the free-list
+	// refills from, so even the ramp-up phase allocates once per
+	// cmdChunkSize commands rather than once per command.
 	freeCmds []*command
+	cmdSlab  []command
+	// flashDoneFn/abortDoneFn are the device-wide command continuations,
+	// dispatched through the engine's argument-carrying events (AtArg) with
+	// the target command as the argument.
+	flashDoneFn func(any)
+	abortDoneFn func(any)
+	// Per-queue continuations, likewise device-wide with the queue as the
+	// argument: binding method values per NSQ/NCQ costs one closure each at
+	// construction, which dominates fresh-cell allocation at 64+ queues.
+	ringNSQFn      func(any)              // NSQ doorbell instant
+	irqDeliverFn   func(any)              // NCQ IRQ delivery (irqArmed serializes it)
+	coalesceFireFn func(any)              // NCQ coalescing-timer expiry
+	pollFireFn     func(any)              // NCQ poll tick (pollArmed serializes it)
+	isrWorkFn      func(any) sim.Duration // NCQ interrupt reap, runs on the vector core
+	pollReapWorkFn func(any) sim.Duration // NCQ polled reap, runs on the vector core
 
 	// host-recovery state (see recovery.go)
 	inj          *fault.Injector
@@ -369,20 +385,44 @@ func New(eng *sim.Engine, pool *cpus.Pool, cfg Config) *Device {
 		classRR: map[QueueClass]int{}, errRNG: sim.NewRand(cfg.ErrorSeed + 0x5eed)}
 	d.wrrCredit = cfg.WRR.High
 	d.fetchDone = d.finishFetch
+	d.flashDoneFn = func(a any) { a.(*command).flashDone() }
+	d.abortDoneFn = func(a any) { a.(*command).abortDone() }
+	d.ringNSQFn = func(a any) { a.(*NSQ).ringNow() }
+	d.irqDeliverFn = func(a any) { a.(*NCQ).deliver() }
+	d.coalesceFireFn = func(a any) { a.(*NCQ).coalesceFire() }
+	d.pollFireFn = func(a any) { a.(*NCQ).pollFire() }
+	d.isrWorkFn = func(a any) sim.Duration { return a.(*NCQ).isrRun() }
+	d.pollReapWorkFn = func(a any) sim.Duration { return a.(*NCQ).pollReapRun() }
 	d.expiryFn = d.checkExpiry
 	d.resumeFn = d.hiccupResume
 	d.resetFn = d.finishReset
-	for i := 0; i < cfg.NumNCQ; i++ {
-		cq := &NCQ{ID: i, dev: d, irqCore: i % pool.N()}
-		cq.deliverFn = cq.deliver
-		cq.coalesceFn = cq.coalesceFire
-		cq.pollFn = cq.pollFire
-		d.ncqs = append(d.ncqs, cq)
+	// The queues live in two backing arrays, with pointers into them handed
+	// out: one allocation per kind instead of one per queue, which matters
+	// when every simulated cell constructs a fresh 64+64-queue device. The
+	// arrays are never appended to, so the pointers stay valid.
+	ncqArr := make([]NCQ, cfg.NumNCQ)
+	d.ncqs = make([]*NCQ, cfg.NumNCQ)
+	for i := range ncqArr {
+		cq := &ncqArr[i]
+		cq.ID, cq.dev, cq.irqCore = i, d, i%pool.N()
+		d.ncqs[i] = cq
 	}
-	for i := 0; i < cfg.NumNSQ; i++ {
-		q := &NSQ{ID: i, dev: d, ncq: d.ncqs[i%cfg.NumNCQ], class: ClassMedium}
-		q.ringFn = q.ringNow
-		d.nsqs = append(d.nsqs, q)
+	nsqArr := make([]NSQ, cfg.NumNSQ)
+	d.nsqs = make([]*NSQ, cfg.NumNSQ)
+	// Seed each entries slice with a modest carve of one shared backing
+	// array: enough to swallow the append-growth ladder at realistic
+	// occupancy (tens of commands) without committing QueueDepth-sized
+	// arrays per NSQ — at 64 NSQs × 1024 depth that would be half a
+	// megabyte per cell. The three-index carve caps each slice so a queue
+	// growing past its share reallocates privately instead of clobbering
+	// its neighbor.
+	const entrySeed = 64
+	entryBacking := make([]*command, cfg.NumNSQ*entrySeed)
+	for i := range nsqArr {
+		q := &nsqArr[i]
+		q.ID, q.dev, q.ncq, q.class = i, d, d.ncqs[i%cfg.NumNCQ], ClassMedium
+		q.entries = entryBacking[i*entrySeed : i*entrySeed : (i+1)*entrySeed]
+		d.nsqs[i] = q
 	}
 	d.namespaces = []Namespace{{ID: 0, Base: 0, Size: 1 << 41}} // single 2TB ns by default
 	return d
@@ -501,13 +541,20 @@ func (d *Device) Enqueue(now sim.Time, nsqID int, rq *block.Request, ring bool) 
 	q.entries = append(q.entries, cmd)
 	q.Submitted++
 	if ring {
-		d.eng.At(enqAt, q.ringFn)
+		d.eng.AtArg(enqAt, d.ringNSQFn, q)
 	}
 	return true, wait + d.cfg.SQLockHold
 }
 
-// allocCmd takes a command from the free-list, or builds one (binding its
-// completion continuation exactly once).
+// cmdChunkSize is the slab carve granularity: one allocation covers this
+// many command lifetimes during ramp-up, after which the free-list
+// recycles forever.
+const cmdChunkSize = 64
+
+// allocCmd takes a command from the free-list, refilling it from the slab
+// when empty.
+//
+//ddvet:hotpath
 func (d *Device) allocCmd(rq *block.Request, q *NSQ, pages int) *command {
 	if n := len(d.freeCmds); n > 0 {
 		c := d.freeCmds[n-1]
@@ -518,9 +565,12 @@ func (d *Device) allocCmd(rq *block.Request, q *NSQ, pages int) *command {
 		c.lost = false
 		return c
 	}
-	c := &command{dev: d, rq: rq, nsq: q, pages: pages}
-	c.doneFn = c.flashDone
-	c.abortFn = c.abortDone
+	if len(d.cmdSlab) == 0 {
+		d.cmdSlab = make([]command, cmdChunkSize)
+	}
+	c := &d.cmdSlab[0]
+	d.cmdSlab = d.cmdSlab[1:]
+	c.dev, c.rq, c.nsq, c.pages = d, rq, q, pages
 	return c
 }
 
@@ -618,8 +668,11 @@ func (d *Device) finishFetch() {
 	}
 	q := d.fetchQ
 	d.fetchQ = nil
+	// The fetched entry is left stale, not nil'd: commands are slab-pooled
+	// device-lifetime objects, so retention through a consumed queue entry
+	// costs nothing, while a per-fetch pointer clear is write-barrier
+	// traffic on the hot path. Compaction overwrites stale entries.
 	cmd := q.entries[q.head]
-	q.entries[q.head] = nil
 	q.head++
 	if q.head > 64 && q.head*2 >= len(q.entries) {
 		q.entries = append(q.entries[:0], q.entries[q.head:]...)
@@ -717,7 +770,7 @@ func (d *Device) dispatchToFlash(cmd *command) {
 		}
 	}
 	cmd.pendingDone = true
-	d.eng.At(done.Add(d.cfg.CQEPostCost+lateBy), cmd.doneFn)
+	d.eng.AtArg(done.Add(d.cfg.CQEPostCost+lateBy), d.flashDoneFn, cmd)
 }
 
 // flashDone is a command's completion continuation: inject media errors
@@ -800,7 +853,7 @@ func (d *Device) postCQE(cmd *command) {
 			if delay <= 0 {
 				delay = d.cfg.IRQLatency
 			}
-			cq.timer = d.eng.AfterTimer(delay, cq.coalesceFn)
+			cq.timer = d.eng.AfterTimerArg(delay, d.coalesceFireFn, cq)
 		}
 	default:
 		// Vanilla: interrupt as soon as a CQE posts, unless one is already
@@ -828,13 +881,13 @@ func (d *Device) fireIRQ(cq *NCQ) {
 		return
 	}
 	cq.irqArmed = true
-	d.eng.After(d.cfg.IRQLatency, cq.deliverFn)
+	d.eng.AfterArg(d.cfg.IRQLatency, d.irqDeliverFn, cq)
 }
 
 // deliver is the interrupt arrival: detach the pending batch, price the ISR,
-// and queue it as interrupt work on the vector's core. The ISR closure is
-// the one allocation left on this path — it is per interrupt, not per
-// command, so coalescing amortizes it.
+// and queue it as interrupt work on the vector's core. The batch rides the
+// NCQ's isrQ FIFO to the pre-bound reap continuation, so the path allocates
+// nothing at steady state.
 //
 //ddvet:hotpath
 func (cq *NCQ) deliver() {
@@ -861,24 +914,44 @@ func (cq *NCQ) deliver() {
 			sp.DCore = cq.irqCore
 		}
 	}
-	core := d.pool.Core(cq.irqCore)
-	//lint:ddvet:allow hotpathalloc per-interrupt (not per-command) ISR closure; coalescing amortizes it — see doc comment
-	core.SubmitIRQ(cpus.Work{Cost: cost, Fn: func() sim.Duration {
-		now := d.eng.Now()
-		for i, cmd := range batch {
-			rq := cmd.rq
-			cq.InFlight--
-			cq.Completed++
-			if rq.Tenant != nil && rq.Tenant.Core != cq.irqCore {
-				rq.CrossCore = true
-			}
-			batch[i] = nil
-			d.releaseCmd(cmd)
-			rq.Complete(now)
+	cq.isrQ = append(cq.isrQ, batch)
+	d.pool.Core(cq.irqCore).SubmitIRQ(cpus.Work{Cost: cost, ArgFn: d.isrWorkFn, Arg: cq})
+}
+
+// isrPop dequeues the oldest detached batch. The FIFO is almost always a
+// single entry; the shift-down keeps the zero-length case allocation-free.
+func (cq *NCQ) isrPop() []*command {
+	batch := cq.isrQ[0]
+	n := len(cq.isrQ) - 1
+	copy(cq.isrQ, cq.isrQ[1:])
+	cq.isrQ[n] = nil
+	cq.isrQ = cq.isrQ[:n]
+	return batch
+}
+
+// isrRun is the ISR body: complete every command of the oldest delivered
+// batch and recycle the batch slice.
+//
+//ddvet:hotpath
+func (cq *NCQ) isrRun() sim.Duration {
+	d := cq.dev
+	batch := cq.isrPop()
+	now := d.eng.Now()
+	for _, cmd := range batch {
+		rq := cmd.rq
+		cq.InFlight--
+		cq.Completed++
+		if rq.Tenant != nil && rq.Tenant.Core != cq.irqCore {
+			rq.CrossCore = true
 		}
-		cq.spare = append(cq.spare, batch[:0])
-		return 0
-	}})
+		d.releaseCmd(cmd)
+		rq.Complete(now)
+	}
+	// Stale command pointers stay in the recycled batch's capacity on
+	// purpose: commands are slab-pooled, so clearing them per CQE would be
+	// pure write-barrier cost.
+	cq.spare = append(cq.spare, batch[:0])
+	return 0
 }
 
 // Inflight reports commands fetched but not completed.

@@ -38,7 +38,7 @@ func (d *Device) armPoll(cq *NCQ) {
 		return
 	}
 	cq.pollArmed = true
-	d.eng.After(cq.pollEvery, cq.pollFn)
+	d.eng.AfterArg(cq.pollEvery, d.pollFireFn, cq)
 }
 
 // pollFire is the poll-tick continuation; pollArmed serializes it, so the
@@ -74,30 +74,39 @@ func (d *Device) pollTick(cq *NCQ) {
 			sp.Polled = true
 		}
 	}
-	core := d.pool.Core(cq.irqCore)
-	//lint:ddvet:allow hotpathalloc per-poll-batch (not per-command) reap closure; the poll interval amortizes it
-	core.SubmitIRQ(cpus.Work{Cost: cost, Fn: func() sim.Duration {
-		now := d.eng.Now()
-		if len(batch) > 0 {
-			cq.IRQs++ // counted as completion reaps for merit symmetry
+	cq.isrQ = append(cq.isrQ, batch)
+	d.pool.Core(cq.irqCore).SubmitIRQ(cpus.Work{Cost: cost, ArgFn: d.pollReapWorkFn, Arg: cq})
+}
+
+// pollReapRun is the poll reap body: like isrRun, but a reap may find an
+// empty batch (the probe cost was still paid), counts non-empty reaps as
+// IRQs for merit symmetry, and re-arms the poll while work is outstanding.
+//
+//ddvet:hotpath
+func (cq *NCQ) pollReapRun() sim.Duration {
+	d := cq.dev
+	batch := cq.isrPop()
+	now := d.eng.Now()
+	if len(batch) > 0 {
+		cq.IRQs++ // counted as completion reaps for merit symmetry
+	}
+	for _, cmd := range batch {
+		rq := cmd.rq
+		cq.InFlight--
+		cq.Completed++
+		if rq.Tenant != nil && rq.Tenant.Core != cq.irqCore {
+			rq.CrossCore = true
 		}
-		for i, cmd := range batch {
-			rq := cmd.rq
-			cq.InFlight--
-			cq.Completed++
-			if rq.Tenant != nil && rq.Tenant.Core != cq.irqCore {
-				rq.CrossCore = true
-			}
-			batch[i] = nil
-			d.releaseCmd(cmd)
-			rq.Complete(now)
-		}
-		if batch != nil {
-			cq.spare = append(cq.spare, batch[:0])
-		}
-		if cq.InFlight > 0 || len(cq.pendingCQE) > 0 {
-			d.armPoll(cq)
-		}
-		return 0
-	}})
+		// Stale pointers stay in the recycled batch on purpose, as in
+		// isrRun: commands are slab-pooled.
+		d.releaseCmd(cmd)
+		rq.Complete(now)
+	}
+	if batch != nil {
+		cq.spare = append(cq.spare, batch[:0])
+	}
+	if cq.InFlight > 0 || len(cq.pendingCQE) > 0 {
+		d.armPoll(cq)
+	}
+	return 0
 }

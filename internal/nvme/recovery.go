@@ -150,7 +150,7 @@ func (d *Device) timeoutCommand(c *command) {
 	d.frRec.Record(now, frTimeout, c.rq.ID, int64(c.nsq.ID))
 	d.tracer.RecordInstant("timeout", now, "")
 	d.flight.Trigger("timeout", now)
-	d.eng.After(d.cfg.AbortCost, c.abortFn)
+	d.eng.AfterArg(d.cfg.AbortCost, d.abortDoneFn, c)
 }
 
 // abortDone is the Abort admin command's completion. Three outcomes, as on

@@ -10,10 +10,16 @@ package sim
 //     or two cache lines for the queue depths the machine model produces.
 //   - The callback and its cancellation state live in a slot recycled
 //     through a free-list, so At/After reuse memory once the engine
-//     reaches its high-water mark of concurrently pending events.
+//     reaches its high-water mark of concurrently pending events, and
+//     Timer handles come from a recycle list of their own.
+//   - A hierarchical timing wheel (wheel.go) fronts the heap for
+//     long-horizon events, so command timeouts, coalescing timers, and
+//     erase completions neither pay O(log n) insertion nor inflate the
+//     heap every short-horizon event sifts through.
 //
 // Events at the same instant fire in scheduling order (seq breaks ties),
-// which keeps runs deterministic.
+// which keeps runs deterministic; the wheel only stages events — the heap
+// makes every firing decision, so wheel residency never changes order.
 
 // event is one pending entry in the heap. It carries only the ordering key
 // and the index of the slot holding the callback, so heap swaps move 24
@@ -31,11 +37,19 @@ func (a event) before(b event) bool {
 	return a.seq < b.seq
 }
 
-// slot holds a pending event's callback. timer is non-nil for cancellable
+// slot holds a pending event's callback. Exactly one of fn and argFn is
+// set: argFn carries a caller-supplied argument so shared continuations
+// (one function value per device, not per object) can dispatch to pooled
+// objects without a per-object closure. timer is non-nil for cancellable
 // events scheduled through AfterTimer.
 type slot struct {
 	fn    func()
+	argFn func(any)
+	arg   any
 	timer *Timer
+	// live guards against double-free without inspecting the pointer
+	// fields: a freed slot keeps them stale on purpose (see freeSlot).
+	live bool
 }
 
 // Engine is the discrete-event simulation core: a virtual clock plus an
@@ -49,6 +63,12 @@ type Engine struct {
 	free    []int32
 	seq     uint64
 	stopped bool
+	// wh is the hierarchical timing wheel fronting the heap (wheel.go).
+	wh wheel
+	// timerFree recycles Timer handles: a handle returns here when its
+	// event is consumed and is reused by a later AfterTimer, making
+	// cancellable scheduling allocation-free at steady state.
+	timerFree []*Timer
 
 	// Executed counts events whose callback has fired (cancelled timers are
 	// consumed without counting); useful for budget guards in tests and
@@ -60,17 +80,25 @@ type Engine struct {
 	Recycled uint64
 }
 
-// New returns an engine with the clock at zero and no pending events.
+// New returns an engine with the clock at zero and no pending events. The
+// heap, slot table, and free-list are seeded with capacity so a fresh
+// engine does not climb the append-growth ladder while the simulated
+// machine ramps to its steady-state pending-event population.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{
+		events: make([]event, 0, 256),
+		slots:  make([]slot, 0, 512),
+		free:   make([]int32, 0, 512),
+	}
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of queued events (cancelled-but-unconsumed
-// timers included, as they still occupy queue entries).
-func (e *Engine) Pending() int { return len(e.events) }
+// timers included, as they still occupy queue entries), whether resident
+// in the heap or the timing wheel.
+func (e *Engine) Pending() int { return len(e.events) + e.wh.count }
 
 // allocSlot takes a slot from the free-list, growing the table only when
 // every slot is live (the high-water mark).
@@ -78,23 +106,27 @@ func (e *Engine) allocSlot(fn func(), tm *Timer) int32 {
 	if n := len(e.free); n > 0 {
 		id := e.free[n-1]
 		e.free = e.free[:n-1]
-		e.slots[id] = slot{fn: fn, timer: tm}
+		e.slots[id] = slot{fn: fn, timer: tm, live: true}
 		return id
 	}
-	e.slots = append(e.slots, slot{fn: fn, timer: tm})
+	e.slots = append(e.slots, slot{fn: fn, timer: tm, live: true})
 	return int32(len(e.slots) - 1)
 }
 
-// freeSlot returns a consumed event's slot to the free-list. A nil fn means
-// the slot is already free; freeing twice would hand the same slot to two
-// pending events and corrupt the queue, so it panics loudly instead.
+// freeSlot returns a consumed event's slot to the free-list. Freeing twice
+// would hand the same slot to two pending events and corrupt the queue, so
+// it panics loudly instead — tracked by the live flag rather than a nil
+// callback, because the pointer fields are deliberately left stale: every
+// referent (callback, argument, timer handle) is pooled engine-lifetime
+// state that the next allocSlot overwrites anyway, and clearing four
+// pointer words here would double the write-barrier traffic on the
+// simulator's single busiest path.
 func (e *Engine) freeSlot(id int32) {
 	s := &e.slots[id]
-	if s.fn == nil {
+	if !s.live {
 		panic("sim: event slot freed twice")
 	}
-	s.fn = nil
-	s.timer = nil
+	s.live = false
 	e.free = append(e.free, id)
 	e.Recycled++
 }
@@ -109,7 +141,15 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, id: e.allocSlot(fn, nil)})
+	ev := event{at: t, seq: e.seq, id: e.allocSlot(fn, nil)}
+	// Open-coded schedule fast path: same-tick events — the bulk of a
+	// device cell's traffic — go straight to the heap without another
+	// call frame.
+	if tick := int64(t) >> wheelTickShift; tick == e.wh.cur {
+		e.push(ev)
+	} else {
+		e.wheelInsert(ev, tick)
+	}
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -120,6 +160,48 @@ func (e *Engine) After(d Duration, fn func()) {
 		panic("sim: negative delay")
 	}
 	e.At(e.now.Add(d), fn)
+}
+
+// AtArg schedules fn(arg) to run at instant t. A caller that would
+// otherwise bind a fresh closure per scheduled object (one continuation
+// per pooled command, say) passes one long-lived fn and the object as arg
+// instead: the argument rides in the event slot, and a pointer stored in
+// an interface does not allocate, so the steady-state cost is zero.
+//
+//ddvet:hotpath
+func (e *Engine) AtArg(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	ev := event{at: t, seq: e.seq, id: e.allocArgSlot(fn, arg)}
+	if tick := int64(t) >> wheelTickShift; tick == e.wh.cur {
+		e.push(ev)
+	} else {
+		e.wheelInsert(ev, tick)
+	}
+}
+
+// AfterArg schedules fn(arg) to run d from now. Negative d panics.
+//
+//ddvet:hotpath
+func (e *Engine) AfterArg(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.AtArg(e.now.Add(d), fn, arg)
+}
+
+// allocArgSlot is allocSlot for argument-carrying events.
+func (e *Engine) allocArgSlot(fn func(any), arg any) int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slots[id] = slot{argFn: fn, arg: arg, live: true}
+		return id
+	}
+	e.slots = append(e.slots, slot{argFn: fn, arg: arg, live: true})
+	return int32(len(e.slots) - 1)
 }
 
 // push inserts ev into the 4-ary heap.
@@ -184,23 +266,42 @@ func (e *Engine) pop() event {
 //
 //ddvet:hotpath
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 || e.stopped {
+	if e.stopped || !e.prepare() {
 		return false
 	}
+	e.fire()
+	return true
+}
+
+// fire pops and dispatches the heap top. prepare must have established
+// that it is the globally earliest event.
+//
+//ddvet:hotpath
+func (e *Engine) fire() {
 	ev := e.pop()
 	e.now = ev.at
 	s := &e.slots[ev.id]
-	fn, tm := s.fn, s.timer
+	fn, argFn, arg, tm := s.fn, s.argFn, s.arg, s.timer
 	e.freeSlot(ev.id)
 	if tm != nil {
 		if tm.stopped {
-			return true
+			e.timerFree = append(e.timerFree, tm)
+			return
 		}
 		tm.fired = true
 	}
 	e.Executed++
-	fn()
-	return true
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
+	if tm != nil {
+		// Recycled only after the callback returns, so code running
+		// inside it (which may schedule new timers) never observes its
+		// own still-live handle being handed out again.
+		e.timerFree = append(e.timerFree, tm)
+	}
 }
 
 // RunUntil fires every event scheduled at or before t, then sets the clock
@@ -209,8 +310,8 @@ func (e *Engine) Step() bool {
 //
 //ddvet:hotpath
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
-		e.Step()
+	for !e.stopped && e.prepare() && e.events[0].at <= t {
+		e.fire()
 	}
 	if !e.stopped && e.now < t {
 		e.now = t
@@ -221,7 +322,8 @@ func (e *Engine) RunUntil(t Time) {
 //
 //ddvet:hotpath
 func (e *Engine) Run() {
-	for !e.stopped && e.Step() {
+	for !e.stopped && e.prepare() {
+		e.fire()
 	}
 }
 
@@ -238,6 +340,16 @@ func (e *Engine) Resume() { e.stopped = false }
 func (e *Engine) liveSlots() int { return len(e.slots) - len(e.free) }
 
 // Timer is a cancellable scheduled callback.
+//
+// Ownership: the handle is valid until its event is consumed — when the
+// callback runs, or when the engine reaches a cancelled timer's instant
+// and discards it. After consumption the engine recycles the struct for
+// a later AfterTimer, so a retained handle may alias a different, live
+// timer. Holders that keep a handle in a field must clear it when the
+// callback fires or they stop it (as the NVMe coalescer and the stack's
+// doorbell proxy do); querying or stopping a stale handle acts on
+// whatever timer owns the memory now. The state of a fired or cancelled
+// timer remains readable until the struct is actually reused.
 type Timer struct {
 	stopped bool
 	fired   bool
@@ -263,15 +375,60 @@ func (t *Timer) Active() bool { return !t.fired && !t.stopped }
 
 // AfterTimer schedules fn to run d from now and returns a handle that can
 // cancel it. Unlike After, the callback is dispatched through the timer's
-// slot directly — no wrapper closure is allocated.
+// slot directly — no wrapper closure is allocated, and the handle itself
+// comes from the engine's recycle list once one has been consumed, so
+// steady-state cancellable scheduling allocates nothing.
 //
 //ddvet:hotpath
 func (e *Engine) AfterTimer(d Duration, fn func()) *Timer {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	t := &Timer{}
+	var t *Timer
+	if n := len(e.timerFree); n > 0 {
+		t = e.timerFree[n-1]
+		e.timerFree = e.timerFree[:n-1]
+		t.stopped, t.fired = false, false
+	} else {
+		t = &Timer{}
+	}
 	e.seq++
-	e.push(event{at: e.now.Add(d), seq: e.seq, id: e.allocSlot(fn, t)})
+	at := e.now.Add(d)
+	ev := event{at: at, seq: e.seq, id: e.allocSlot(fn, t)}
+	if tick := int64(at) >> wheelTickShift; tick == e.wh.cur {
+		e.push(ev)
+	} else {
+		e.wheelInsert(ev, tick)
+	}
+	return t
+}
+
+// AfterTimerArg is AfterTimer for argument-carrying callbacks: one
+// long-lived fn serves every timer of a kind, with the target object
+// passed as arg, so arming a cancellable timer never binds a closure.
+//
+//ddvet:hotpath
+func (e *Engine) AfterTimerArg(d Duration, fn func(any), arg any) *Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	var t *Timer
+	if n := len(e.timerFree); n > 0 {
+		t = e.timerFree[n-1]
+		e.timerFree = e.timerFree[:n-1]
+		t.stopped, t.fired = false, false
+	} else {
+		t = &Timer{}
+	}
+	e.seq++
+	at := e.now.Add(d)
+	id := e.allocArgSlot(fn, arg)
+	e.slots[id].timer = t
+	ev := event{at: at, seq: e.seq, id: id}
+	if tick := int64(at) >> wheelTickShift; tick == e.wh.cur {
+		e.push(ev)
+	} else {
+		e.wheelInsert(ev, tick)
+	}
 	return t
 }

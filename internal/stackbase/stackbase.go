@@ -50,6 +50,11 @@ type Base struct {
 
 	nextID   uint64
 	resubmit func(*block.Request) sim.Duration
+	// splitScratch backs SplitAll's return value between calls; every
+	// stack iterates the result inline and never retains it, so the
+	// unsplit fast path (the vast majority of requests) allocates
+	// nothing.
+	splitScratch []*block.Request
 
 	// Requeues counts submissions that hit a full NSQ at least once.
 	Requeues uint64
@@ -115,12 +120,19 @@ func (b *Base) NextID() uint64 {
 	return b.nextID
 }
 
-// SplitAll applies block-layer splitting to rq.
+// SplitAll applies block-layer splitting to rq. The returned slice is
+// valid until the next SplitAll call on this Base — iterate it, don't
+// keep it.
+//
+//ddvet:hotpath
 func (b *Base) SplitAll(rq *block.Request) []*block.Request {
+	b.splitScratch = b.splitScratch[:0]
 	if b.MaxIOSize <= 0 {
-		return []*block.Request{rq}
+		b.splitScratch = append(b.splitScratch, rq)
+		return b.splitScratch
 	}
-	return rq.Split(b.MaxIOSize, b.NextID)
+	b.splitScratch = rq.SplitInto(b.splitScratch, b.MaxIOSize, b.NextID)
+	return b.splitScratch
 }
 
 // backoff returns the delay before retry attempt n (0-based): RetryDelay

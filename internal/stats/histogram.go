@@ -24,17 +24,44 @@ const (
 	// [2^62, 2^63) land in magnitude 57.
 	maxMag     = 57
 	numBuckets = subBucketCount + maxMag*halfSub
+
+	// Pages partition the bucket array for lazy allocation. A page is
+	// small enough that a workload clustered around a few latency
+	// magnitudes (the common case: every real distribution occupies a
+	// handful of decades) commits a few kilobytes instead of the full
+	// 15KB bucket array.
+	pageBits = 6
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+	numPages = (numBuckets + pageSize - 1) / pageSize
 )
 
 // Histogram is a log-linear histogram of durations, in the spirit of
 // HdrHistogram: constant-time recording, bounded quantile error, mergeable.
 // The zero value is ready to use.
 type Histogram struct {
-	counts [numBuckets]uint64
-	count  uint64
-	sum    int64
-	min    int64
-	max    int64
+	// pages holds the bucket array in lazily-allocated pageSize chunks:
+	// the full array is ~15KB, and a Job carries two histograms, so
+	// committing it eagerly (or even on first Record) would dominate the
+	// simulator's allocation volume. Bucket i lives at
+	// pages[i>>pageBits][i&pageMask]; a nil page is all zeros.
+	pages [numPages][]uint64
+	count uint64
+	sum   int64
+	min   int64
+	max   int64
+}
+
+// page returns the page holding bucket index idx, allocating it on first
+// use. Pages are uniform pageSize even at the tail — the waste is a few
+// words and keeps Record branch-free on the index math.
+func (h *Histogram) page(idx int) []uint64 {
+	p := h.pages[idx>>pageBits]
+	if p == nil {
+		p = make([]uint64, pageSize)
+		h.pages[idx>>pageBits] = p
+	}
+	return p
 }
 
 // bucketIndex maps any value to its bucket; negatives clamp to bucket 0.
@@ -81,7 +108,8 @@ func (h *Histogram) Record(d sim.Duration) {
 	if v < 0 {
 		v = 0
 	}
-	h.counts[bucketIndex(v)]++
+	idx := bucketIndex(v)
+	h.page(idx)[idx&pageMask]++
 	h.count++
 	h.sum += v
 	if h.count == 1 || v < h.min {
@@ -126,24 +154,30 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 		rank = 1
 	}
 	var cum uint64
-	for i, c := range h.counts {
-		if c == 0 {
+	for pi, p := range h.pages {
+		if p == nil {
 			continue
 		}
-		cum += c
-		if cum >= rank {
-			// Bucket midpoint, clamped to the recorded extremes so small
-			// histograms stay near-exact.
-			lo := lowerBounds[i]
-			hi := h.bucketUpper(i)
-			mid := lo + (hi-lo)/2
-			if mid > h.max {
-				mid = h.max
+		for j, c := range p {
+			if c == 0 {
+				continue
 			}
-			if mid < h.min {
-				mid = h.min
+			cum += c
+			if cum >= rank {
+				// Bucket midpoint, clamped to the recorded extremes so
+				// small histograms stay near-exact.
+				i := pi*pageSize + j
+				lo := lowerBounds[i]
+				hi := h.bucketUpper(i)
+				mid := lo + (hi-lo)/2
+				if mid > h.max {
+					mid = h.max
+				}
+				if mid < h.min {
+					mid = h.min
+				}
+				return sim.Duration(mid)
 			}
-			return sim.Duration(mid)
 		}
 	}
 	return sim.Duration(h.max)
@@ -161,8 +195,18 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other.count == 0 {
 		return
 	}
-	for i, c := range other.counts {
-		h.counts[i] += c
+	for pi, op := range other.pages {
+		if op == nil {
+			continue
+		}
+		hp := h.pages[pi]
+		if hp == nil {
+			hp = make([]uint64, pageSize)
+			h.pages[pi] = hp
+		}
+		for j, c := range op {
+			hp[j] += c
+		}
 	}
 	if h.count == 0 || other.min < h.min {
 		h.min = other.min
@@ -174,9 +218,14 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += other.sum
 }
 
-// Reset clears all observations.
+// Reset clears all observations, keeping allocated pages for reuse.
 func (h *Histogram) Reset() {
-	*h = Histogram{}
+	for _, p := range h.pages {
+		for i := range p {
+			p[i] = 0
+		}
+	}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
 }
 
 // Snapshot summarizes a histogram for reporting.

@@ -148,7 +148,21 @@ type Job struct {
 	issueFn    func() sim.Duration
 	arrivalFn  func()
 	completeFn func(*block.Request)
+
+	// freeReqs recycles this job's completed requests: a request is dead
+	// once onComplete has finished its accounting (no layer retains it past
+	// Complete), so the closed loop reuses at most IODepth objects forever.
+	// reqSlab is the carve chunk the free-list refills from during ramp-up,
+	// bounding even first-use allocation to one per reqChunkSize requests.
+	// Split children are not pooled — they are allocated by SplitInto and
+	// never re-enter the job.
+	freeReqs []*block.Request
+	reqSlab  []block.Request
 }
+
+// reqChunkSize is the request-slab carve granularity. A chunk near the
+// common IODepth means a job typically performs one ramp-up allocation.
+const reqChunkSize = 32
 
 // NewJob builds a job for the given tenant ID.
 func NewJob(id int, cfg FIOConfig) *Job {
@@ -293,13 +307,31 @@ func (j *Job) buildRequest() *block.Request {
 	if j.Cfg.OutlierEvery > 0 && j.issued%uint64(j.Cfg.OutlierEvery) == 0 {
 		flags |= block.FlagSync
 	}
-	rq := &block.Request{
+	rq := j.allocRequest()
+	*rq = block.Request{
 		ID: j.nextID, Tenant: j.Tenant, Namespace: j.Tenant.Namespace,
 		Offset: off, Size: j.Cfg.BS, Op: op, Flags: flags,
 		IssueTime: j.eng.Now(), NSQ: -1,
 	}
 	rq.OnComplete = j.completeFn
 	j.openSpan(rq)
+	return rq
+}
+
+// allocRequest takes a request from the job's recycle list, or builds one.
+//
+//ddvet:hotpath
+func (j *Job) allocRequest() *block.Request {
+	if n := len(j.freeReqs); n > 0 {
+		rq := j.freeReqs[n-1]
+		j.freeReqs = j.freeReqs[:n-1]
+		return rq
+	}
+	if len(j.reqSlab) == 0 {
+		j.reqSlab = make([]block.Request, reqChunkSize)
+	}
+	rq := &j.reqSlab[0]
+	j.reqSlab = j.reqSlab[1:]
 	return rq
 }
 
@@ -339,7 +371,8 @@ func (j *Job) buildTrim() *block.Request {
 	if j.trimOff+sz > j.Cfg.Span {
 		j.trimOff = 0
 	}
-	rq := &block.Request{
+	rq := j.allocRequest()
+	*rq = block.Request{
 		ID: j.nextID, Tenant: j.Tenant, Namespace: j.Tenant.Namespace,
 		Offset: off, Size: sz, Op: block.OpWrite,
 		Flags:     j.Cfg.Flags | block.FlagDiscard,
@@ -356,6 +389,7 @@ func (j *Job) onComplete(r *block.Request) {
 	if r.Flags.Discard() {
 		// Deallocate moves no data: keep it out of the latency and
 		// throughput accounting and just keep the loop full.
+		j.freeReqs = append(j.freeReqs, r)
 		if j.Cfg.Arrival > 0 {
 			return
 		}
@@ -388,6 +422,9 @@ func (j *Job) onComplete(r *block.Request) {
 			j.CrossCore++
 		}
 	}
+	// The request is dead: every layer below released its reference before
+	// Complete, and the accounting above was its last read.
+	j.freeReqs = append(j.freeReqs, r)
 	if j.Cfg.Arrival > 0 {
 		return // open loop: arrivals are completion-independent
 	}

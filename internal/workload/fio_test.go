@@ -9,12 +9,14 @@ import (
 )
 
 // fakeStack completes every request after a fixed delay, recording traffic.
-// It lets workload logic be tested without the NVMe model.
+// It lets workload logic be tested without the NVMe model. Snapshots are
+// value copies: the job recycles request objects after completion, so a
+// retained pointer would alias whichever request occupies the memory now.
 type fakeStack struct {
 	eng   *sim.Engine
 	delay sim.Duration
 
-	submitted  []*block.Request
+	submitted  []*block.Request // value snapshots taken at completion
 	registered []*block.Tenant
 	ionice     int
 	migrations int
@@ -23,11 +25,13 @@ type fakeStack struct {
 func (f *fakeStack) Name() string             { return "fake" }
 func (f *fakeStack) Register(t *block.Tenant) { f.registered = append(f.registered, t) }
 func (f *fakeStack) Submit(rq *block.Request) sim.Duration {
-	f.submitted = append(f.submitted, rq)
 	rq.SubmitTime = f.eng.Now()
 	f.eng.After(f.delay, func() {
 		rq.FetchTime = f.eng.Now()
 		rq.CQEPostTime = f.eng.Now()
+		snap := *rq
+		f.submitted = append(f.submitted, &snap)
+		snap.CompleteTime = f.eng.Now() // Complete below recycles rq
 		rq.Complete(f.eng.Now())
 	})
 	return 0
