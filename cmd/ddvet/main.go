@@ -1,11 +1,17 @@
 // Command ddvet runs the repository's determinism and hot-path lint suite
 // (see internal/analysis): simdeterminism, cellisolation, hotpathalloc,
-// and unitcheck.
+// unitcheck, slabsafety, obscost, and argsafety.
 //
 // Standalone (the form make lint and CI use):
 //
 //	go run ./cmd/ddvet ./...
 //	ddvet -config .ddvet.json ./internal/nvme
+//
+// Standalone runs keep a per-package result cache (out/ddvetcache under
+// the module root, see internal/analysis/vetcache): packages whose
+// sources, config, and tool build are unchanged replay their diagnostics
+// without being parsed or type-checked. -nocache forces a cold run,
+// -cache-dir relocates the cache, -timings prints per-analyzer wall time.
 //
 // As a go vet tool, speaking the unitchecker .cfg protocol so the go
 // command handles package loading and caching:
@@ -30,18 +36,27 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"daredevil/internal/analysis/argsafety"
 	"daredevil/internal/analysis/cellisolation"
 	"daredevil/internal/analysis/config"
 	"daredevil/internal/analysis/framework"
 	"daredevil/internal/analysis/hotpathalloc"
 	"daredevil/internal/analysis/load"
+	"daredevil/internal/analysis/obscost"
 	"daredevil/internal/analysis/simdeterminism"
+	"daredevil/internal/analysis/slabsafety"
 	"daredevil/internal/analysis/unitcheck"
+	"daredevil/internal/analysis/vetcache"
+	"daredevil/internal/walltime"
 )
 
 // ConfigFile is the optional override at the module root.
 const ConfigFile = ".ddvet.json"
+
+// CacheDirName is the default cache location under the module root.
+const CacheDirName = "out/ddvetcache"
 
 // analyzers builds the full suite under cfg.
 func analyzers(cfg *config.Config) []*framework.Analyzer {
@@ -50,7 +65,28 @@ func analyzers(cfg *config.Config) []*framework.Analyzer {
 		cellisolation.New(cfg),
 		hotpathalloc.New(cfg),
 		unitcheck.New(cfg),
+		slabsafety.New(cfg),
+		obscost.New(cfg),
+		argsafety.New(cfg),
 	}
+}
+
+// timed wraps every analyzer's Run so a -timings run can report where the
+// wall time went. Aggregation is by suite index; walltime keeps the
+// simdeterminism analyzer's own time.Now ban out of this package.
+func timed(suite []*framework.Analyzer) (wrapped []*framework.Analyzer, elapsed []*time.Duration) {
+	elapsed = make([]*time.Duration, len(suite))
+	for i, a := range suite {
+		d := new(time.Duration)
+		elapsed[i] = d
+		run := a.Run
+		a.Run = func(pass *framework.Pass) {
+			sw := walltime.Start()
+			run(pass)
+			*d += sw.Elapsed()
+		}
+	}
+	return suite, elapsed
 }
 
 func main() {
@@ -105,13 +141,17 @@ func loadConfig(dir, explicit string) (*config.Config, error) {
 	return config.Load(path)
 }
 
-// standalone loads packages itself via go list and prints diagnostics.
+// standalone loads packages itself via go list and prints diagnostics,
+// replaying unchanged packages from the result cache.
 func standalone() int {
 	fs := flag.NewFlagSet("ddvet", flag.ExitOnError)
 	configPath := fs.String("config", "", "path to a ddvet config (default: .ddvet.json at the module root)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	nocache := fs.Bool("nocache", false, "ignore and do not write the result cache")
+	cacheDir := fs.String("cache-dir", "", "result cache directory (default: "+CacheDirName+" at the module root)")
+	timings := fs.Bool("timings", false, "print per-analyzer wall time to stderr")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: ddvet [-config file] [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: ddvet [-config file] [-nocache] [-cache-dir dir] [-timings] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -135,23 +175,40 @@ func standalone() int {
 		}
 		return 0
 	}
+	var elapsed []*time.Duration
+	if *timings {
+		suite, elapsed = timed(suite)
+	}
 
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := load.Load(cwd, patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ddvet:", err)
-		return 3
+
+	var cache *vetcache.Cache
+	if !*nocache {
+		dir := *cacheDir
+		if dir == "" {
+			root, err := load.ModuleRoot(cwd)
+			if err != nil {
+				root = cwd
+			}
+			dir = filepath.Join(root, filepath.FromSlash(CacheDirName))
+		}
+		if cache, err = vetcache.Open(dir); err != nil {
+			// A read-only checkout still lints; it just lints cold.
+			fmt.Fprintln(os.Stderr, "ddvet: cache disabled:", err)
+			cache = nil
+		}
 	}
 
-	found := 0
-	for _, pkg := range pkgs {
-		for _, d := range framework.Run(pkg, cfg, suite) {
-			pos := pkg.Fset.Position(d.Pos)
-			fmt.Printf("%s: %s: %s\n", relPos(cwd, pos), d.Analyzer, d.Message)
-			found++
+	found, code := run(cwd, cfg, suite, cache, patterns)
+	if code != 0 {
+		return code
+	}
+	if *timings {
+		for i, a := range suite {
+			fmt.Fprintf(os.Stderr, "ddvet: timing %-16s %s\n", a.Name, elapsed[i].Round(time.Microsecond))
 		}
 	}
 	if found > 0 {
@@ -159,6 +216,90 @@ func standalone() int {
 		return 1
 	}
 	return 0
+}
+
+// run lints the matched packages in go list order: cache hits replay,
+// misses are loaded (in one batch), analyzed, and stored. Diagnostic
+// order is deterministic either way — package order from go list,
+// position order within a package from the framework.
+func run(cwd string, cfg *config.Config, suite []*framework.Analyzer, cache *vetcache.Cache, patterns []string) (found, code int) {
+	metas, err := load.List(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddvet:", err)
+		return 0, 3
+	}
+
+	version := fmt.Sprintf("%x", selfHash())
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddvet:", err)
+		return 0, 3
+	}
+
+	keys := map[string]string{}
+	cached := map[string][]vetcache.Diagnostic{}
+	var misses []string
+	for _, m := range metas {
+		if cache == nil {
+			misses = append(misses, m.ImportPath)
+			continue
+		}
+		key, err := vetcache.Key(version, cfgJSON, m.GoFiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddvet:", err)
+			return 0, 3
+		}
+		keys[m.ImportPath] = key
+		if diags, ok := cache.Get(key); ok {
+			cached[m.ImportPath] = diags
+		} else {
+			misses = append(misses, m.ImportPath)
+		}
+	}
+
+	pkgs := map[string]*framework.Package{}
+	if len(misses) > 0 {
+		loaded, err := load.Load(cwd, misses)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddvet:", err)
+			return 0, 3
+		}
+		for _, pkg := range loaded {
+			pkgs[pkg.ImportPath] = pkg
+		}
+	}
+
+	for _, m := range metas {
+		if diags, ok := cached[m.ImportPath]; ok {
+			for _, d := range diags {
+				pos := token.Position{Filename: d.File, Line: d.Line, Column: d.Col}
+				fmt.Printf("%s: %s: %s\n", relPos(cwd, pos), d.Analyzer, d.Message)
+				found++
+			}
+			continue
+		}
+		pkg, ok := pkgs[m.ImportPath]
+		if !ok {
+			continue
+		}
+		diags := framework.Run(pkg, cfg, suite)
+		store := []vetcache.Diagnostic{}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			store = append(store, vetcache.Diagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+			fmt.Printf("%s: %s: %s\n", relPos(cwd, pos), d.Analyzer, d.Message)
+			found++
+		}
+		if cache != nil {
+			if err := cache.Put(keys[m.ImportPath], m.ImportPath, store); err != nil {
+				fmt.Fprintln(os.Stderr, "ddvet: cache write:", err)
+			}
+		}
+	}
+	return found, 0
 }
 
 // relPos renders a position relative to dir for stable, clickable output.

@@ -8,7 +8,9 @@ import (
 	"strings"
 	"testing"
 
+	"daredevil/internal/analysis/config"
 	"daredevil/internal/analysis/load"
+	"daredevil/internal/analysis/vetcache"
 )
 
 // buildDDVet compiles the ddvet binary once into a test temp dir.
@@ -93,5 +95,72 @@ func Now() int64 { return 0 }
 `)
 	if out, code := run(); code != 0 {
 		t.Errorf("ddvet on clean cell: exit %d, want 0\n%s", code, out)
+	}
+}
+
+// TestRunCacheHitReplays proves the warm path replays cached diagnostics
+// instead of re-analyzing: after a first (miss) run populates the cache,
+// the single entry is overwritten with a sentinel diagnostic, and a
+// second run reports it — a fresh analysis of the clean package would
+// have found nothing.
+func TestRunCacheHitReplays(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cache, err := vetcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := []string{"daredevil/internal/walltime"}
+
+	found, code := run(cwd, cfg, analyzers(cfg), cache, pattern)
+	if code != 0 || found != 0 {
+		t.Fatalf("cold run: found=%d code=%d, want 0 0", found, code)
+	}
+	entries, err := os.ReadDir(cache.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d cache entries, want 1", len(entries))
+	}
+	key := strings.TrimSuffix(entries[0].Name(), ".json")
+	sentinel := []vetcache.Diagnostic{{File: "x.go", Line: 1, Col: 1, Analyzer: "sentinel", Message: "replayed from cache"}}
+	if err := cache.Put(key, "daredevil/internal/walltime", sentinel); err != nil {
+		t.Fatal(err)
+	}
+
+	// Silence the sentinel's replayed line; the count is the assertion.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	found, code = run(cwd, cfg, analyzers(cfg), cache, pattern)
+	os.Stdout = old
+	null.Close()
+
+	if code != 0 {
+		t.Fatalf("warm run: code=%d, want 0", code)
+	}
+	if found != 1 {
+		t.Fatalf("warm run found %d diagnostics, want the 1 sentinel replayed from cache", found)
+	}
+}
+
+// TestRunNoCacheComputes pins the -nocache path: a nil cache analyzes
+// fresh every time and the clean package stays clean.
+func TestRunNoCacheComputes(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	found, code := run(cwd, cfg, analyzers(cfg), nil, []string{"daredevil/internal/walltime"})
+	if code != 0 || found != 0 {
+		t.Fatalf("found=%d code=%d, want 0 0", found, code)
 	}
 }

@@ -1,0 +1,190 @@
+// Package argsafety polices the pointer-in-any continuation protocol that
+// keeps the event loop allocation-free. PR 7 replaced per-event closures
+// with argument-carrying callbacks: sim.Engine's AtArg/AfterArg/
+// AfterTimerArg and cpus.Work's ArgFn/Arg thread a pre-bound func value
+// plus an `any` argument through the scheduler instead of binding a fresh
+// closure per submission. The protocol has two sharp edges the compiler
+// does not check:
+//
+//   - the continuation must be pre-bound: a capturing func literal or a
+//     method value (d.complete) at the bind site allocates a closure per
+//     call, which is exactly what the Arg variants exist to avoid. Struct
+//     fields holding a bound func, package-level functions, non-capturing
+//     literals, and method expressions are all fine;
+//
+//   - the argument must be pointer-shaped (pointer, map, chan, func,
+//     unsafe.Pointer, or already an interface), so boxing it into the
+//     `any` slot reuses the value word instead of heap-allocating a copy.
+//     Untyped nil is fine.
+//
+// Bind sites are often cold (device setup), so unlike obscost this
+// analyzer checks every function in a sim package, not just the hot
+// closure: a non-pointer-shaped Arg allocates on every rebind no matter
+// where the bind lives.
+package argsafety
+
+import (
+	"go/ast"
+	"go/types"
+
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/flow"
+	"daredevil/internal/analysis/framework"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "argsafety"
+
+// argMethods are the sim.Engine argument-carrying scheduling entry points:
+// fn at argument index 1, arg at index 2.
+var argMethods = map[string]bool{
+	"AtArg":         true,
+	"AfterArg":      true,
+	"AfterTimerArg": true,
+}
+
+const (
+	enginePkg  = "daredevil/internal/sim"
+	engineType = "Engine"
+	workPkg    = "daredevil/internal/cpus"
+	workType   = "Work"
+)
+
+// New returns the analyzer configured by cfg.
+func New(cfg *config.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: Name,
+		Doc:  "require pointer-shaped args and pre-bound continuations at AtArg/AfterArg/AfterTimerArg and cpus.Work{ArgFn, Arg} bind sites",
+	}
+	a.Run = func(pass *framework.Pass) {
+		path := pass.Pkg.Path()
+		if !cfg.IsSimPackage(path) || cfg.Exempted(path, Name) {
+			return
+		}
+		c := &checker{pass: pass}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					c.call(n)
+				case *ast.CompositeLit:
+					c.workLit(n)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+type checker struct {
+	pass *framework.Pass
+}
+
+// call handles e.AtArg(t, fn, arg) and friends on sim.Engine receivers.
+func (c *checker) call(call *ast.CallExpr) {
+	callee := flow.StaticCallee(c.pass.TypesInfo, call)
+	if callee == nil || !argMethods[callee.Name()] || len(call.Args) != 3 {
+		return
+	}
+	fn, ok := callee.(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isNamed(sig.Recv().Type(), enginePkg, engineType) {
+		return
+	}
+	where := "sim.Engine." + callee.Name()
+	c.checkFn(call.Args[1], where)
+	c.checkArg(call.Args[2], where)
+}
+
+// workLit handles cpus.Work{...} composite literals, keyed or positional.
+func (c *checker) workLit(lit *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok || !isNamed(tv.Type, workPkg, workType) {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var name string
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			name, value = key.Name, kv.Value
+		} else if i < st.NumFields() {
+			name, value = st.Field(i).Name(), elt
+		}
+		switch name {
+		case "ArgFn":
+			c.checkFn(value, "cpus.Work.ArgFn")
+		case "Arg":
+			c.checkArg(value, "cpus.Work.Arg")
+		}
+	}
+}
+
+// checkFn enforces the pre-bound continuation rule on a fn expression.
+func (c *checker) checkFn(e ast.Expr, where string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		if capt := flow.CapturedVars(c.pass.TypesInfo, c.pass.Pkg, e); len(capt) > 0 {
+			c.pass.Reportf(e.Pos(), "capturing closure bound at %s allocates per bind (captures %v); pre-bind a func value once and pass state through the arg slot", where, capt)
+		}
+	case *ast.Ident:
+		// A local/field func value or a package-level function: pre-bound.
+	case *ast.SelectorExpr:
+		sel, ok := c.pass.TypesInfo.Selections[e]
+		if !ok {
+			return // qualified identifier (pkg.Func or pkg.Var): pre-bound
+		}
+		if sel.Kind() == types.MethodVal {
+			c.pass.Reportf(e.Pos(), "method value %s bound at %s allocates a closure per bind; store the bound func once at construction and pass the field", types.ExprString(e), where)
+		}
+	default:
+		if e != nil && !isNilExpr(e) {
+			c.pass.Reportf(e.Pos(), "continuation bound at %s must be a pre-bound func value, got %s", where, types.ExprString(e))
+		}
+	}
+}
+
+// checkArg enforces the pointer-shaped rule on an arg expression.
+func (c *checker) checkArg(e ast.Expr, where string) {
+	if e == nil || isNilExpr(e) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if !flow.PointerShaped(tv.Type) {
+		c.pass.Reportf(e.Pos(), "argument %s bound at %s has non-pointer-shaped type %s; boxing it into any allocates per bind — pass a pointer (usually the receiver) instead", types.ExprString(ast.Unparen(e)), where, tv.Type)
+	}
+}
+
+// isNamed reports whether t (or its pointee) is the named type pkg.Name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

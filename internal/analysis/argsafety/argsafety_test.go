@@ -1,0 +1,22 @@
+package argsafety_test
+
+import (
+	"testing"
+
+	"daredevil/internal/analysis/analysistest"
+	"daredevil/internal/analysis/argsafety"
+	"daredevil/internal/analysis/config"
+)
+
+// TestArgs pins the continuation protocol on the fixture: pre-bound func
+// fields, package functions, non-capturing literals, and method
+// expressions bind cleanly with pointer-shaped or nil args, while
+// capturing closures, method values, and boxed scalars diagnose at both
+// the sim.Engine entry points and cpus.Work literals (keyed and
+// positional), with the allow directive absorbing its case.
+func TestArgs(t *testing.T) {
+	cfg := config.Default()
+	fixture := "daredevil/internal/analysis/argsafety/testdata/args"
+	cfg.SimPackages = append(cfg.SimPackages, fixture)
+	analysistest.Run(t, cfg, "testdata/args", fixture, argsafety.New(cfg))
+}

@@ -23,6 +23,7 @@ import (
 	"go/types"
 
 	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/flow"
 	"daredevil/internal/analysis/framework"
 )
 
@@ -66,55 +67,53 @@ func New(cfg *config.Config) *framework.Analyzer {
 			return nil
 		}
 
-		for _, f := range pass.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				// Writes during package initialization run once, before
-				// any cell exists; they cannot couple cells to each other.
-				if fd.Recv == nil && fd.Name.Name == "init" {
-					continue
-				}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					switch n := n.(type) {
-					case *ast.AssignStmt:
-						for _, lhs := range n.Lhs {
-							if v := pkgVar(lhs); v != nil {
-								pass.Reportf(lhs.Pos(), "write to package-level var %s from cell code; cells must keep state engine-local", v.Name())
-							}
+		// Iterate declared functions through the shared flow graph instead
+		// of re-walking the file decls.
+		g := flow.Of(pass)
+		for _, obj := range g.Funcs {
+			fd := g.Decl(obj)
+			// Writes during package initialization run once, before
+			// any cell exists; they cannot couple cells to each other.
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if v := pkgVar(lhs); v != nil {
+							pass.Reportf(lhs.Pos(), "write to package-level var %s from cell code; cells must keep state engine-local", v.Name())
 						}
-					case *ast.IncDecStmt:
+					}
+				case *ast.IncDecStmt:
+					if v := pkgVar(n.X); v != nil {
+						pass.Reportf(n.Pos(), "write to package-level var %s from cell code; cells must keep state engine-local", v.Name())
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.AND {
 						if v := pkgVar(n.X); v != nil {
-							pass.Reportf(n.Pos(), "write to package-level var %s from cell code; cells must keep state engine-local", v.Name())
+							pass.Reportf(n.Pos(), "address of package-level var %s escapes from cell code; aliased writes would couple cells", v.Name())
 						}
-					case *ast.UnaryExpr:
-						if n.Op == token.AND {
-							if v := pkgVar(n.X); v != nil {
-								pass.Reportf(n.Pos(), "address of package-level var %s escapes from cell code; aliased writes would couple cells", v.Name())
-							}
-						}
-					case *ast.CallExpr:
-						sel, ok := n.Fun.(*ast.SelectorExpr)
-						if !ok {
-							return true
-						}
-						v := pkgVar(sel.X)
-						if v == nil {
-							return true
-						}
-						if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
-							if sig, ok := s.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
-								if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
-									pass.Reportf(n.Pos(), "pointer-receiver call %s.%s mutates package-level state from cell code", v.Name(), s.Obj().Name())
-								}
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					v := pkgVar(sel.X)
+					if v == nil {
+						return true
+					}
+					if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+						if sig, ok := s.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
+							if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+								pass.Reportf(n.Pos(), "pointer-receiver call %s.%s mutates package-level state from cell code", v.Name(), s.Obj().Name())
 							}
 						}
 					}
-					return true
-				})
-			}
+				}
+				return true
+			})
 		}
 	}
 	return a

@@ -56,6 +56,28 @@ type Config struct {
 	// values of the same point type is dimensionally meaningless
 	// (Time+Time), unlike span types (Duration+Duration).
 	PointTypes []string `json:"pointTypes"`
+
+	// SlabPackages are the packages whose slab/pool allocators slabsafety
+	// polices: values recycled through free-lists there are deliberately
+	// left stale (PR 7's write-barrier policy), so a post-free field touch
+	// is a silent aliasing bug rather than a crash.
+	SlabPackages []string `json:"slabPackages"`
+
+	// GuardFields are the boolean lifecycle-guard field names slabsafety's
+	// dominance rule recognizes (the live-flag double-free guard and the
+	// park/pending flags): a free-list append must be reached through a
+	// test of one of these, and a post-free access under such a test is
+	// sanctioned re-checking, not a use-after-free.
+	GuardFields []string `json:"guardFields"`
+
+	// NilSafeHooks are observability hook methods ("pkg/path.Type.Method")
+	// that are documented safe to call on a nil receiver; obscost requires
+	// every other obs call on a hot path to be dominated by a nil check.
+	NilSafeHooks []string `json:"nilSafeHooks"`
+
+	// ObsPackages are the observability packages whose hook call sites
+	// obscost audits on hot paths.
+	ObsPackages []string `json:"obsPackages"`
 }
 
 // Default returns the configuration describing this repository.
@@ -87,6 +109,28 @@ func Default() *Config {
 		},
 		PointTypes: []string{
 			"daredevil/internal/sim.Time",
+		},
+		SlabPackages: []string{
+			"daredevil/internal/sim",
+			"daredevil/internal/nvme",
+			"daredevil/internal/block",
+			"daredevil/internal/core",
+			"daredevil/internal/workload",
+		},
+		GuardFields: []string{
+			"live", "parked", "pendingDone", "pendingAbort", "stopped", "fired",
+		},
+		NilSafeHooks: []string{
+			"daredevil/internal/obs.Ring.Record",
+			"daredevil/internal/obs.Span.End",
+			"daredevil/internal/obs.Span.Child",
+			"daredevil/internal/obs.Flight.Trigger",
+			"daredevil/internal/obs.Flight.Dumps",
+			"daredevil/internal/obs.Tracer.RecordInstant",
+			"daredevil/internal/obs.Tracer.RecordGC",
+		},
+		ObsPackages: []string{
+			"daredevil/internal/obs",
 		},
 	}
 }
@@ -178,6 +222,48 @@ func (c *Config) Dimension(qualified string) string {
 func (c *Config) IsPointType(qualified string) bool {
 	for _, t := range c.PointTypes {
 		if t == qualified {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSlabPackage reports whether slabsafety polices the package at path.
+func (c *Config) IsSlabPackage(path string) bool {
+	for _, p := range c.SlabPackages {
+		if matchPattern(p, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsGuardField reports whether name is a recognized lifecycle-guard field.
+func (c *Config) IsGuardField(name string) bool {
+	for _, g := range c.GuardFields {
+		if g == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsNilSafeHook reports whether the method "pkg/path.Type.Method" is
+// documented nil-receiver-safe.
+func (c *Config) IsNilSafeHook(qualified string) bool {
+	for _, h := range c.NilSafeHooks {
+		if h == qualified {
+			return true
+		}
+	}
+	return false
+}
+
+// IsObsPackage reports whether the package at path is an observability
+// package whose hooks obscost audits.
+func (c *Config) IsObsPackage(path string) bool {
+	for _, p := range c.ObsPackages {
+		if matchPattern(p, path) {
 			return true
 		}
 	}

@@ -1,0 +1,159 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"daredevil/internal/analysis/flow"
+	"daredevil/internal/analysis/load"
+)
+
+// buildFixture type-checks testdata/flowpkg and builds its graph.
+func buildFixture(t *testing.T) (*flow.Graph, map[string]bool) {
+	t.Helper()
+	dir := filepath.Join("testdata", "flowpkg")
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join(dir, "flowpkg.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	root, err := load.ModuleRoot(dir)
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkg, err := load.Check(fset, load.ExportImporter(root, fset), "flowpkg", []*ast.File{f})
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	g := flow.Build(pkg.Files, pkg.Types, pkg.Info)
+	hot := map[string]bool{}
+	for _, obj := range g.Funcs {
+		hot[obj.Name()] = g.Hot(obj)
+	}
+	return g, hot
+}
+
+// find returns the declared function object named name.
+func find(t *testing.T, g *flow.Graph, name string) (obj interface {
+	Name() string
+}, sum *flow.Summary) {
+	t.Helper()
+	for _, o := range g.Funcs {
+		if o.Name() == name {
+			return o, g.Summary(o)
+		}
+	}
+	t.Fatalf("function %q not found in fixture", name)
+	return nil, nil
+}
+
+func TestFreeSinkSummaries(t *testing.T) {
+	g, _ := buildFixture(t)
+	for _, tc := range []struct {
+		fn    string
+		param int
+		freed bool
+	}{
+		{"release", 0, true},     // direct free-list append
+		{"retire", 0, true},      // one forwarding hop
+		{"retire", 1, false},     // unrelated param stays clean
+		{"retireTwice", 0, true}, // two hops through the fixpoint
+		{"box", 0, false},        // boxing is not freeing
+		{"clean", 0, false},      // no effects at all
+	} {
+		_, sum := find(t, g, tc.fn)
+		if sum == nil {
+			t.Fatalf("%s: no summary", tc.fn)
+		}
+		if got := sum.FreesParams[tc.param]; got != tc.freed {
+			t.Errorf("%s param %d: FreesParams = %v, want %v", tc.fn, tc.param, got, tc.freed)
+		}
+	}
+}
+
+func TestDirectFreeVsForwarded(t *testing.T) {
+	g, _ := buildFixture(t)
+	_, rel := find(t, g, "release")
+	if !rel.DirectFree {
+		t.Errorf("release: DirectFree = false, want true (it owns the append)")
+	}
+	_, ret := find(t, g, "retire")
+	if ret.DirectFree {
+		t.Errorf("retire: DirectFree = true, want false (it only forwards)")
+	}
+}
+
+func TestBoxingSummaries(t *testing.T) {
+	g, _ := buildFixture(t)
+	_, box := find(t, g, "box")
+	if !box.BoxesParams[0] {
+		t.Errorf("box: BoxesParams[0] = false, want true (param stored into any)")
+	}
+	_, rel := find(t, g, "release")
+	if rel.BoxesParams[0] {
+		t.Errorf("release: BoxesParams[0] = true, want false")
+	}
+}
+
+func TestAllocationEffects(t *testing.T) {
+	g, _ := buildFixture(t)
+	for _, tc := range []struct {
+		fn     string
+		allocs bool
+	}{
+		{"alloc", true},   // make([]obj, 16)
+		{"release", true}, // append onto the free-list still allocates on growth
+		{"clean", false},  // pure arithmetic
+		{"step", false},   // calls only clean
+	} {
+		_, sum := find(t, g, tc.fn)
+		if sum.Allocates != tc.allocs {
+			t.Errorf("%s: Allocates = %v, want %v", tc.fn, sum.Allocates, tc.allocs)
+		}
+	}
+}
+
+func TestHotClosure(t *testing.T) {
+	_, hot := buildFixture(t)
+	for name, want := range map[string]bool{
+		"hotRoot": true,
+		"step":    true,  // called from the root
+		"clean":   true,  // called from step
+		"cold":    false, // never reached from a root
+		"release": false,
+	} {
+		if hot[name] != want {
+			t.Errorf("hot[%s] = %v, want %v", name, hot[name], want)
+		}
+	}
+}
+
+func TestFreedArgsAtCallSite(t *testing.T) {
+	g, _ := buildFixture(t)
+	// Find the p.release(o) call inside retire and check FreedArgs sees
+	// through to the summary.
+	var obj interface{ Name() string }
+	for _, o := range g.Funcs {
+		if o.Name() == "retire" {
+			obj = o
+		}
+	}
+	var found bool
+	ast.Inspect(g.DeclByName("retire").Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if idx := g.FreedArgs(call); len(idx) == 1 && idx[0] == 0 {
+			found = true
+		}
+		return true
+	})
+	_ = obj
+	if !found {
+		t.Errorf("FreedArgs did not mark argument 0 of the release call in retire")
+	}
+}

@@ -1,0 +1,72 @@
+// Package flowpkg is the flow-engine fixture: a miniature slab lifecycle
+// whose summaries (free sinks, boxing, allocation effects) and hot-set
+// closure the unit tests pin down.
+package flowpkg
+
+type obj struct {
+	id   int
+	live bool
+}
+
+type pool struct {
+	freeObjs []*obj
+	slab     []obj
+	sink     func(any)
+}
+
+// release is a direct free: o lands on the free-list here.
+func (p *pool) release(o *obj) {
+	if !o.live {
+		panic("double free")
+	}
+	o.live = false
+	p.freeObjs = append(p.freeObjs, o)
+}
+
+// retire forwards its parameter to release: the free must propagate.
+func (p *pool) retire(o *obj, why int) {
+	_ = why
+	p.release(o)
+}
+
+// retireTwice exercises fixpoint convergence through two hops.
+func (p *pool) retireTwice(o *obj) {
+	p.retire(o, 0)
+}
+
+// box stores its parameter into an any sink.
+func (p *pool) box(o *obj) {
+	p.sink(o)
+}
+
+// alloc carves from the slab; the make call is an allocation effect.
+func (p *pool) alloc() *obj {
+	if n := len(p.freeObjs); n > 0 {
+		o := p.freeObjs[n-1]
+		p.freeObjs = p.freeObjs[:n-1]
+		o.live = true
+		return o
+	}
+	if len(p.slab) == 0 {
+		p.slab = make([]obj, 16)
+	}
+	o := &p.slab[0]
+	p.slab = p.slab[1:]
+	o.live = true
+	return o
+}
+
+// clean has no effects at all.
+func clean(a, b int) int { return a + b }
+
+// hotRoot is the directive root; step and clean must join the hot set.
+//
+//ddvet:hotpath
+func (p *pool) hotRoot() {
+	p.step()
+}
+
+func (p *pool) step() int { return clean(1, 2) }
+
+// cold is not reachable from any root.
+func (p *pool) cold() { p.step() }

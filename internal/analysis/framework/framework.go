@@ -54,7 +54,39 @@ type Pass struct {
 		Exempted(path, analyzer string) bool
 	}
 
+	// Shared is a per-package scratch store living for one Run call: every
+	// analyzer in the suite sees the same store, so expensive package-wide
+	// structures (the flow call graph and its function summaries) are built
+	// once and consumed by all of them instead of re-walked per analyzer.
+	Shared *Store
+
 	diags *[]Diagnostic
+}
+
+// Store is the shared per-package memo. Keys are arbitrary comparable
+// values; by convention each producing package uses an unexported key type
+// so analyzers cannot collide.
+type Store struct {
+	m map[any]any
+}
+
+// NewStore returns an empty shared store.
+func NewStore() *Store { return &Store{m: map[any]any{}} }
+
+// Get returns the value stored under key, or nil.
+func (s *Store) Get(key any) any {
+	if s == nil {
+		return nil
+	}
+	return s.m[key]
+}
+
+// Put stores value under key.
+func (s *Store) Put(key, value any) {
+	if s == nil {
+		return
+	}
+	s.m[key] = value
 }
 
 // Reportf records a diagnostic at pos.
@@ -80,6 +112,12 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+	// Dir and GoFiles record where the sources came from (absolute file
+	// names), when known. The ddvet result cache keys on the file contents,
+	// so the loader records them even though analysis itself only needs the
+	// parsed ASTs.
+	Dir     string
+	GoFiles []string
 }
 
 // AllowDirective is the suppression comment prefix.
@@ -103,6 +141,7 @@ func Run(pkg *Package, cfg interface {
 	Exempted(path, analyzer string) bool
 }, analyzers []*Analyzer) []Diagnostic {
 	var raw []Diagnostic
+	shared := NewStore()
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -111,6 +150,7 @@ func Run(pkg *Package, cfg interface {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			Config:    cfg,
+			Shared:    shared,
 			diags:     &raw,
 		}
 		a.Run(pass)

@@ -17,6 +17,9 @@
 //     steady-state garbage; preallocate or reuse a buffer).
 //
 // Arguments to panic are exempt: the panic path is cold by definition.
+//
+// The root set, call-graph closure, and capture analysis live in the
+// shared flow layer; this analyzer keeps only the shape checks.
 package hotpathalloc
 
 import (
@@ -26,6 +29,7 @@ import (
 	"strings"
 
 	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/flow"
 	"daredevil/internal/analysis/framework"
 )
 
@@ -33,7 +37,7 @@ import (
 const Name = "hotpathalloc"
 
 // Directive marks a function as a hot-path root.
-const Directive = "//ddvet:hotpath"
+const Directive = flow.HotDirective
 
 // New returns the analyzer configured by cfg.
 func New(cfg *config.Config) *framework.Analyzer {
@@ -45,95 +49,17 @@ func New(cfg *config.Config) *framework.Analyzer {
 		if cfg.Exempted(pass.Pkg.Path(), Name) {
 			return
 		}
-
-		// Index every function declaration by its object and find roots.
-		decls := map[types.Object]*ast.FuncDecl{}
-		var roots []types.Object
-		for _, f := range pass.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj := pass.TypesInfo.Defs[fd.Name]
-				if obj == nil {
-					continue
-				}
-				decls[obj] = fd
-				if isHotRoot(fd) {
-					roots = append(roots, obj)
-				}
-			}
-		}
-		if len(roots) == 0 {
+		g := flow.Of(pass)
+		if !g.HasRoots() {
 			return
 		}
-
-		// Transitive closure over static intra-package calls.
-		hot := map[types.Object]bool{}
-		var visit func(obj types.Object)
-		visit = func(obj types.Object) {
-			if hot[obj] {
-				return
-			}
-			hot[obj] = true
-			fd := decls[obj]
-			if fd == nil {
-				return
-			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if callee := staticCallee(pass, call); callee != nil {
-					if _, local := decls[callee]; local {
-						visit(callee)
-					}
-				}
-				return true
-			})
-		}
-		for _, r := range roots {
-			visit(r)
-		}
-
-		for obj, fd := range decls {
-			if hot[obj] {
-				checkFunc(pass, fd)
+		for _, obj := range g.Funcs {
+			if g.Hot(obj) {
+				checkFunc(pass, g.Decl(obj))
 			}
 		}
 	}
 	return a
-}
-
-// isHotRoot reports whether fd carries the hotpath directive.
-func isHotRoot(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
-			return true
-		}
-	}
-	return false
-}
-
-// staticCallee resolves call to a function or method object, or nil for
-// dynamic calls, builtins, and conversions.
-func staticCallee(pass *framework.Pass, call *ast.CallExpr) types.Object {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if o, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
-			return o
-		}
-	case *ast.SelectorExpr:
-		if o, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
-			return o
-		}
-	}
-	return nil
 }
 
 // checkFunc reports allocation shapes inside the hot function fd.
@@ -178,7 +104,7 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			if capt := captured(pass, n); len(capt) > 0 {
+			if capt := flow.CapturedVars(pass.TypesInfo, pass.Pkg, n); len(capt) > 0 {
 				pass.Reportf(n.Pos(), "closure on hot path (in %s) captures %s; it allocates per evaluation — pre-bind it at setup", name, strings.Join(capt, ", "))
 			}
 		case *ast.CallExpr:
@@ -265,40 +191,10 @@ func reportBox(pass *framework.Pass, dst types.Type, src ast.Expr, hot string) {
 	if !ok || tv.Type == nil || tv.IsNil() || types.IsInterface(tv.Type) {
 		return
 	}
-	switch tv.Type.Underlying().(type) {
-	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+	if flow.PointerShaped(tv.Type) {
 		// Pointer-shaped values fit the interface word; no allocation.
 		return
 	}
 	pass.Reportf(src.Pos(), "value of type %s boxed into %s on hot path (in %s); interface conversion allocates per event",
 		types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)), hot)
-}
-
-// captured lists the names of variables a function literal closes over.
-func captured(pass *framework.Pass, lit *ast.FuncLit) []string {
-	seen := map[string]bool{}
-	var names []string
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
-		if !ok || v.IsField() {
-			return true
-		}
-		// A variable declared outside the literal but inside some function
-		// is a capture; package-level vars are direct references.
-		if v.Parent() == pass.Pkg.Scope() || v.Pos() == 0 {
-			return true
-		}
-		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
-			if !seen[v.Name()] {
-				seen[v.Name()] = true
-				names = append(names, v.Name())
-			}
-		}
-		return true
-	})
-	return names
 }

@@ -1,0 +1,21 @@
+package obscost_test
+
+import (
+	"testing"
+
+	"daredevil/internal/analysis/analysistest"
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/obscost"
+)
+
+// TestHooks pins both rules on the fixture: nil-safe hooks pass without a
+// guard, non-nil-safe hooks need a dominating nil check (enclosing,
+// init-form, or early-return), every allocation shape inside a hook
+// argument diagnoses — including the seeded Sprintf-in-Record bug — and
+// cold functions plus the allow directive stay quiet.
+func TestHooks(t *testing.T) {
+	cfg := config.Default()
+	fixture := "daredevil/internal/analysis/obscost/testdata/hooks"
+	cfg.SimPackages = append(cfg.SimPackages, fixture)
+	analysistest.Run(t, cfg, "testdata/hooks", fixture, obscost.New(cfg))
+}

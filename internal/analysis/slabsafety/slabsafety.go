@@ -1,0 +1,356 @@
+// Package slabsafety polices the slab/free-list lifecycle the simulator's
+// hot path runs on. PR 7 made recycling deliberately dangerous for speed:
+// slots, commands, and requests return to their free-lists without zeroing
+// (stale references by design), and double-free protection is a single
+// non-pointer live flag rather than anything the runtime could catch. The
+// bug class that policy invites is silent aliasing — touch a field after
+// the value went back on the free-list and you are reading (or corrupting)
+// whatever the next occupant put there, with no crash and a bit-identical
+// run that is simply wrong.
+//
+// The analyzer enforces two rules over the packages named in the config's
+// slabPackages, using the flow layer's interprocedural free-sink
+// summaries:
+//
+//  1. Use-after-free: once a local flows into a free sink — an append
+//     onto a free-list-named slice, directly or through any chain of
+//     intra-package calls (releaseCmd, freeSlot, maybeUnpark) — any later
+//     field read or write through it, and any re-free of it, is flagged.
+//     The value must be read out *before* the release, the way
+//     Engine.fire copies a slot's callback before freeSlot.
+//
+//  2. Guard discipline: every function that itself appends to a free-list
+//     must reach the append through the live-flag guard pattern — a test
+//     (and/or clear) of a lifecycle guard field (live, parked,
+//     pendingDone, ...) earlier in the body. That is the PR 7 double-free
+//     guard as a checked property: delete the `if !s.live { panic }` and
+//     the lint fails before the corruption ships.
+//
+// Dominance escape hatch: a post-free access is not flagged when it is
+// the guard field itself, or when it sits inside an if whose condition
+// tests a guard field of the freed value — re-checking liveness is how
+// sanctioned post-free code identifies itself.
+//
+// Known false negatives (documented in DESIGN.md): frees inside a
+// conditional branch do not propagate past the branch join; aliases
+// (p := c; release(c); p.f) are not tracked; cross-package sinks are
+// invisible to the per-package summaries. The rules are tuned to catch
+// the straight-line lifecycle bugs the slab idiom actually produces
+// without drowning the hot path in suppressions.
+package slabsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/flow"
+	"daredevil/internal/analysis/framework"
+)
+
+// Name is the analyzer name used in diagnostics and allow directives.
+const Name = "slabsafety"
+
+// New returns the analyzer configured by cfg.
+func New(cfg *config.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: Name,
+		Doc:  "flag use-after-free and unguarded frees over slab/free-list recycled values (the PR 7 stale-reference policy, machine-checked)",
+	}
+	a.Run = func(pass *framework.Pass) {
+		if !cfg.IsSlabPackage(pass.Pkg.Path()) || cfg.Exempted(pass.Pkg.Path(), Name) {
+			return
+		}
+		g := flow.Of(pass)
+		for _, obj := range g.Funcs {
+			c := &checker{pass: pass, cfg: cfg, g: g, fname: obj.Name()}
+			fd := g.Decl(obj)
+			c.checkGuardDiscipline(fd)
+			c.block(fd.Body.List, map[*types.Var]bool{})
+		}
+	}
+	return a
+}
+
+// checker walks one function's statements in source order, tracking which
+// locals have been released to a free sink.
+type checker struct {
+	pass  *framework.Pass
+	cfg   *config.Config
+	g     *flow.Graph
+	fname string
+}
+
+// checkGuardDiscipline enforces rule 2: each direct free-list append in fd
+// must be preceded (in source order, same function) by a guard-field
+// access — the live-flag double-free check.
+func (c *checker) checkGuardDiscipline(fd *ast.FuncDecl) {
+	// Collect guard-field access positions and free-list append positions.
+	var guards []token.Pos
+	var frees []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if c.cfg.IsGuardField(n.Sel.Name) {
+				guards = append(guards, n.Pos())
+			}
+		case *ast.CallExpr:
+			if flow.FreeListAppend(c.pass.TypesInfo, n) {
+				frees = append(frees, n)
+			}
+		}
+		return true
+	})
+	for _, f := range frees {
+		guarded := false
+		for _, gp := range guards {
+			if gp < f.Pos() {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			c.pass.Reportf(f.Pos(), "free-list append in %s without a preceding live-flag guard; test-and-clear a guard field (%v) before recycling so a double free panics instead of corrupting the slab", c.fname, c.cfg.GuardFields)
+		}
+	}
+}
+
+// block processes a statement list in order. Frees recorded by one
+// statement poison the rest of the list; freed entries are inherited by
+// nested statements.
+func (c *checker) block(stmts []ast.Stmt, freed map[*types.Var]bool) {
+	for _, s := range stmts {
+		c.stmt(s, freed)
+	}
+}
+
+// copyFreed clones the freed set for a conditional branch: effects inside
+// the branch must not leak past the join (documented false negative in
+// exchange for zero false positives at merges).
+func copyFreed(freed map[*types.Var]bool) map[*types.Var]bool {
+	cp := make(map[*types.Var]bool, len(freed))
+	for k, v := range freed {
+		cp[k] = v
+	}
+	return cp
+}
+
+// stmt checks one statement for uses of freed values, then applies its
+// free/reassign effects, then recurses into nested statements.
+func (c *checker) stmt(s ast.Stmt, freed map[*types.Var]bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.block(s.List, freed)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, freed)
+		}
+		c.checkExpr(s.Cond, freed, true)
+		// Vars whose guard field the condition tests are sanctioned inside
+		// the branches: the code is explicitly lifecycle-aware there.
+		branch := copyFreed(freed)
+		for _, v := range c.guardTested(s.Cond, freed) {
+			delete(branch, v)
+		}
+		c.block(s.Body.List, copyFreed(branch))
+		if s.Else != nil {
+			c.stmt(s.Else, copyFreed(branch))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, freed)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, freed, false)
+		}
+		body := copyFreed(freed)
+		c.block(s.Body.List, body)
+		if s.Post != nil {
+			c.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, freed, false)
+		c.block(s.Body.List, copyFreed(freed))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, freed)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, freed, false)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.checkExpr(e, freed, false)
+				}
+				c.block(cl.Body, copyFreed(freed))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, freed)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.block(cl.Body, copyFreed(freed))
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, freed)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, freed, false)
+		}
+		for _, lhs := range s.Lhs {
+			// Writing a field of a freed value is as bad as reading one.
+			c.checkExpr(lhs, freed, false)
+		}
+		c.applyEffects(s, freed)
+		// A reassigned local is a fresh value.
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if v := c.localVar(id); v != nil {
+					delete(freed, v)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, freed, false)
+		c.applyEffects(s, freed)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, freed, false)
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, freed, false)
+	case *ast.DeferStmt:
+		c.checkExpr(s.Call, freed, false)
+	case *ast.GoStmt:
+		c.checkExpr(s.Call, freed, false)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, freed, false)
+		c.checkExpr(s.Value, freed, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.checkExpr(e, freed, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// localVar resolves id to a function-local (or parameter) variable.
+func (c *checker) localVar(id *ast.Ident) *types.Var {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Parent() == c.pass.Pkg.Scope() {
+		return nil
+	}
+	return v
+}
+
+// guardTested returns the freed vars whose guard field cond inspects.
+func (c *checker) guardTested(cond ast.Expr, freed map[*types.Var]bool) []*types.Var {
+	var out []*types.Var
+	ast.Inspect(cond, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !c.cfg.IsGuardField(sel.Sel.Name) {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if v := c.localVar(id); v != nil && freed[v] {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkExpr reports uses of freed values inside e: field selections
+// through a freed local, and re-frees of one. Guard-field selections are
+// exempt (that is how sanctioned code re-checks liveness). inCond marks
+// expressions inside an if condition, where guard tests are expected.
+func (c *checker) checkExpr(e ast.Expr, freed map[*types.Var]bool, inCond bool) {
+	if e == nil || len(freed) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v := c.localVar(id)
+			if v == nil || !freed[v] {
+				return true
+			}
+			if c.cfg.IsGuardField(n.Sel.Name) {
+				return false // sanctioned liveness re-check
+			}
+			c.pass.Reportf(n.Pos(), "use of %s.%s after %s was released to a free-list (in %s); slab values are left stale on purpose — read fields out before the release, or re-check a guard field (%v) first", id.Name, n.Sel.Name, id.Name, c.fname, c.cfg.GuardFields)
+			return false
+		case *ast.CallExpr:
+			c.checkRefree(n, freed)
+		}
+		return true
+	})
+}
+
+// checkRefree flags passing an already-freed value back into a free sink
+// (the double free the live flag exists to catch).
+func (c *checker) checkRefree(call *ast.CallExpr, freed map[*types.Var]bool) {
+	report := func(arg ast.Expr) {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if v := c.localVar(id); v != nil && freed[v] {
+				c.pass.Reportf(arg.Pos(), "double free of %s (in %s): it already flowed into a free-list and would occupy two free slots, corrupting the slab", id.Name, c.fname)
+			}
+		}
+	}
+	if flow.FreeListAppend(c.pass.TypesInfo, call) {
+		for _, arg := range call.Args[1:] {
+			report(arg)
+		}
+		return
+	}
+	for _, i := range c.g.FreedArgs(call) {
+		report(call.Args[i])
+	}
+}
+
+// applyEffects records frees performed by the statement: direct free-list
+// appends and calls whose summaries free an argument.
+func (c *checker) applyEffects(s ast.Stmt, freed map[*types.Var]bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		mark := func(arg ast.Expr) {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if v := c.localVar(id); v != nil {
+					freed[v] = true
+				}
+			}
+		}
+		if flow.FreeListAppend(c.pass.TypesInfo, call) {
+			for _, arg := range call.Args[1:] {
+				mark(arg)
+			}
+			return true
+		}
+		for _, i := range c.g.FreedArgs(call) {
+			mark(call.Args[i])
+		}
+		return true
+	})
+}

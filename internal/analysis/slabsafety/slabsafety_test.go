@@ -1,0 +1,22 @@
+package slabsafety_test
+
+import (
+	"testing"
+
+	"daredevil/internal/analysis/analysistest"
+	"daredevil/internal/analysis/config"
+	"daredevil/internal/analysis/slabsafety"
+)
+
+// TestSlab pins the two rules on the fixture miniatures of the command
+// slab and the engine slot free-list: the PR 7 live-flag guard pattern
+// passes, reverting the guard diagnoses, post-free field touches and
+// double frees diagnose (including through an interprocedural hop), and
+// read-before-free, guard-dominated re-checks, reassignment, and an allow
+// directive all stay quiet.
+func TestSlab(t *testing.T) {
+	cfg := config.Default()
+	fixture := "daredevil/internal/analysis/slabsafety/testdata/slab"
+	cfg.SlabPackages = append(cfg.SlabPackages, fixture)
+	analysistest.Run(t, cfg, "testdata/slab", fixture, slabsafety.New(cfg))
+}

@@ -1,0 +1,135 @@
+// Package slab is the slabsafety fixture: a miniature of the command-slab
+// lifecycle (internal/nvme) and the engine slot free-list (internal/sim).
+// The guarded variants reproduce PR 7's live-flag double-free guard and
+// must NOT diagnose; the unguarded/post-free variants are the seeded bug
+// class and must.
+package slab
+
+type cmd struct {
+	pages  int
+	live   bool
+	parked bool
+}
+
+type dev struct {
+	freeCmds []*cmd
+	slab     []cmd
+}
+
+// release mirrors nvme.releaseCmd: the live-flag guard precedes the
+// free-list append, so the guard-discipline rule stays quiet.
+func (d *dev) release(c *cmd) {
+	if !c.live {
+		panic("double free")
+	}
+	c.live = false
+	d.freeCmds = append(d.freeCmds, c)
+}
+
+// releaseUnguarded is release with the guard reverted — the seeded-bug
+// check for the double-free discipline.
+func (d *dev) releaseUnguarded(c *cmd) {
+	d.freeCmds = append(d.freeCmds, c) // want "free-list append in releaseUnguarded without a preceding live-flag guard"
+}
+
+// alloc carves or recycles; popping the free-list is not a free.
+func (d *dev) alloc() *cmd {
+	if n := len(d.freeCmds); n > 0 {
+		c := d.freeCmds[n-1]
+		d.freeCmds = d.freeCmds[:n-1]
+		c.live = true
+		return c
+	}
+	if len(d.slab) == 0 {
+		d.slab = make([]cmd, 8)
+	}
+	c := &d.slab[0]
+	d.slab = d.slab[1:]
+	c.live = true
+	return c
+}
+
+// completeThenTouch is the positive use-after-free modeled on the command
+// slab lifecycle: release first, field touch after.
+func (d *dev) completeThenTouch(c *cmd) int {
+	d.release(c)
+	c.pages = 0    // want "use of c.pages after c was released to a free-list"
+	return c.pages // want "use of c.pages after c was released to a free-list"
+}
+
+// doubleFree re-frees through the interprocedural summary.
+func (d *dev) doubleFree(c *cmd) {
+	d.release(c)
+	d.release(c) // want "double free of c"
+}
+
+// readBeforeFree is the sanctioned Engine.fire pattern: copy fields out,
+// then release. Must not diagnose.
+func (d *dev) readBeforeFree(c *cmd) int {
+	pages := c.pages
+	d.release(c)
+	return pages
+}
+
+// guardedPostFree re-checks the live flag before touching — the dominance
+// escape hatch. Must not diagnose.
+func (d *dev) guardedPostFree(c *cmd) {
+	d.release(c)
+	if c.live {
+		c.pages++
+	}
+}
+
+// reassigned overwrites the freed local with a fresh value; uses after the
+// reassignment are clean.
+func (d *dev) reassigned(c *cmd) {
+	d.release(c)
+	c = d.alloc()
+	c.pages = 1
+}
+
+// forward frees via one intermediate hop; forwardedUAF proves the summary
+// propagated.
+func (d *dev) forward(c *cmd) {
+	d.release(c)
+}
+
+func (d *dev) forwardedUAF(c *cmd) {
+	d.forward(c)
+	c.pages = 2 // want "use of c.pages after c was released to a free-list"
+}
+
+// stale keeps a deliberate post-free read behind an allow directive; the
+// suppression must absorb the diagnostic.
+func (d *dev) stale(c *cmd) int {
+	d.release(c)
+	return c.pages //lint:ddvet:allow slabsafety fixture-sanctioned stale read exercising the suppression path
+}
+
+// slot/eng reproduce the engine's slot free-list.
+type slot struct {
+	fn   func()
+	live bool
+}
+
+type eng struct {
+	slots []slot
+	free  []int32
+}
+
+// freeSlot is PR 7's live-flag double-free guard, shape-for-shape. Must
+// NOT diagnose.
+func (e *eng) freeSlot(id int32) {
+	s := &e.slots[id]
+	if !s.live {
+		panic("slot freed twice")
+	}
+	s.live = false
+	e.free = append(e.free, id)
+}
+
+// freeSlotUnguarded reverts the guard: the seeded-bug check for the slot
+// free-list.
+func (e *eng) freeSlotUnguarded(id int32) {
+	e.free = append(e.free, id) // want "free-list append in freeSlotUnguarded without a preceding live-flag guard"
+}

@@ -1,0 +1,121 @@
+// Package vetcache is ddvet's per-package result cache. A package whose
+// source files, suite configuration, and analyzer version are all
+// unchanged produces the same diagnostics, so the standalone runner can
+// replay them from disk and skip parsing and type-checking entirely —
+// that is nearly all of a lint run's cost, so a warm run is dominated by
+// one cheap `go list` and a hash per file.
+//
+// The key is sha256 over (analyzer version, config JSON, each source
+// file's path and content hash). Deliberately absent: dependency
+// contents. A package's diagnostics can in principle change when a
+// dependency's exported types change under it; chasing that transitively
+// would cost what the cache saves. In practice an API change dirties the
+// caller's source in the same commit, and `-nocache` (or deleting the
+// cache directory) forces a cold run when it does not.
+//
+// Entries are one JSON file per key, written atomically via rename so a
+// crashed run never leaves a torn entry.
+package vetcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Diagnostic is one cached finding, position pre-resolved so replay needs
+// no FileSet.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// entry is the on-disk shape; ImportPath is recorded for debuggability.
+type entry struct {
+	ImportPath  string       `json:"importPath"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Cache is a directory of entries.
+type Cache struct {
+	dir string
+}
+
+// Open ensures dir exists and returns the cache over it.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Key derives the cache key for one package: version covers the analyzer
+// suite, cfgJSON the effective configuration, files the package's source
+// files (hashed by path and content, order-independent).
+func Key(version string, cfgJSON []byte, files []string) (string, error) {
+	sorted := append([]string(nil), files...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	fmt.Fprintf(h, "version %s\n", version)
+	fmt.Fprintf(h, "config %x\n", sha256.Sum256(cfgJSON))
+	for _, name := range sorted {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s %x\n", name, sha256.Sum256(data))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Get returns the cached diagnostics for key, if present and well-formed.
+// A torn or stale-format entry reads as a miss, never an error: the run
+// falls back to computing and overwriting it.
+func (c *Cache) Get(key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	return e.Diagnostics, true
+}
+
+// Put stores diags under key, atomically.
+func (c *Cache) Put(key, importPath string, diags []Diagnostic) error {
+	data, err := json.Marshal(entry{ImportPath: importPath, Diagnostics: diags})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, c.path(key))
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,136 @@
+package vetcache_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"daredevil/internal/analysis/vetcache"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	c, err := vetcache.Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []vetcache.Diagnostic{
+		{File: "/src/a.go", Line: 3, Col: 7, Analyzer: "slabsafety", Message: "double free of c"},
+		{File: "/src/b.go", Line: 9, Col: 1, Analyzer: "obscost", Message: "make call in argument"},
+	}
+	if err := c.Put("k1", "example.com/p", diags); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k1")
+	if !ok {
+		t.Fatal("expected hit after Put")
+	}
+	if len(got) != len(diags) {
+		t.Fatalf("got %d diagnostics, want %d", len(got), len(diags))
+	}
+	for i := range diags {
+		if got[i] != diags[i] {
+			t.Errorf("diag %d: got %+v, want %+v", i, got[i], diags[i])
+		}
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Error("unexpected hit for absent key")
+	}
+}
+
+func TestEmptyDiagnosticsCacheable(t *testing.T) {
+	c, err := vetcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("clean", "example.com/p", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("clean")
+	if !ok {
+		t.Fatal("a clean package must still hit the cache")
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d diagnostics, want 0", len(got))
+	}
+}
+
+func TestTornEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := vetcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, dir, "bad.json", "{not json")
+	if _, ok := c.Get("bad"); ok {
+		t.Error("torn entry must read as a miss")
+	}
+}
+
+// TestKeySensitivity pins each component of the key: file content, file
+// set, config bytes, and analyzer version all invalidate; a byte-for-byte
+// identical state does not.
+func TestKeySensitivity(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "a.go", "package p\n")
+	b := writeFile(t, dir, "b.go", "package p\nvar X int\n")
+
+	base, err := vetcache.Key("v1", []byte(`{"cfg":1}`), []string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := vetcache.Key("v1", []byte(`{"cfg":1}`), []string{b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != same {
+		t.Error("key must be order-independent over the file set")
+	}
+
+	writeFile(t, dir, "a.go", "package p\n// changed\n")
+	changed, err := vetcache.Key("v1", []byte(`{"cfg":1}`), []string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == base {
+		t.Error("editing a source file must change the key")
+	}
+
+	fewer, err := vetcache.Key("v1", []byte(`{"cfg":1}`), []string{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fewer == changed {
+		t.Error("dropping a file must change the key")
+	}
+
+	cfg, err := vetcache.Key("v1", []byte(`{"cfg":2}`), []string{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg == fewer {
+		t.Error("changing the config must change the key")
+	}
+
+	ver, err := vetcache.Key("v2", []byte(`{"cfg":2}`), []string{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver == cfg {
+		t.Error("changing the analyzer version must change the key")
+	}
+}
+
+func TestKeyMissingFileErrors(t *testing.T) {
+	if _, err := vetcache.Key("v1", nil, []string{filepath.Join(t.TempDir(), "gone.go")}); err == nil {
+		t.Error("expected an error for a missing source file")
+	}
+}

@@ -389,6 +389,7 @@ func (j *Job) onComplete(r *block.Request) {
 	if r.Flags.Discard() {
 		// Deallocate moves no data: keep it out of the latency and
 		// throughput accounting and just keep the loop full.
+		//lint:ddvet:allow slabsafety request recycling is completion-owned: block.Request.Complete fires OnComplete exactly once, so this is the unique hand-back point
 		j.freeReqs = append(j.freeReqs, r)
 		if j.Cfg.Arrival > 0 {
 			return
@@ -424,6 +425,7 @@ func (j *Job) onComplete(r *block.Request) {
 	}
 	// The request is dead: every layer below released its reference before
 	// Complete, and the accounting above was its last read.
+	//lint:ddvet:allow slabsafety request recycling is completion-owned: block.Request.Complete fires OnComplete exactly once, so this is the unique hand-back point
 	j.freeReqs = append(j.freeReqs, r)
 	if j.Cfg.Arrival > 0 {
 		return // open loop: arrivals are completion-independent
