@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-profiles bench-all benchguard figures svg json obs examples serve serve-smoke lint lint-cold vet fmt cover clean
+.PHONY: all build test test-short race bench bench-profiles bench-all benchguard figures svg json obs prof examples serve serve-smoke lint lint-cold vet fmt cover clean
 
 all: build test
 
@@ -63,6 +63,13 @@ json:
 # the flight-recorder dump of its recovery escalations.
 obs:
 	$(GO) run ./cmd/ddbench -obs out/obs
+
+# Profiled comparison grid: the merged virtual-time layer-latency profile
+# (breakdown table, flame-graph folded stacks, stacked-bar SVG, mergeable
+# JSON) plus per-cell tables — byte-identical at any -j width. CI archives
+# out/prof as a workflow artifact.
+prof:
+	$(GO) run ./cmd/ddbench -quick -prof out/prof
 
 # Run the capacity-planning daemon on the default local port.
 serve:

@@ -308,6 +308,30 @@ func BenchmarkObsOffDeviceHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkProfOffDeviceHotPath pins the cost of the profiler seam when
+// profiling is off: the observer is attached (so span plumbing, the
+// GC-stall sampling sites, and Span.End's sink dispatch are all reachable)
+// but no tracer or profile sink is armed, so StartSpan returns nil and
+// every stamp must stay on its nil-check path. The environment is built
+// once and the engine advanced per iteration, so the steady state is
+// allocation-free — benchguard gates this at exactly 0 allocs/op.
+func BenchmarkProfOffDeviceHotPath(b *testing.B) {
+	env := harness.NewEnv(harness.SVM(2), harness.DareFull)
+	env.EnableObs(0, 0)
+	mix := harness.NewMix(env)
+	mix.AddL(2, 0)
+	mix.AddT(2, 0)
+	mix.StartAll()
+	end := sim.Time(20 * sim.Millisecond)
+	env.Eng.RunUntil(end)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		end += sim.Time(sim.Millisecond)
+		env.Eng.RunUntil(end)
+	}
+}
+
 // --- Extension benches ---
 
 // BenchmarkExtensionSchedulers regenerates the I/O-scheduler comparison.

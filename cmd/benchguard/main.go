@@ -67,7 +67,7 @@ type measure struct {
 }
 
 // defaultSuites lists the guarded pkg=pattern pairs.
-const defaultSuites = "./internal/sim=BenchmarkEngine,.=BenchmarkObsOff,.=BenchmarkSimulatorThroughput"
+const defaultSuites = "./internal/sim=BenchmarkEngine,.=BenchmarkObsOff,.=BenchmarkProfOff,.=BenchmarkSimulatorThroughput"
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_harness.json", "committed benchmark baseline")

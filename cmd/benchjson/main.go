@@ -86,6 +86,7 @@ func realMain() int {
 		{"-bench", "BenchmarkEngine", "./internal/sim"},
 		{"-bench", "BenchmarkSimulatorThroughput", "."},
 		{"-bench", "BenchmarkObsOff", "."},
+		{"-bench", "BenchmarkProfOff", "."},
 	}
 	for _, r := range runs {
 		bs, err := runGoBench(r[1], r[2], benchtime)

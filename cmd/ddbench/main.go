@@ -45,6 +45,7 @@ func realMain() int {
 	jsonDir := flag.String("json", "", "also write machine-readable <experiment>.json results into this directory")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "run up to N experiment cells in parallel (results are identical to -j 1)")
 	obsDir := flag.String("obs", "", "run the instrumented demo cell and write trace.json, metrics.csv, metrics.svg, flight.txt into this directory (no experiment needed)")
+	profDir := flag.String("prof", "", "run the profiled comparison grid (every stack x two tenant mixes) and write per-cell and merged layer-latency artifacts into this directory (no experiment needed)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -100,6 +101,15 @@ func realMain() int {
 
 	if *obsDir != "" {
 		if err := runObs(*obsDir, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			return 1
+		}
+		if flag.NArg() == 0 && *profDir == "" {
+			return 0
+		}
+	}
+	if *profDir != "" {
+		if err := runProf(*profDir, sc); err != nil {
 			fmt.Fprintln(os.Stderr, "ddbench:", err)
 			return 1
 		}
@@ -160,6 +170,52 @@ func runObs(dir string, sc harness.Scale) error {
 		}
 		fmt.Printf("[wrote %s]\n", path)
 	}
+	return nil
+}
+
+// runProf runs the profiled comparison grid and writes the merged fleet
+// artifacts (profile.txt table, profile.folded flame-graph stacks,
+// profile.svg stacked bars, profile.json mergeable digests) plus one
+// breakdown table and SVG per cell into dir. Output bytes are identical at
+// any -j width.
+func runProf(dir string, sc harness.Scale) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sw := walltime.Start()
+	d, err := harness.RunProfDemo(sc)
+	if err != nil {
+		return err
+	}
+	outs := []struct {
+		name string
+		data []byte
+	}{
+		{"profile.txt", d.Breakdown},
+		{"profile.folded", d.Folded},
+		{"profile.svg", d.SVG},
+		{"profile.json", d.JSON},
+	}
+	for _, c := range d.Cells {
+		outs = append(outs,
+			struct {
+				name string
+				data []byte
+			}{c.Label + ".txt", c.Breakdown},
+			struct {
+				name string
+				data []byte
+			}{c.Label + ".svg", c.SVG})
+	}
+	for _, out := range outs {
+		path := filepath.Join(dir, out.name)
+		if err := os.WriteFile(path, out.data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote %s]\n", path)
+	}
+	fmt.Printf("[prof grid: %d cells, %d requests profiled, done in %v]\n",
+		len(d.Cells), d.Merged.Requests(), sw.Elapsed().Round(time.Millisecond))
 	return nil
 }
 

@@ -98,3 +98,37 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatal("JSON missing Rows")
 	}
 }
+
+// TestProfOutput runs the profiled comparison grid at test scale and
+// checks every artifact lands: the merged fleet set plus one table and SVG
+// per cell.
+func TestProfOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 12-cell profiled grid")
+	}
+	dir := t.TempDir()
+	small := harness.Scale{Warmup: 5 * sim.Millisecond, Measure: 20 * sim.Millisecond}
+	if err := runProf(dir, small); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"profile.txt", "profile.folded", "profile.svg", "profile.json",
+		"daredevil-2L2T.txt", "daredevil-2L4T.svg", "vanilla-2L2T.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	folded, _ := os.ReadFile(filepath.Join(dir, "profile.folded"))
+	for _, want := range []string{"daredevil;L;", "vanilla;T;", ";queue_wait ", ";chip "} {
+		if !strings.Contains(string(folded), want) {
+			t.Fatalf("folded stacks missing %q", want)
+		}
+	}
+	merged, _ := os.ReadFile(filepath.Join(dir, "profile.json"))
+	if !json.Valid(merged) {
+		t.Fatal("profile.json is not valid JSON")
+	}
+}

@@ -34,6 +34,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write request lifecycle spans as Chrome trace-event JSON to this file (open at ui.perfetto.dev)")
 	traceLimit := flag.Int("trace-limit", 0, "cap the spans captured with -trace (0 = default budget)")
 	obsWindowUs := flag.Int("obs-window-us", 0, "sample queue/CPU/FTL/recovery gauges every N virtual microseconds and print the CSV after the summary")
+	profPath := flag.String("prof", "", "profile every request's virtual time by stack layer: print the breakdown table and host self-profile, write the mergeable profile JSON to this file")
 	config := flag.String("config", "", "run a JSON scenario file instead of the flag-built mix")
 	seed := flag.Uint64("seed", 0, "shift every tenant's random stream (0 = default streams)")
 	errorRate := flag.Float64("error-rate", 0, "inject per-command media errors with this probability (controller retries up to 3x)")
@@ -51,7 +52,7 @@ func main() {
 	daredevil.SetParallelism(*jobs)
 
 	if *config != "" {
-		if err := runConfig(*config, *breakdown, *tracePath, *traceLimit, *obsWindowUs); err != nil {
+		if err := runConfig(*config, *breakdown, *tracePath, *traceLimit, *obsWindowUs, *profPath); err != nil {
 			fmt.Fprintln(os.Stderr, "ddsim:", err)
 			os.Exit(1)
 		}
@@ -139,6 +140,9 @@ func main() {
 	if *obsWindowUs > 0 {
 		sim.EnableMetrics(daredevil.Duration(*obsWindowUs) * daredevil.Microsecond)
 	}
+	if *profPath != "" {
+		sim.EnableProfile()
+	}
 
 	res := sim.Run(warm, meas)
 	fmt.Printf("stack=%s cores=%d L=%d T=%d namespaces=%d (measured %v virtual)\n",
@@ -158,16 +162,40 @@ func main() {
 			res.LCompletionDelay.Mean, res.LCompletionDelay.P99,
 			100*res.LCrossCoreFraction)
 	}
-	if err := writeObsOutputs(sim, *tracePath, *obsWindowUs > 0); err != nil {
+	if err := writeObsOutputs(sim, *tracePath, *obsWindowUs > 0, *profPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(1)
 	}
 }
 
 // writeObsOutputs emits whatever observability surfaces the run armed: the
-// Chrome trace JSON to tracePath, the sampled-gauge CSV to stdout, and —
-// whenever host recovery escalated — the flight-recorder dumps.
-func writeObsOutputs(sim *daredevil.Simulation, tracePath string, metrics bool) error {
+// Chrome trace JSON to tracePath, the sampled-gauge CSV to stdout, the
+// layer-latency breakdown + self-profile (with the profile JSON to
+// profPath), and — whenever host recovery escalated — the flight-recorder
+// dumps.
+func writeObsOutputs(sim *daredevil.Simulation, tracePath string, metrics bool, profPath string) error {
+	if profPath != "" {
+		fmt.Println()
+		if err := sim.WriteProfile(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := sim.WriteSelfProfile(os.Stdout); err != nil {
+			return err
+		}
+		f, err := os.Create(profPath)
+		if err != nil {
+			return err
+		}
+		if err := sim.Profile().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  profile: wrote %s (merge with other runs via prof.Merge)\n", profPath)
+	}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
@@ -229,7 +257,7 @@ func runCompare(build func(daredevil.StackKind) *daredevil.Simulation,
 // and the -trace / -trace-limit / -obs-window-us flags add to or override
 // them (the flag path wins for the trace output file; a scenario that set
 // "trace": true without a -trace flag writes next to the scenario file).
-func runConfig(path string, breakdown bool, tracePath string, traceLimit, obsWindowUs int) error {
+func runConfig(path string, breakdown bool, tracePath string, traceLimit, obsWindowUs int, profPath string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -253,6 +281,11 @@ func runConfig(path string, breakdown bool, tracePath string, traceLimit, obsWin
 	if obsWindowUs > 0 {
 		sim.EnableMetrics(daredevil.Duration(obsWindowUs) * daredevil.Microsecond)
 	}
+	if profPath != "" {
+		sim.EnableProfile()
+	} else if sc.Profile {
+		profPath = strings.TrimSuffix(path, ".json") + ".profile.json"
+	}
 	metrics := obsWindowUs > 0 || sc.ObsWindowUs > 0
 	res := sim.Run(warm, measure)
 	fmt.Printf("scenario %s: stack=%s (measured %v virtual)\n", path, sim.StackName(), measure)
@@ -269,7 +302,7 @@ func runConfig(path string, breakdown bool, tracePath string, traceLimit, obsWin
 		fmt.Printf("  L path components: lock-wait avg=%v | completion-delay avg=%v | cross-core %.0f%%\n",
 			res.LSubmissionWait.Mean, res.LCompletionDelay.Mean, 100*res.LCrossCoreFraction)
 	}
-	return writeObsOutputs(sim, tracePath, metrics)
+	return writeObsOutputs(sim, tracePath, metrics, profPath)
 }
 
 // printFTL reports device-internal GC activity when the run used -ftl (or

@@ -44,13 +44,13 @@ func TestParsedKindsBuild(t *testing.T) {
 }
 
 func TestRunConfig(t *testing.T) {
-	if err := runConfig("../../examples/scenarios/mixed.json", false, "", 0, 0); err != nil {
+	if err := runConfig("../../examples/scenarios/mixed.json", false, "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := runConfig("../../examples/scenarios/multins.json", true, "", 0, 0); err != nil {
+	if err := runConfig("../../examples/scenarios/multins.json", true, "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := runConfig("/nonexistent.json", false, "", 0, 0); err == nil {
+	if err := runConfig("/nonexistent.json", false, "", 0, 0, ""); err == nil {
 		t.Fatal("missing file must error")
 	}
 }
@@ -68,7 +68,7 @@ func TestRunConfigTraced(t *testing.T) {
 	if err := os.WriteFile(path, src, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runConfig(path, false, "", 0, 0); err != nil {
+	if err := runConfig(path, false, "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	out, err := os.ReadFile(filepath.Join(dir, "traced.trace.json"))
@@ -80,5 +80,35 @@ func TestRunConfigTraced(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "traceEvents") {
 		t.Fatal("trace output missing traceEvents envelope")
+	}
+}
+
+// TestRunConfigProfiled runs the shipped profiled scenario: the scenario
+// file arms the layer profiler itself and the mergeable profile JSON lands
+// next to the scenario.
+func TestRunConfigProfiled(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile("../../examples/scenarios/profiled.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "profiled.json")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConfig(path, false, "", 0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(filepath.Join(dir, "profiled.profile.json"))
+	if err != nil {
+		t.Fatalf("scenario-armed profile not written: %v", err)
+	}
+	if !json.Valid(out) {
+		t.Fatal("profile output is not valid JSON")
+	}
+	for _, want := range []string{`"stack": "daredevil"`, `"layer": "queue_wait"`, `"layer": "gc"`} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("profile output missing %q", want)
+		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"daredevil/internal/fault"
 	"daredevil/internal/ftl"
 	"daredevil/internal/harness"
+	"daredevil/internal/prof"
 	"daredevil/internal/sim"
 	"daredevil/internal/stats"
 	"daredevil/internal/workload"
@@ -359,6 +360,42 @@ func (s *Simulation) WriteFlight(w io.Writer) error { return s.cell.WriteFlight(
 
 // FlightDumps reports how many recovery escalations captured a flight dump.
 func (s *Simulation) FlightDumps() int { return s.cell.FlightDumps() }
+
+// EnableProfile streams every completed request through the virtual-time
+// profiler: per (tenant-class, layer) latency digests over the fixed
+// submit / queue-wait / fetch / chip / gc / cqe / delivery taxonomy,
+// covering the measurement window. Call before Run; render afterwards
+// with WriteProfile, WriteProfileFolded, or WriteProfileSVG, and inspect
+// host-side cost with WriteSelfProfile. Unlike EnableTrace there is no
+// span budget — the profiler aggregates every request at O(1) memory.
+func (s *Simulation) EnableProfile() { s.cell.EnableProfile() }
+
+// Profile snapshots the aggregated layer profile (empty before Run or when
+// profiling is off). Profiles from different runs merge deterministically
+// via prof.Merge.
+func (s *Simulation) Profile() prof.Profile {
+	if p := s.cell.Profiler(); p != nil {
+		return p.Profile()
+	}
+	return prof.Profile{}
+}
+
+// WriteProfile renders the layer-latency breakdown table (share, mean,
+// p50/p99/p99.9, max per layer). No-op unless EnableProfile was called.
+func (s *Simulation) WriteProfile(w io.Writer) error { return s.cell.WriteProfileTable(w) }
+
+// WriteProfileFolded emits the profile as folded stacks
+// ("stack;class;layer ns"), ready for flamegraph.pl or speedscope. No-op
+// unless EnableProfile was called.
+func (s *Simulation) WriteProfileFolded(w io.Writer) error { return s.cell.WriteProfileFolded(w) }
+
+// WriteProfileSVG renders the breakdown as a stacked horizontal bar chart.
+// No-op unless EnableProfile was called.
+func (s *Simulation) WriteProfileSVG(w io.Writer) error { return s.cell.WriteProfileSVG(w) }
+
+// WriteSelfProfile reports where the simulator spent host wall-clock time
+// (build/warmup/measure/collect). No-op unless EnableProfile was called.
+func (s *Simulation) WriteSelfProfile(w io.Writer) error { return s.cell.WriteSelfProfile(w) }
 
 // EnableBreakdown records per-request path components for L-tenants
 // (submission-side lock wait, completion delivery delay, cross-core

@@ -128,9 +128,12 @@ func Default() *Config {
 			"daredevil/internal/obs.Flight.Dumps",
 			"daredevil/internal/obs.Tracer.RecordInstant",
 			"daredevil/internal/obs.Tracer.RecordGC",
+			"daredevil/internal/prof.Profiler.ConsumeSpan",
+			"daredevil/internal/prof.Profiler.Reset",
 		},
 		ObsPackages: []string{
 			"daredevil/internal/obs",
+			"daredevil/internal/prof",
 		},
 	}
 }

@@ -19,3 +19,13 @@ func TestHooks(t *testing.T) {
 	cfg.SimPackages = append(cfg.SimPackages, fixture)
 	analysistest.Run(t, cfg, "testdata/hooks", fixture, obscost.New(cfg))
 }
+
+// TestProfHooks pins the profiler seam: the nil-safe ConsumeSpan/Reset
+// hooks pass unguarded, and the seeded unguarded Requests call — a
+// non-nil-safe prof method on a hot path — diagnoses.
+func TestProfHooks(t *testing.T) {
+	cfg := config.Default()
+	fixture := "daredevil/internal/analysis/obscost/testdata/profhooks"
+	cfg.SimPackages = append(cfg.SimPackages, fixture)
+	analysistest.Run(t, cfg, "testdata/profhooks", fixture, obscost.New(cfg))
+}

@@ -1,0 +1,46 @@
+// Package profhooks is the obscost fixture for the virtual-time profiler
+// hooks: ConsumeSpan and Reset are documented nil-safe (they guard their
+// own receiver), so calling them unguarded on a hot path is clean, while
+// every other Profiler method dereferences its receiver and needs a
+// dominating nil check. The unguarded Requests call is the seeded
+// positive.
+package profhooks
+
+import (
+	"daredevil/internal/obs"
+	"daredevil/internal/prof"
+	"daredevil/internal/sim"
+)
+
+type completer struct {
+	prof  *prof.Profiler
+	spans uint64
+}
+
+// complete is the hot root; everything it reaches is audited.
+//
+//ddvet:hotpath
+func (c *completer) complete(now sim.Time, sp *obs.Span) {
+	c.prof.ConsumeSpan(sp) // nil-safe hook: clean without a guard
+	c.reset()
+	c.account()
+}
+
+// reset exercises the second nil-safe prof hook, the warmup-boundary
+// Reset.
+func (c *completer) reset() {
+	c.prof.Reset() // nil-safe hook: clean without a guard
+}
+
+// account carries the seeded bug: Requests ranges over p.classes without
+// guarding its receiver, so an unguarded call crashes the profile-off
+// path.
+func (c *completer) account() {
+	c.spans = c.prof.Requests() // want "without a nil guard on c.prof"
+	if c.prof != nil {
+		c.spans = c.prof.Requests() // enclosing guard: clean
+	}
+	if p := c.prof; p != nil {
+		c.spans = p.Requests() // init-form guard: clean
+	}
+}

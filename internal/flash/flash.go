@@ -411,6 +411,14 @@ func (d *Device) QueuedWork(now sim.Time, page int64) sim.Duration {
 	return die.FreeAt().Sub(now)
 }
 
+// DieFreeAt reports when die dieIdx's queued work drains. The FTL brackets
+// its foreground-GC rounds with this to meter how much die time each GC
+// episode inserted ahead of the stalled host write — the profiler's
+// GC-attributed latency layer.
+func (d *Device) DieFreeAt(dieIdx int) sim.Time {
+	return d.chips[dieIdx].FreeAt()
+}
+
 // MaxBacklog reports the largest die backlog beyond now across the device —
 // a coarse congestion signal used by tests and diagnostics.
 func (d *Device) MaxBacklog(now sim.Time) sim.Duration {

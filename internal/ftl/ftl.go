@@ -243,6 +243,13 @@ type Device struct {
 	fr     *obs.Ring
 
 	st Stats
+	// fgStall accumulates the die time foreground-GC rounds inserted ahead
+	// of stalled host programs (measured as the chosen die's free-horizon
+	// growth across the rounds). Unlike st it is monotonic and survives
+	// ResetStats: the controller attributes GC waits to spans by sampling
+	// its delta around a command's service, and a mid-command reset would
+	// corrupt that delta.
+	fgStall sim.Duration
 	// GCPauses is the distribution of per-victim collection times (first
 	// relocation to erase completion) — the GC pause a colocated tenant can
 	// observe on that die.
@@ -342,6 +349,11 @@ func (d *Device) AttachObs(o *obs.Observer) {
 // controller samples its delta across a command's service to attribute GC
 // waits to individual spans.
 func (d *Device) ForegroundGCCount() uint64 { return d.st.ForegroundGCs }
+
+// ForegroundGCStall reports the cumulative die time foreground-GC rounds
+// inserted ahead of stalled host writes. Monotonic (never reset): consumers
+// sample deltas, so only differences are meaningful.
+func (d *Device) ForegroundGCStall() sim.Duration { return d.fgStall }
 
 // Stats returns accumulated counters.
 func (d *Device) Stats() Stats { return d.st }
@@ -812,6 +824,13 @@ func (d *Device) foregroundGC(now sim.Time) int {
 	for i := 1; i <= d.numDies; i++ {
 		die := (d.allocRR + i) % d.numDies
 		ds := &d.dies[die]
+		// The stalled program waits behind whatever these rounds push into
+		// the die FIFO: the free-horizon growth beyond max(now, horizon) is
+		// the GC-attributed share of its service time.
+		stallBase := d.media.DieFreeAt(die)
+		if stallBase < now {
+			stallBase = now
+		}
 		// Collect until the host can allocate; 2*BlocksPerDie rounds is an
 		// unreachable backstop (each round erases a block).
 		for r := 0; !d.hostCanAlloc(die) && r < 2*d.cfg.BlocksPerDie; r++ {
@@ -835,6 +854,9 @@ func (d *Device) foregroundGC(now sim.Time) int {
 			d.gcFinishRound(die)
 		}
 		if d.hostCanAlloc(die) {
+			if after := d.media.DieFreeAt(die); after > stallBase {
+				d.fgStall += after.Sub(stallBase)
+			}
 			d.allocRR = die
 			return die
 		}

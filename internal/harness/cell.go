@@ -5,8 +5,10 @@ import (
 
 	"daredevil/internal/block"
 	"daredevil/internal/obs"
+	"daredevil/internal/prof"
 	"daredevil/internal/sim"
 	"daredevil/internal/stats"
+	"daredevil/internal/walltime"
 	"daredevil/internal/workload"
 )
 
@@ -45,6 +47,10 @@ type CellSpec struct {
 	TraceLimit int
 	// MetricsWindow > 0 samples the standard gauge set at that cadence.
 	MetricsWindow sim.Duration
+	// Profile arms the streaming layer-attribution profiler: every
+	// completed request of the measurement window feeds the per-layer
+	// digests reported in CellResult.Profile.
+	Profile bool
 }
 
 // AuxApp is a non-FIO load generator (KV store, mail server) hung off a
@@ -62,7 +68,11 @@ type Cell struct {
 	Breakdown bool
 	// Aux apps start with the jobs and reset at the warmup boundary.
 	Aux []AuxApp
-	ran bool
+	// Wall attributes host wall-clock time per run phase when profiling is
+	// armed (host-dependent; excluded from byte-identity artifacts).
+	Wall prof.WallProfile
+	prof *prof.Profiler
+	ran  bool
 }
 
 // NewCell builds an empty cell on the given machine and stack.
@@ -81,6 +91,9 @@ func BuildCell(spec CellSpec) *Cell {
 	}
 	if spec.MetricsWindow > 0 {
 		c.EnableMetrics(spec.MetricsWindow)
+	}
+	if spec.Profile {
+		c.EnableProfile()
 	}
 	if spec.Namespaces > 1 {
 		c.Env.CreateNamespaces(spec.Namespaces)
@@ -129,6 +142,21 @@ func (c *Cell) EnableMetrics(window sim.Duration) {
 	c.Env.EnableObs(0, window)
 }
 
+// EnableProfile arms the streaming virtual-time profiler: every completed
+// request span feeds per-(stack, class, layer) latency digests, reported in
+// CellResult.Profile after Run. Composes with tracing and metrics (spans
+// are shared); idempotent. Call before Run.
+func (c *Cell) EnableProfile() {
+	if c.prof != nil {
+		return
+	}
+	c.prof = prof.New(string(c.Env.Kind))
+	c.Env.EnableObs(0, 0).EnableProfile(c.prof)
+}
+
+// Profiler returns the cell's armed profiler, or nil when profiling is off.
+func (c *Cell) Profiler() *prof.Profiler { return c.prof }
+
 // Ran reports whether the cell's Run already happened.
 func (c *Cell) Ran() bool { return c.ran }
 
@@ -139,6 +167,15 @@ func (c *Cell) Run(warmup, measure sim.Duration) CellResult {
 		panic("harness: Cell.Run called twice; build a new Cell")
 	}
 	c.ran = true
+	// Wall checkpoints for the self-profile: virtual time is free, so the
+	// only host cost worth attributing is which run phase burned it. Only
+	// metered when profiling is armed (walltime reads are off the hot path
+	// either way — one per phase boundary).
+	profiling := c.prof != nil
+	var sw walltime.Stopwatch
+	if profiling {
+		sw = walltime.Start()
+	}
 	if c.Breakdown {
 		for _, j := range c.Mix.LJobs {
 			j.EnableComponents()
@@ -154,6 +191,10 @@ func (c *Cell) Run(warmup, measure sim.Duration) CellResult {
 	for _, a := range c.Aux {
 		a.Start(c.Env)
 	}
+	if profiling {
+		c.Wall.Add("start", int64(sw.Elapsed()))
+		sw = walltime.Start()
+	}
 	c.Env.Eng.RunUntil(sim.Time(warmup))
 	c.Mix.ResetStats()
 	for _, a := range c.Aux {
@@ -162,9 +203,19 @@ func (c *Cell) Run(warmup, measure sim.Duration) CellResult {
 	if c.Env.FTL != nil {
 		c.Env.FTL.ResetStats()
 	}
+	// Profiles cover exactly the measurement window.
+	c.prof.Reset()
+	if profiling {
+		c.Wall.Add("warmup", int64(sw.Elapsed()))
+		sw = walltime.Start()
+	}
 	c.Env.Eng.RunUntil(sim.Time(warmup + measure))
 	if c.Env.Obs != nil {
 		c.Env.Obs.Finish(sim.Time(warmup + measure))
+	}
+	if profiling {
+		c.Wall.Add("measure", int64(sw.Elapsed()))
+		sw = walltime.Start()
 	}
 	r := c.Mix.Collect(measure)
 	res := CellResult{
@@ -202,6 +253,11 @@ func (c *Cell) Run(warmup, measure sim.Duration) CellResult {
 		}
 	}
 	res.Recovery = c.Env.Recovery()
+	if profiling {
+		p := c.prof.Profile()
+		res.Profile = &p
+		c.Wall.Add("collect", int64(sw.Elapsed()))
+	}
 	return res
 }
 
@@ -259,6 +315,42 @@ func (c *Cell) WriteFlight(w io.Writer) error {
 	return c.Env.Obs.Flight().WriteText(w)
 }
 
+// WriteProfileTable renders the cell's layer-latency breakdown as an
+// aligned table. No-op unless profiling was armed.
+func (c *Cell) WriteProfileTable(w io.Writer) error {
+	if c.prof == nil {
+		return nil
+	}
+	return c.prof.Profile().WriteBreakdownTable(w)
+}
+
+// WriteProfileFolded emits the breakdown in flame-graph folded-stack form.
+// No-op unless profiling was armed.
+func (c *Cell) WriteProfileFolded(w io.Writer) error {
+	if c.prof == nil {
+		return nil
+	}
+	return c.prof.Profile().WriteFoldedStacks(w)
+}
+
+// WriteProfileSVG renders the breakdown as a stacked bar chart. No-op
+// unless profiling was armed.
+func (c *Cell) WriteProfileSVG(w io.Writer) error {
+	if c.prof == nil {
+		return nil
+	}
+	return c.prof.Profile().WriteBreakdownSVG(w)
+}
+
+// WriteSelfProfile renders the wall-clock self-profile accumulated across
+// the run phases. No-op unless profiling was armed.
+func (c *Cell) WriteSelfProfile(w io.Writer) error {
+	if c.prof == nil {
+		return nil
+	}
+	return c.Wall.WriteText(w)
+}
+
 // FlightDumps reports how many recovery escalations captured a flight dump.
 func (c *Cell) FlightDumps() int {
 	if c.Env.Obs == nil {
@@ -297,6 +389,28 @@ type CellResult struct {
 	// Recovery reports error-path counters over the whole run (not just
 	// the measurement window).
 	Recovery RecoveryCounters
+
+	// Profile is the per-layer latency attribution over the measurement
+	// window when profiling was armed; nil otherwise. Plain mergeable
+	// data: fold cells with prof.MergeAll / MergeCellProfiles. Omitted
+	// from JSON when absent so unprofiled results keep their golden bytes.
+	Profile *prof.Profile `json:",omitempty"`
+}
+
+// MergeCellProfiles folds the profiles of a grid's cells into one fleet
+// profile, skipping unprofiled cells. The digest merge is commutative and
+// associative, so the result is byte-identical no matter how the grid's
+// cells were scheduled (-j1 vs -j8) — merge in index order for clarity, not
+// correctness. ok reports whether any cell carried a profile.
+func MergeCellProfiles(results []CellResult) (merged prof.Profile, ok bool) {
+	for _, r := range results {
+		if r.Profile == nil {
+			continue
+		}
+		merged = prof.Merge(merged, *r.Profile)
+		ok = true
+	}
+	return merged, ok
 }
 
 // FTLSummary summarizes the translation layer's work during a measurement

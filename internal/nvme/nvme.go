@@ -687,6 +687,10 @@ func (d *Device) finishFetch() {
 	cmd.rq.FetchTime = now
 	if sp := cmd.rq.Span; sp != nil {
 		sp.Fetch = now
+		// Re-derive the priced fetch window (maybeFetch priced this same
+		// head entry) so the profiler can split Submit→Fetch into pure
+		// queue wait and fetch service.
+		sp.FetchCost = d.cfg.FetchCost + sim.Duration(cmd.pages)*d.cfg.FetchPerPage
 	}
 	d.frDev.Record(now, frFetch, cmd.rq.ID, int64(q.ID))
 	d.armExpiry(cmd)
@@ -742,11 +746,13 @@ func (d *Device) dispatchToFlash(cmd *command) {
 		}
 	}
 	var fg0 uint64
+	var fgStall0 sim.Duration
 	sp := rq.Span
 	if sp != nil {
 		sp.Chip = d.media.ChipIndexOf(abs)
 		if d.ftlFG != nil {
 			fg0 = d.ftlFG.ForegroundGCCount()
+			fgStall0 = d.ftlFG.ForegroundGCStall()
 		}
 	}
 	var done sim.Time
@@ -767,6 +773,7 @@ func (d *Device) dispatchToFlash(cmd *command) {
 		sp.Service = done
 		if d.ftlFG != nil {
 			sp.FGGCs += d.ftlFG.ForegroundGCCount() - fg0
+			sp.GCWait += d.ftlFG.ForegroundGCStall() - fgStall0
 		}
 	}
 	cmd.pendingDone = true

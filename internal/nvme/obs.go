@@ -6,6 +6,7 @@ package nvme
 
 import (
 	"daredevil/internal/obs"
+	"daredevil/internal/sim"
 )
 
 // Flight-ring event kinds recorded by the device. Constants so the ring
@@ -26,9 +27,13 @@ const (
 	frCancel      = "cancel"
 )
 
-// fgGCCounter is implemented by FTLs that count foreground GC stalls; the
-// tracer uses the delta across a command's service to attribute GC waits.
-type fgGCCounter interface{ ForegroundGCCount() uint64 }
+// fgGCCounter is implemented by FTLs that meter foreground GC stalls; the
+// tracer samples the deltas across a command's service to attribute GC
+// stall counts and inserted die time to individual spans.
+type fgGCCounter interface {
+	ForegroundGCCount() uint64
+	ForegroundGCStall() sim.Duration
+}
 
 // AttachObs connects the device to an observer: recovery instants flow to
 // its tracer and recent events to its flight rings ("host" for the

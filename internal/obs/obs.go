@@ -51,9 +51,17 @@ func (r *Registry) Register(name string, fn func() float64) {
 // Gauges returns the registered gauges in registration order.
 func (r *Registry) Gauges() []Gauge { return r.gauges }
 
-// Observer owns the three observability surfaces of one simulation cell.
-// Build it with New, switch on the surfaces you need (EnableTrace,
-// EnableSampler; the flight recorder arms with the first Ring request), and
+// SpanSink consumes completed spans as they end, in engine event order. The
+// profiler (internal/prof) implements it; obs only defines the seam so the
+// import graph stays obs → sink-free. A sink must not retain the *Span past
+// ConsumeSpan: pooled spans are recycled immediately after the call.
+type SpanSink interface {
+	ConsumeSpan(*Span)
+}
+
+// Observer owns the observability surfaces of one simulation cell. Build it
+// with New, switch on the surfaces you need (EnableTrace, EnableSampler,
+// EnableProfile; the flight recorder arms with the first Ring request), and
 // call Start before running the engine and Finish after.
 type Observer struct {
 	eng *sim.Engine
@@ -64,6 +72,13 @@ type Observer struct {
 	tracer  *Tracer
 	sampler *Sampler
 	flight  *Flight
+
+	// sink receives every completed span when profiling is enabled. When a
+	// tracer is also armed the sink sees the tracer's spans; beyond the
+	// tracer budget (or with tracing off) it sees pooled spans recycled
+	// through spanFree, so steady-state profiling allocates nothing.
+	sink     SpanSink
+	spanFree []*Span
 }
 
 // New builds an Observer on the cell's engine. Nothing records until a
@@ -112,6 +127,18 @@ func (o *Observer) EnableFlight(depth, maxDumps int) *Flight {
 	return o.flight
 }
 
+// EnableProfile arms streaming span consumption: every request span is
+// handed to sink at End, whether or not a tracer is also collecting it.
+// Enabling twice keeps the first sink.
+func (o *Observer) EnableProfile(sink SpanSink) {
+	if o.sink == nil {
+		o.sink = sink
+	}
+}
+
+// ProfileSink returns the armed span sink, or nil when profiling is off.
+func (o *Observer) ProfileSink() SpanSink { return o.sink }
+
 // Tracer returns the span tracer, or nil when tracing is off.
 func (o *Observer) Tracer() *Tracer { return o.tracer }
 
@@ -121,14 +148,40 @@ func (o *Observer) Sampler() *Sampler { return o.sampler }
 // Flight returns the flight recorder, or nil when it is off.
 func (o *Observer) Flight() *Flight { return o.flight }
 
-// StartSpan allocates a span for a new request, or returns nil when tracing
-// is off or the span budget is exhausted. Callers stamp stages only through
-// the returned pointer, so a nil result keeps the hot path untouched.
+// StartSpan hands out a span for a new request, or returns nil when no
+// span-consuming surface wants one. Callers stamp stages only through the
+// returned pointer, so a nil result keeps the hot path untouched.
+//
+// Tracer spans are retained for export; profile-only spans (tracing off, or
+// past the tracer budget) come from a free list and are recycled at End, so
+// steady-state profiling allocates nothing per request.
 func (o *Observer) StartSpan() *Span {
-	if o.tracer == nil {
+	if o.tracer != nil {
+		if sp := o.tracer.startSpan(); sp != nil {
+			sp.o = o
+			return sp
+		}
+		// Budget exhausted: the tracer counted the drop, but profiling
+		// still wants the span.
+	}
+	if o.sink == nil {
 		return nil
 	}
-	return o.tracer.startSpan()
+	return o.pooledSpan()
+}
+
+// pooledSpan pops a recycled span (or allocates the pool's next entry) and
+// resets it to the startSpan initial state, minus tracer identity.
+func (o *Observer) pooledSpan() *Span {
+	var sp *Span
+	if n := len(o.spanFree); n > 0 {
+		sp = o.spanFree[n-1]
+		o.spanFree = o.spanFree[:n-1]
+	} else {
+		sp = new(Span)
+	}
+	*sp = Span{NSQ: -1, Chip: -1, Core: -1, DCore: -1, o: o}
+	return sp
 }
 
 // Start arms the sampler's periodic engine event. Call once, before running

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"testing"
+
+	"daredevil/internal/sim"
+)
+
+// countSink records consumed spans without retaining them.
+type countSink struct {
+	consumed int
+	lastSeq  uint64
+	last     *Span
+}
+
+func (c *countSink) ConsumeSpan(sp *Span) {
+	c.consumed++
+	c.lastSeq = sp.Seq
+	c.last = sp
+}
+
+func TestStartSpanProfileOnly(t *testing.T) {
+	o := New(sim.New())
+	sink := &countSink{}
+	o.EnableProfile(sink)
+	if o.ProfileSink() == nil {
+		t.Fatal("sink not armed")
+	}
+	sp := o.StartSpan()
+	if sp == nil {
+		t.Fatal("profile-only StartSpan returned nil")
+	}
+	if sp.NSQ != -1 || sp.Chip != -1 || sp.Core != -1 || sp.DCore != -1 {
+		t.Fatalf("pooled span not reset: %+v", sp)
+	}
+	sp.Class = "L"
+	sp.End()
+	if sink.consumed != 1 {
+		t.Fatalf("consumed = %d, want 1", sink.consumed)
+	}
+	sp.End() // idempotent: no double consume
+	if sink.consumed != 1 {
+		t.Fatal("End not idempotent on pooled span")
+	}
+	// The ended span is recycled: the next StartSpan reuses it, reset.
+	sp2 := o.StartSpan()
+	if sp2 != sp {
+		t.Fatal("pooled span not recycled")
+	}
+	if sp2.Class != "" || sp2.done {
+		t.Fatalf("recycled span not reset: %+v", sp2)
+	}
+}
+
+func TestStartSpanTracerThenPool(t *testing.T) {
+	o := New(sim.New())
+	sink := &countSink{}
+	o.EnableTrace(1) // budget: one traced span
+	o.EnableProfile(sink)
+
+	traced := o.StartSpan()
+	if traced == nil || traced.Seq != 1 {
+		t.Fatalf("first span not traced: %+v", traced)
+	}
+	traced.End()
+	if sink.consumed != 1 {
+		t.Fatal("sink missed traced span")
+	}
+	if len(o.Tracer().Spans()) != 1 {
+		t.Fatal("tracer did not retain its span")
+	}
+
+	// Past the tracer budget the profiler still sees every request.
+	over := o.StartSpan()
+	if over == nil {
+		t.Fatal("StartSpan returned nil past tracer budget with profiling on")
+	}
+	if over.Seq != 0 {
+		t.Fatalf("pooled span carries tracer seq %d", over.Seq)
+	}
+	over.End()
+	if sink.consumed != 2 {
+		t.Fatalf("consumed = %d, want 2", sink.consumed)
+	}
+	if got := o.Tracer().Dropped(); got != 1 {
+		t.Fatalf("tracer dropped = %d, want 1", got)
+	}
+}
+
+func TestChildInheritsPooling(t *testing.T) {
+	o := New(sim.New())
+	sink := &countSink{}
+	o.EnableProfile(sink)
+	parent := o.StartSpan()
+	parent.Class = "T"
+	c := parent.Child(7)
+	if c == nil {
+		t.Fatal("pooled parent produced nil child")
+	}
+	if c.ReqID != 7 || c.Class != "T" {
+		t.Fatalf("child identity not inherited: %+v", c)
+	}
+	c.End()
+	parent.End()
+	if sink.consumed != 2 {
+		t.Fatalf("consumed = %d, want 2", sink.consumed)
+	}
+}
+
+func TestEnableProfileKeepsFirstSink(t *testing.T) {
+	o := New(sim.New())
+	first := &countSink{}
+	o.EnableProfile(first)
+	o.EnableProfile(&countSink{})
+	if o.ProfileSink() != first {
+		t.Fatal("second EnableProfile replaced sink")
+	}
+}

@@ -55,6 +55,13 @@ type Span struct {
 	LockWait sim.Duration
 	// FGGCs counts foreground GC stalls this command absorbed.
 	FGGCs uint64
+	// GCWait is the die time foreground GC inserted ahead of this command's
+	// service (the profiler's GC-attributed layer).
+	GCWait sim.Duration
+	// FetchCost is the priced controller fetch span (fetch-engine cost plus
+	// per-page transfer) ending at the Fetch stamp; Submit→Fetch minus
+	// FetchCost is pure NSQ queue wait.
+	FetchCost sim.Duration
 
 	Polled    bool
 	CrossCore bool
@@ -62,7 +69,11 @@ type Span struct {
 	Retries   int
 	Requeues  int
 
+	// tr files the span with the tracer on End; o recycles pooled spans and
+	// feeds the profiler sink. A tracer-owned span carries both; a pooled
+	// (profile-only) span carries only o.
 	tr   *Tracer
+	o    *Observer
 	done bool
 }
 
@@ -70,10 +81,18 @@ type Span struct {
 // from the parent. Returns nil when the parent is untraced or the budget
 // is exhausted.
 func (s *Span) Child(reqID uint64) *Span {
-	if s == nil || s.tr == nil {
+	if s == nil {
 		return nil
 	}
-	c := s.tr.startSpan()
+	var c *Span
+	switch {
+	case s.o != nil:
+		// Route through the observer so a pooled parent gets a pooled
+		// child and a traced parent a traced one (budget permitting).
+		c = s.o.StartSpan()
+	case s.tr != nil:
+		c = s.tr.startSpan()
+	}
 	if c == nil {
 		return nil
 	}
@@ -89,15 +108,25 @@ func (s *Span) Child(reqID uint64) *Span {
 	return c
 }
 
-// End marks the span complete and files it with the tracer. Completion
-// order is engine event order, so the done list is deterministic. Safe on
+// End marks the span complete: it feeds the profiler sink (when armed),
+// files the span with the tracer, and recycles pooled spans onto the
+// observer's free list. Completion order is engine event order, so both the
+// done list and the profiler's aggregation order are deterministic. Safe on
 // nil and idempotent.
 func (s *Span) End() {
-	if s == nil || s.done || s.tr == nil {
+	if s == nil || s.done || (s.tr == nil && s.o == nil) {
 		return
 	}
 	s.done = true
-	s.tr.done = append(s.tr.done, s)
+	if s.o != nil && s.o.sink != nil {
+		s.o.sink.ConsumeSpan(s)
+	}
+	if s.tr != nil {
+		s.tr.done = append(s.tr.done, s)
+		return
+	}
+	// Pooled span: the sink must not retain the pointer past ConsumeSpan.
+	s.o.spanFree = append(s.o.spanFree, s)
 }
 
 // Phase durations derived from the stamps; zero when a stage was skipped.

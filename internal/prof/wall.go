@@ -1,0 +1,69 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WallProfile attributes the simulator's host wall-clock time to coarse
+// components via checkpoints the harness stamps around each run phase
+// (build, warmup, measure, collect). Durations arrive as plain int64
+// nanoseconds — the harness reads internal/walltime (the one sanctioned
+// wall-clock doorway) and prof stays free of wall-clock imports.
+//
+// Wall time is inherently host-dependent, so this export is the one prof
+// artifact deliberately excluded from the byte-identity guarantees.
+type WallProfile struct {
+	Components []WallComponent `json:"components"`
+}
+
+// WallComponent is one attributed slice of host time.
+type WallComponent struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+// Add accumulates ns nanoseconds against a component, creating it on first
+// use. Component order is first-Add order.
+func (w *WallProfile) Add(name string, ns int64) {
+	if w == nil || ns < 0 {
+		return
+	}
+	for i := range w.Components {
+		if w.Components[i].Name == name {
+			w.Components[i].Ns += ns
+			return
+		}
+	}
+	w.Components = append(w.Components, WallComponent{Name: name, Ns: ns})
+}
+
+// TotalNs sums all attributed host time.
+func (w *WallProfile) TotalNs() int64 {
+	var t int64
+	for _, c := range w.Components {
+		t += c.Ns
+	}
+	return t
+}
+
+// Empty reports whether no time was attributed.
+func (w *WallProfile) Empty() bool { return w == nil || len(w.Components) == 0 }
+
+// WriteText renders the self-profile as an aligned table with per-component
+// shares, in first-Add (run phase) order.
+func (w *WallProfile) WriteText(out io.Writer) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "component\twall\tshare")
+	total := w.TotalNs()
+	for _, c := range w.Components {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(c.Ns) / float64(total)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\n", c.Name, dur(c.Ns), share)
+	}
+	fmt.Fprintf(tw, "total\t%s\t\n", dur(total))
+	return tw.Flush()
+}

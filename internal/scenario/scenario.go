@@ -91,6 +91,10 @@ type Scenario struct {
 	// microseconds; ddsim prints the CSV after the summary, ddserve stores
 	// CSV and sparkline-SVG artifacts.
 	ObsWindowUs int64 `json:"obsWindowUs,omitempty"`
+	// Profile streams every request span through the virtual-time profiler
+	// and emits the per-layer latency breakdown; ddsim writes the profile
+	// JSON via -prof, ddserve stores table/folded/SVG artifacts.
+	Profile bool `json:"profile,omitempty"`
 
 	Jobs []Job `json:"jobs"`
 
@@ -509,6 +513,7 @@ func (sc Scenario) CellSpec() (harness.CellSpec, error) {
 		Measure:    measure,
 		Trace:      sc.Trace,
 		TraceLimit: sc.TraceLimit,
+		Profile:    sc.Profile,
 	}
 	if sc.ObsWindowUs > 0 {
 		spec.MetricsWindow = sim.Duration(sc.ObsWindowUs) * sim.Microsecond

@@ -32,10 +32,13 @@ type cacheKey struct {
 // cacheEntry is one cached cell: the typed result plus any rendered obs
 // artifacts.
 type cacheEntry struct {
-	result     harness.CellResult
-	trace      []byte
-	metricsCSV []byte
-	metricsSVG []byte
+	result        harness.CellResult
+	trace         []byte
+	metricsCSV    []byte
+	metricsSVG    []byte
+	profileTxt    []byte
+	profileFolded []byte
+	profileSVG    []byte
 }
 
 // resultCache is a mutex-guarded LRU over completed cells.

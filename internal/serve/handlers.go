@@ -22,7 +22,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/cells/{idx}/{artifact}", s.handleArtifact)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
 
@@ -217,7 +218,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	b, ok := jb.cellBytes(idx, name)
 	if !ok {
 		writeErr(w, http.StatusNotFound,
-			"job %s cell %d has no artifact %q (arm \"trace\" or \"obsWindowUs\")", jb.status().ID, idx, name)
+			"job %s cell %d has no artifact %q (arm \"trace\", \"obsWindowUs\", or \"profile\")", jb.status().ID, idx, name)
 		return
 	}
 	switch name {
@@ -225,13 +226,16 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 	case "metrics.csv":
 		w.Header().Set("Content-Type", "text/csv")
-	case "metrics.svg":
+	case "metrics.svg", "profile.svg":
 		w.Header().Set("Content-Type", "image/svg+xml")
+	case "profile.txt", "profile.folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
 	w.Write(b)
 }
 
-// metricsDoc is the GET /metrics payload.
+// metricsDoc is the GET /metrics.json payload (the legacy JSON health
+// document; Prometheus scrapes GET /metrics).
 type metricsDoc struct {
 	UptimeSec         float64 `json:"uptimeSec"`
 	Workers           int     `json:"workers"`
@@ -252,7 +256,7 @@ type metricsDoc struct {
 	GitRev            string  `json:"gitRev"`
 }
 
-// handleMetrics reports service health counters as JSON.
+// handleMetrics reports service health counters as JSON (/metrics.json).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.cache.stats()
 	busy := int(s.busy.Load())

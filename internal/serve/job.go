@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"daredevil/internal/harness"
+	"daredevil/internal/prof"
 	"daredevil/internal/scenario"
 	"daredevil/internal/stats"
 )
@@ -29,18 +30,27 @@ const (
 // cellOutput is one evaluated cell: the typed result plus any rendered
 // artifacts. It is the in-flight twin of cacheEntry.
 type cellOutput struct {
-	result     harness.CellResult
-	trace      []byte
-	metricsCSV []byte
-	metricsSVG []byte
+	result        harness.CellResult
+	trace         []byte
+	metricsCSV    []byte
+	metricsSVG    []byte
+	profileTxt    []byte
+	profileFolded []byte
+	profileSVG    []byte
 }
 
 func entryFromOutput(o cellOutput) cacheEntry {
-	return cacheEntry{result: o.result, trace: o.trace, metricsCSV: o.metricsCSV, metricsSVG: o.metricsSVG}
+	return cacheEntry{
+		result: o.result, trace: o.trace, metricsCSV: o.metricsCSV, metricsSVG: o.metricsSVG,
+		profileTxt: o.profileTxt, profileFolded: o.profileFolded, profileSVG: o.profileSVG,
+	}
 }
 
 func outputFromEntry(e cacheEntry) cellOutput {
-	return cellOutput{result: e.result, trace: e.trace, metricsCSV: e.metricsCSV, metricsSVG: e.metricsSVG}
+	return cellOutput{
+		result: e.result, trace: e.trace, metricsCSV: e.metricsCSV, metricsSVG: e.metricsSVG,
+		profileTxt: e.profileTxt, profileFolded: e.profileFolded, profileSVG: e.profileSVG,
+	}
 }
 
 // job is one accepted request moving through the queue and worker pool.
@@ -112,6 +122,12 @@ func (j *job) cellBytes(idx int, artifact string) ([]byte, bool) {
 		b = j.outs[idx].metricsCSV
 	case "metrics.svg":
 		b = j.outs[idx].metricsSVG
+	case "profile.txt":
+		b = j.outs[idx].profileTxt
+	case "profile.folded":
+		b = j.outs[idx].profileFolded
+	case "profile.svg":
+		b = j.outs[idx].profileSVG
 	default:
 		return nil, false
 	}
@@ -181,17 +197,61 @@ type ftlDoc struct {
 	GCPauses           latencyDoc `json:"gcPauses"`
 }
 
+// layerStatDoc is one taxonomy layer of a profiled cell's breakdown.
+type layerStatDoc struct {
+	Layer    string  `json:"layer"`
+	SharePct float64 `json:"sharePct"`
+	MeanUs   float64 `json:"meanUs"`
+	P50Us    float64 `json:"p50Us"`
+	P99Us    float64 `json:"p99Us"`
+}
+
+// profileGroupDoc is one (class) group of a profiled cell's layer
+// breakdown; the stack is the cell's own.
+type profileGroupDoc struct {
+	Class    string         `json:"class"`
+	Requests uint64         `json:"requests"`
+	Layers   []layerStatDoc `json:"layers"`
+}
+
 // cellDoc is one grid cell of a sweep result.
 type cellDoc struct {
-	Labels          []string   `json:"labels,omitempty"`
-	SpecHash        string     `json:"specHash"`
-	LLatency        latencyDoc `json:"lLatency"`
-	TLatency        latencyDoc `json:"tLatency"`
-	LKIOPS          float64    `json:"lKIOPS"`
-	TThroughputMBps float64    `json:"tThroughputMBps"`
-	CPUUtilization  float64    `json:"cpuUtilization"`
-	FTL             *ftlDoc    `json:"ftl,omitempty"`
-	Artifacts       []string   `json:"artifacts,omitempty"`
+	Labels          []string          `json:"labels,omitempty"`
+	SpecHash        string            `json:"specHash"`
+	LLatency        latencyDoc        `json:"lLatency"`
+	TLatency        latencyDoc        `json:"tLatency"`
+	LKIOPS          float64           `json:"lKIOPS"`
+	TThroughputMBps float64           `json:"tThroughputMBps"`
+	CPUUtilization  float64           `json:"cpuUtilization"`
+	FTL             *ftlDoc           `json:"ftl,omitempty"`
+	Profile         []profileGroupDoc `json:"profile,omitempty"`
+	Artifacts       []string          `json:"artifacts,omitempty"`
+}
+
+// profileGroupDocsOf flattens a cell profile into the result document's
+// layer breakdown.
+func profileGroupDocsOf(p *prof.Profile) []profileGroupDoc {
+	if p == nil {
+		return nil
+	}
+	docs := make([]profileGroupDoc, 0, len(p.Groups))
+	for _, g := range p.Groups {
+		d := profileGroupDoc{Class: g.Class, Requests: g.Requests}
+		for _, l := range g.Layers {
+			ld := layerStatDoc{
+				Layer:  l.Layer,
+				MeanUs: l.Mean().Microseconds(),
+				P50Us:  l.Quantile(0.5).Microseconds(),
+				P99Us:  l.Quantile(0.99).Microseconds(),
+			}
+			if g.Total.Sum > 0 {
+				ld.SharePct = 100 * float64(l.Sum) / float64(g.Total.Sum)
+			}
+			d.Layers = append(d.Layers, ld)
+		}
+		docs = append(docs, d)
+	}
+	return docs
 }
 
 func cellDocOf(p scenario.Point, o cellOutput) cellDoc {
@@ -215,6 +275,7 @@ func cellDocOf(p scenario.Point, o cellOutput) cellDoc {
 			GCPauses:           latencyDocOf(f.GCPauses),
 		}
 	}
+	d.Profile = profileGroupDocsOf(o.result.Profile)
 	if len(o.trace) > 0 {
 		d.Artifacts = append(d.Artifacts, "trace.json")
 	}
@@ -223,6 +284,15 @@ func cellDocOf(p scenario.Point, o cellOutput) cellDoc {
 	}
 	if len(o.metricsSVG) > 0 {
 		d.Artifacts = append(d.Artifacts, "metrics.svg")
+	}
+	if len(o.profileTxt) > 0 {
+		d.Artifacts = append(d.Artifacts, "profile.txt")
+	}
+	if len(o.profileFolded) > 0 {
+		d.Artifacts = append(d.Artifacts, "profile.folded")
+	}
+	if len(o.profileSVG) > 0 {
+		d.Artifacts = append(d.Artifacts, "profile.svg")
 	}
 	return d
 }

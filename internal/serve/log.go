@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Structured request logging: every request gets a process-unique id,
+// returned to the client as X-Request-ID and stamped on the log line, so a
+// slow or failed call in the daemon's log pairs with the response the
+// client saw.
+
+// statusRecorder captures the status code and body size a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += n
+	return n, err
+}
+
+// logRequests wraps next with request-id assignment and one structured log
+// line per request.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("r%d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", reqID)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.cfg.Logger.Info("request",
+			"reqID", reqID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"durationMs", float64(time.Since(start).Microseconds())/1000,
+			"bytes", rec.bytes,
+		)
+	})
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"daredevil/internal/prof"
+	"daredevil/internal/stats"
+)
+
+// Prometheus text exposition (version 0.0.4) for GET /metrics: the service
+// health counters that used to live in the JSON document (now at
+// /metrics.json), plus the fleet layer-latency summaries — the merged
+// virtual-time profile of every cell this process has simulated, exported
+// as one summary series per (stack, class, layer).
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4"
+
+// summaryQuantiles are the quantile labels exported per layer series.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// handleMetricsProm renders GET /metrics.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", promContentType)
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	hits, misses, entries := s.cache.stats()
+	busy := int(s.busy.Load())
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, promFloat(v))
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("ddserve_uptime_seconds", "Seconds since the daemon started.", time.Since(s.started).Seconds())
+	gauge("ddserve_workers", "Configured job runners.", float64(s.cfg.Workers))
+	gauge("ddserve_busy_workers", "Job runners currently executing a job.", float64(busy))
+	gauge("ddserve_worker_utilization", "Busy fraction of the worker pool.", float64(busy)/float64(s.cfg.Workers))
+	gauge("ddserve_queue_depth", "Jobs waiting in the admission queue.", float64(len(s.queue)))
+	gauge("ddserve_queue_capacity", "Admission queue bound.", float64(s.cfg.QueueDepth))
+	draining := 0.0
+	if s.Draining() {
+		draining = 1
+	}
+	gauge("ddserve_draining", "1 once the daemon stopped accepting jobs.", draining)
+	counter("ddserve_jobs_accepted_total", "Jobs admitted to the queue.", s.jobsAccepted.Load())
+	counter("ddserve_jobs_completed_total", "Jobs finished successfully.", s.jobsCompleted.Load())
+	counter("ddserve_jobs_failed_total", "Jobs that ended in failure.", s.jobsFailed.Load())
+	counter("ddserve_jobs_rejected_total", "Submissions rejected by admission control.", s.jobsRejected.Load())
+	counter("ddserve_cells_run_total", "Grid cells simulated (cache hits excluded).", s.cellsRun.Load())
+	counter("ddserve_cache_hits_total", "Result-cache hits.", hits)
+	counter("ddserve_cache_misses_total", "Result-cache misses.", misses)
+	gauge("ddserve_cache_entries", "Live result-cache entries.", float64(entries))
+	hitRate := 0.0
+	if total := hits + misses; total > 0 {
+		hitRate = float64(hits) / float64(total)
+	}
+	gauge("ddserve_cache_hit_rate", "Cache hit fraction since start.", hitRate)
+
+	writeFleetSummaries(bw, s.fleetProfile())
+}
+
+// writeFleetSummaries renders the merged fleet profile as Prometheus
+// summary series. The profile's groups are canonically sorted and layers
+// hold a fixed order, so the exposition is deterministic for a given fleet
+// state.
+func writeFleetSummaries(bw *bufio.Writer, fleet prof.Profile) {
+	if len(fleet.Groups) == 0 {
+		return
+	}
+	const name = "ddserve_layer_latency_seconds"
+	fmt.Fprintf(bw, "# HELP %s Virtual-time latency per storage-stack layer across all simulated cells.\n# TYPE %s summary\n", name, name)
+	for _, g := range fleet.Groups {
+		for _, l := range g.Layers {
+			writeSummarySeries(bw, name, g.Stack, g.Class, l.Layer, l.DigestDump)
+		}
+		writeSummarySeries(bw, name, g.Stack, g.Class, "total", g.Total)
+	}
+}
+
+// writeSummarySeries renders one digest as a summary: quantile samples plus
+// _sum and _count.
+func writeSummarySeries(bw *bufio.Writer, name, stack, class, layer string, d stats.DigestDump) {
+	for _, q := range summaryQuantiles {
+		fmt.Fprintf(bw, "%s{stack=%q,class=%q,layer=%q,quantile=%q} %s\n",
+			name, stack, class, layer, promFloat(q), promFloat(d.Quantile(q).Seconds()))
+	}
+	fmt.Fprintf(bw, "%s_sum{stack=%q,class=%q,layer=%q} %s\n",
+		name, stack, class, layer, promFloat(float64(d.Sum)/1e9))
+	fmt.Fprintf(bw, "%s_count{stack=%q,class=%q,layer=%q} %d\n",
+		name, stack, class, layer, d.Count)
+}
+
+// promFloat formats a sample value the shortest way that round-trips.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

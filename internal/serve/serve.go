@@ -19,12 +19,14 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"daredevil/internal/harness"
+	"daredevil/internal/prof"
 	"daredevil/internal/scenario"
 )
 
@@ -47,6 +49,10 @@ type Config struct {
 	RetryAfter time.Duration
 	// GitRev overrides the detected modeling-code revision in cache keys.
 	GitRev string
+	// Logger receives structured request and job logs (default
+	// slog.Default). Every HTTP request logs one line carrying the
+	// request id also returned in the X-Request-ID header.
+	Logger *slog.Logger
 }
 
 // withDefaults fills unset fields.
@@ -68,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GitRev == "" {
 		c.GitRev = detectGitRev()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -95,6 +104,13 @@ type Server struct {
 	jobsFailed    atomic.Uint64
 	jobsRejected  atomic.Uint64
 	cellsRun      atomic.Uint64
+	reqSeq        atomic.Uint64
+
+	// fleet accumulates the layer-latency profile of every cell this
+	// process simulated (cache hits don't re-merge — they re-serve work
+	// already counted). /metrics exports it as Prometheus summaries.
+	profMu sync.Mutex
+	fleet  prof.Profile
 
 	// runPoint executes one concrete (sweep-free) scenario cell. Tests
 	// substitute it to control timing; production uses simulatePoint.
@@ -121,8 +137,10 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the ddserve API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the ddserve API: the mux
+// wrapped in the request-logging middleware (request ids, status,
+// duration, bytes).
+func (s *Server) Handler() http.Handler { return s.logRequests(s.mux) }
 
 // GitRev reports the revision stamped into cache keys.
 func (s *Server) GitRev() string { return s.cfg.GitRev }
@@ -230,19 +248,46 @@ func (s *Server) keyFor(sc scenario.Scenario) cacheKey {
 // wantsArtifacts reports whether the scenario arms observability surfaces
 // whose exports ddserve stores per cell.
 func wantsArtifacts(sc scenario.Scenario) bool {
-	return sc.Trace || sc.ObsWindowUs > 0
+	return sc.Trace || sc.ObsWindowUs > 0 || sc.Profile
 }
 
-// simulatePoint builds and runs one cell and renders its artifacts.
+// simulatePoint builds and runs one cell and renders its artifacts. Every
+// fresh run is profiled — profiling is observation-only, so results are
+// unchanged and cache keys don't care — and its layer profile merges into
+// the fleet telemetry behind /metrics. The per-cell profile and its
+// rendered artifacts are kept only when the scenario asked for them.
 func (s *Server) simulatePoint(sc scenario.Scenario) (cellOutput, error) {
 	var out cellOutput
 	spec, err := sc.CellSpec()
 	if err != nil {
 		return out, err
 	}
+	spec.Profile = true
 	cell := harness.BuildCell(spec)
 	out.result = cell.Run(spec.Warmup, spec.Measure)
 	s.cellsRun.Add(1)
+	if p := out.result.Profile; p != nil {
+		s.profMu.Lock()
+		s.fleet = prof.Merge(s.fleet, *p)
+		s.profMu.Unlock()
+	}
+	if !sc.Profile {
+		out.result.Profile = nil
+	} else {
+		var table, folded, svg bytes.Buffer
+		if err := cell.WriteProfileTable(&table); err != nil {
+			return out, err
+		}
+		if err := cell.WriteProfileFolded(&folded); err != nil {
+			return out, err
+		}
+		if err := cell.WriteProfileSVG(&svg); err != nil {
+			return out, err
+		}
+		out.profileTxt = append([]byte(nil), table.Bytes()...)
+		out.profileFolded = append([]byte(nil), folded.Bytes()...)
+		out.profileSVG = append([]byte(nil), svg.Bytes()...)
+	}
 	if spec.Trace {
 		var buf bytes.Buffer
 		if err := cell.WriteTraceJSON(&buf); err != nil {
@@ -262,6 +307,14 @@ func (s *Server) simulatePoint(sc scenario.Scenario) (cellOutput, error) {
 		out.metricsSVG = append([]byte(nil), svg.Bytes()...)
 	}
 	return out, nil
+}
+
+// fleetProfile snapshots the merged layer profile of every cell simulated
+// by this process.
+func (s *Server) fleetProfile() prof.Profile {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	return prof.Merge(s.fleet, prof.Profile{})
 }
 
 // BeginDrain stops admission: subsequent submissions receive 503 and the

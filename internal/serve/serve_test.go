@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -23,6 +24,7 @@ const smallScenario = `{"cores":2,"warmupMs":5,"measureMs":20,
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	cfg.GitRev = "test"
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
@@ -206,7 +208,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	}
 
 	var m metricsDoc
-	_, mb, _ := get(t, ts.URL+"/metrics")
+	_, mb, _ := get(t, ts.URL+"/metrics.json")
 	if err := json.Unmarshal(mb, &m); err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +345,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("no job id in %s", body)
 	}
 	var m metricsDoc
-	_, mb, _ := get(t, ts.URL+"/metrics")
+	_, mb, _ := get(t, ts.URL+"/metrics.json")
 	if err := json.Unmarshal(mb, &m); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"daredevil/internal/sim"
+)
+
+// Digest is the profiler's mergeable quantile sketch: the same fixed
+// log-linear bucket layout as Histogram (so recording stays constant-time
+// and page-lazy), plus a serializable sparse form (DigestDump) whose merge
+// is plain bucket-wise integer addition. Addition commutes and associates,
+// so folding per-cell digests into a fleet profile yields byte-identical
+// output no matter how a grid run's cells were scheduled — the property the
+// -j1 vs -j8 bit-identity tests pin.
+//
+// The zero value is ready to use.
+type Digest struct {
+	Histogram
+}
+
+// DigestBucket is one occupied bucket of the fixed layout: the global
+// bucket index and its observation count.
+type DigestBucket struct {
+	// Index is the bucket's position in the fixed log-linear layout
+	// (identical across every Digest, so merging never re-bins).
+	Index int `json:"i"`
+	// Count is the number of observations in the bucket.
+	Count uint64 `json:"n"`
+}
+
+// DigestDump is the serializable, mergeable snapshot of a Digest: exact
+// count/sum/min/max plus the occupied buckets in ascending index order.
+// It is plain data — safe to ship as JSON, cache, and merge on the host
+// side (ddserve fleet telemetry, grid assembly).
+type DigestDump struct {
+	Count uint64 `json:"count"`
+	// Sum is the exact sum of observations in nanoseconds.
+	Sum int64 `json:"sumNs"`
+	// Min and Max are the exact recorded extremes in nanoseconds.
+	Min int64 `json:"minNs,omitempty"`
+	Max int64 `json:"maxNs,omitempty"`
+	// Buckets holds the occupied buckets in ascending index order — the
+	// canonical order, so identical distributions serialize identically.
+	Buckets []DigestBucket `json:"buckets,omitempty"`
+}
+
+// Dump snapshots the digest into its serializable form.
+func (d *Digest) Dump() DigestDump {
+	out := DigestDump{Count: d.count, Sum: d.sum, Min: d.min, Max: d.max}
+	for pi, p := range d.pages {
+		if p == nil {
+			continue
+		}
+		for j, c := range p {
+			if c != 0 {
+				out.Buckets = append(out.Buckets, DigestBucket{Index: pi*pageSize + j, Count: c})
+			}
+		}
+	}
+	return out
+}
+
+// Mean reports the arithmetic mean, or 0 when empty.
+func (dd DigestDump) Mean() sim.Duration {
+	if dd.Count == 0 {
+		return 0
+	}
+	return sim.Duration(dd.Sum / int64(dd.Count))
+}
+
+// Merge folds other into dd and returns the result, leaving both inputs
+// untouched. The merge is order-independent: Merge(a,b) == Merge(b,a),
+// bucket for bucket and byte for byte, because every field combines by a
+// commutative operation (addition, min, max, sorted union).
+func (dd DigestDump) Merge(other DigestDump) DigestDump {
+	if other.Count == 0 {
+		return dd.clone()
+	}
+	if dd.Count == 0 {
+		return other.clone()
+	}
+	out := DigestDump{
+		Count: dd.Count + other.Count,
+		Sum:   dd.Sum + other.Sum,
+		Min:   dd.Min,
+		Max:   dd.Max,
+	}
+	if other.Min < out.Min {
+		out.Min = other.Min
+	}
+	if other.Max > out.Max {
+		out.Max = other.Max
+	}
+	// Merge the two ascending sparse bucket lists, summing equal indices.
+	a, b := dd.Buckets, other.Buckets
+	out.Buckets = make([]DigestBucket, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Index < b[j].Index:
+			out.Buckets = append(out.Buckets, a[i])
+			i++
+		case a[i].Index > b[j].Index:
+			out.Buckets = append(out.Buckets, b[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, DigestBucket{Index: a[i].Index, Count: a[i].Count + b[j].Count})
+			i++
+			j++
+		}
+	}
+	out.Buckets = append(out.Buckets, a[i:]...)
+	out.Buckets = append(out.Buckets, b[j:]...)
+	return out
+}
+
+func (dd DigestDump) clone() DigestDump {
+	out := dd
+	out.Buckets = append([]DigestBucket(nil), dd.Buckets...)
+	return out
+}
+
+// Quantile reports the q-quantile (q clamped to [0,1]) using the same
+// midpoint-clamped estimator as Histogram.Quantile, so a digest round-
+// tripped through Dump answers identically to the live histogram.
+func (dd DigestDump) Quantile(q float64) sim.Duration {
+	if dd.Count == 0 {
+		return 0
+	}
+	lo, hi := dd.quantileBucket(q)
+	mid := lo + (hi-lo)/2
+	if mid > dd.Max {
+		mid = dd.Max
+	}
+	if mid < dd.Min {
+		mid = dd.Min
+	}
+	return sim.Duration(mid)
+}
+
+// QuantileBounds reports the exact bucket bounds enclosing the q-quantile:
+// every estimator answer lies in [lo, hi], and so does the true order
+// statistic — the bounded-error guarantee the fuzz tests pin.
+func (dd DigestDump) QuantileBounds(q float64) (lo, hi sim.Duration) {
+	if dd.Count == 0 {
+		return 0, 0
+	}
+	l, h := dd.quantileBucket(q)
+	if l < dd.Min {
+		l = dd.Min
+	}
+	if h > dd.Max {
+		h = dd.Max
+	}
+	return sim.Duration(l), sim.Duration(h)
+}
+
+// quantileBucket walks the sparse buckets for the bucket holding the
+// q-quantile's rank and returns its raw [lower, upper] value bounds.
+func (dd DigestDump) quantileBucket(q float64) (lo, hi int64) {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(dd.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range dd.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			upper := int64(math.MaxInt64)
+			if b.Index+1 < numBuckets {
+				upper = lowerBounds[b.Index+1] - 1
+			}
+			return lowerBounds[b.Index], upper
+		}
+	}
+	return dd.Max, dd.Max
+}
+
+// Valid reports whether the dump is internally consistent: buckets strictly
+// ascending by index, bucket counts summing to Count, Min <= Max. Merge
+// preserves validity; deserialized dumps should be checked before use.
+func (dd DigestDump) Valid() bool {
+	if dd.Count == 0 {
+		return len(dd.Buckets) == 0 && dd.Sum == 0 && dd.Min == 0 && dd.Max == 0
+	}
+	if dd.Min > dd.Max {
+		return false
+	}
+	if !sort.SliceIsSorted(dd.Buckets, func(i, j int) bool { return dd.Buckets[i].Index < dd.Buckets[j].Index }) {
+		return false
+	}
+	var total uint64
+	for i, b := range dd.Buckets {
+		if b.Count == 0 || b.Index < 0 || b.Index >= numBuckets {
+			return false
+		}
+		if i > 0 && dd.Buckets[i-1].Index == b.Index {
+			return false
+		}
+		total += b.Count
+	}
+	return total == dd.Count
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"daredevil/internal/sim"
+)
+
+func digestOf(vals ...int64) *Digest {
+	var d Digest
+	for _, v := range vals {
+		d.Record(sim.Duration(v))
+	}
+	return &d
+}
+
+func TestDigestDumpEmpty(t *testing.T) {
+	var d Digest
+	dd := d.Dump()
+	if dd.Count != 0 || dd.Sum != 0 || len(dd.Buckets) != 0 {
+		t.Fatalf("empty dump not zero: %+v", dd)
+	}
+	if !dd.Valid() {
+		t.Fatal("empty dump must be valid")
+	}
+	if dd.Quantile(0.5) != 0 || dd.Mean() != 0 {
+		t.Fatal("empty dump must report zeros")
+	}
+}
+
+// TestDigestDumpMatchesHistogram pins the round-trip: a dumped digest must
+// answer every quantile exactly like the live histogram it came from.
+func TestDigestDumpMatchesHistogram(t *testing.T) {
+	d := digestOf(1, 5, 5, 63, 64, 100, 4096, 1_000_000, 1<<40)
+	dd := d.Dump()
+	if !dd.Valid() {
+		t.Fatalf("dump invalid: %+v", dd)
+	}
+	if dd.Count != d.Count() || dd.Mean() != d.Mean() {
+		t.Fatalf("count/mean mismatch: dump %d/%v hist %d/%v", dd.Count, dd.Mean(), d.Count(), d.Mean())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := dd.Quantile(q), d.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v): dump %v, histogram %v", q, got, want)
+		}
+	}
+}
+
+func TestDigestMergeCommutes(t *testing.T) {
+	a := digestOf(1, 2, 3, 1000, 1<<30).Dump()
+	b := digestOf(3, 4, 4, 7, 1<<20, 1<<40).Dump()
+	ab := a.Merge(b)
+	ba := b.Merge(a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge not commutative:\n ab=%+v\n ba=%+v", ab, ba)
+	}
+	if !ab.Valid() {
+		t.Fatalf("merged dump invalid: %+v", ab)
+	}
+	if ab.Count != a.Count+b.Count || ab.Sum != a.Sum+b.Sum {
+		t.Fatalf("merge lost mass: %+v", ab)
+	}
+}
+
+func TestDigestMergeAssociates(t *testing.T) {
+	a := digestOf(10, 20).Dump()
+	b := digestOf(20, 1<<33).Dump()
+	c := digestOf(5).Dump()
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge not associative:\n (ab)c=%+v\n a(bc)=%+v", left, right)
+	}
+}
+
+// TestDigestMergeMatchesUnion pins merge against the ground truth: merging
+// two dumps answers exactly like one digest fed both value streams.
+func TestDigestMergeMatchesUnion(t *testing.T) {
+	va := []int64{1, 64, 64, 900, 1 << 22}
+	vb := []int64{2, 64, 4095, 1 << 22, 1 << 50}
+	merged := digestOf(va...).Dump().Merge(digestOf(vb...).Dump())
+	union := digestOf(append(append([]int64(nil), va...), vb...)...).Dump()
+	if !reflect.DeepEqual(merged, union) {
+		t.Fatalf("merge != union:\n merged=%+v\n union=%+v", merged, union)
+	}
+}
+
+func TestDigestMergeEmptyIdentity(t *testing.T) {
+	a := digestOf(7, 9).Dump()
+	var empty DigestDump
+	if got := a.Merge(empty); !reflect.DeepEqual(got, a) {
+		t.Fatalf("merge with empty changed dump: %+v", got)
+	}
+	if got := empty.Merge(a); !reflect.DeepEqual(got, a) {
+		t.Fatalf("empty.Merge(a) != a: %+v", got)
+	}
+	// Identity merges must clone, not alias, the bucket slice.
+	got := a.Merge(empty)
+	got.Buckets[0].Count = 999
+	if a.Buckets[0].Count == 999 {
+		t.Fatal("merge aliased input buckets")
+	}
+}
+
+func TestDigestDumpJSONRoundTrip(t *testing.T) {
+	dd := digestOf(3, 3, 99, 1<<35).Dump()
+	raw, err := json.Marshal(dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DigestDump
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dd, back) {
+		t.Fatalf("round trip changed dump:\n in=%+v\n out=%+v", dd, back)
+	}
+}
+
+func TestDigestQuantileBounds(t *testing.T) {
+	dd := digestOf(100, 200, 300, 5000, 1<<30).Dump()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		lo, hi := dd.QuantileBounds(q)
+		got := dd.Quantile(q)
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%v)=%v outside bounds [%v,%v]", q, got, lo, hi)
+		}
+		if lo < sim.Duration(dd.Min) || hi > sim.Duration(dd.Max) {
+			t.Fatalf("bounds [%v,%v] escape [min,max]=[%d,%d]", lo, hi, dd.Min, dd.Max)
+		}
+	}
+}
+
+// fuzzDigests decodes a byte stream into two digests: each 9-byte chunk is
+// a (which, value) pair routing one observation to digest a or b.
+func fuzzDigests(raw []byte) (a, b Digest) {
+	for len(raw) >= 9 {
+		v := int64(binary.LittleEndian.Uint64(raw[1:9]))
+		if v < 0 {
+			v = -v
+		}
+		if raw[0]&1 == 0 {
+			a.Record(sim.Duration(v))
+		} else {
+			b.Record(sim.Duration(v))
+		}
+		raw = raw[9:]
+	}
+	return a, b
+}
+
+// FuzzDigestMerge pins the two digest invariants the fleet profile relies
+// on: merge(a,b) == merge(b,a) byte for byte, and merged quantiles stay
+// inside their bucket bounds and the merged [min, max].
+func FuzzDigestMerge(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 2, 0, 0, 0, 0, 0, 0, 0}, 0.5)
+	f.Add([]byte{1, 255, 255, 255, 255, 255, 255, 255, 127}, 0.999)
+	f.Add([]byte{}, 0.0)
+	f.Fuzz(func(t *testing.T, raw []byte, q float64) {
+		if math.IsNaN(q) {
+			return
+		}
+		a, b := fuzzDigests(raw)
+		da, db := a.Dump(), b.Dump()
+		ab := da.Merge(db)
+		ba := db.Merge(da)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("merge not commutative:\n ab=%+v\n ba=%+v", ab, ba)
+		}
+		if !ab.Valid() {
+			t.Fatalf("merged dump invalid: %+v", ab)
+		}
+		if ab.Count == 0 {
+			return
+		}
+		lo, hi := ab.QuantileBounds(q)
+		got := ab.Quantile(q)
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%v)=%v outside bucket bounds [%v,%v]", q, got, lo, hi)
+		}
+		if int64(got) < ab.Min || int64(got) > ab.Max {
+			t.Fatalf("Quantile(%v)=%v outside [min,max]=[%d,%d]", q, got, ab.Min, ab.Max)
+		}
+	})
+}

@@ -43,9 +43,17 @@ curl -sf -X POST --data-binary @"$DIR/sweep.json" "$BASE/v1/sweeps?wait=1" >"$DI
 grep -q '"cachedCells":2' "$DIR/job2.json" || { cat "$DIR/job2.json" >&2; fail "repeat sweep not served from cache"; }
 curl -sf "$BASE/v1/jobs/j2/result" >"$DIR/res2.json"
 cmp -s "$DIR/res1.json" "$DIR/res2.json" || fail "cached result differs from fresh run"
-curl -sf "$BASE/metrics" >"$DIR/metrics.json"
+curl -sf "$BASE/metrics.json" >"$DIR/metrics.json"
 grep -q '"cellsRun":2' "$DIR/metrics.json" || { cat "$DIR/metrics.json" >&2; fail "cache hit still re-simulated"; }
 echo "ddserve smoke: repeat sweep served from cache, byte-identical"
+
+# Prometheus scrape: /metrics serves text exposition with the fleet
+# layer-latency summaries fed by the always-on profiler.
+curl -sf "$BASE/metrics" >"$DIR/metrics.prom"
+grep -q '^ddserve_cells_run_total 2$' "$DIR/metrics.prom" || { cat "$DIR/metrics.prom" >&2; fail "prometheus cells_run counter wrong"; }
+grep -q '^# TYPE ddserve_layer_latency_seconds summary$' "$DIR/metrics.prom" || { cat "$DIR/metrics.prom" >&2; fail "prometheus exposition missing layer summaries"; }
+grep -q 'ddserve_layer_latency_seconds{stack="daredevil",class="L",layer="queue_wait",quantile="0.99"}' "$DIR/metrics.prom" || fail "prometheus exposition missing layer quantile sample"
+echo "ddserve smoke: prometheus exposition OK"
 
 # What-if threshold query over the same base scenario (probes reuse cache).
 cat >"$DIR/whatif.json" <<'EOF'
